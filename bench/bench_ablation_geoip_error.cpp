@@ -1,0 +1,70 @@
+// Ablation — sensitivity of geo-routing precision to GeoIP database quality.
+//
+// §6: "Information from a single commercial GeoIP database has in practice
+// proven sufficient."  This ablation sweeps the database error model — the
+// fraction of accurately-located prefixes, the country-centroid collapse,
+// and the stale-record class — and measures the Fig. 3 headline (fraction
+// of prefixes whose geo-chosen PoP is within 10/20 ms of the best PoP).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace vns;
+
+namespace {
+
+struct Precision {
+  double within_10ms = 0.0;
+  double within_20ms = 0.0;
+};
+
+Precision measure_precision(const measure::Workbench& w, const geo::GeoIpDatabase& db) {
+  std::vector<double> displacement;
+  for (std::size_t id = 0; id < w.internet().prefixes().size(); ++id) {
+    const auto& info = w.internet().prefix(id);
+    const auto reported = db.lookup(info.prefix);
+    if (!reported) continue;
+    const auto geo_pop = w.vns().geo_closest_pop(*reported);
+    double best = 1e18, geo_rtt = 0.0;
+    for (core::PopId pop = 0; pop < 11; ++pop) {
+      const double rtt = w.probe_base_rtt_ms(pop, id);
+      if (pop == geo_pop) geo_rtt = rtt;
+      best = std::min(best, rtt);
+    }
+    displacement.push_back(geo_rtt - best);
+  }
+  util::Percentiles p{std::move(displacement)};
+  return {p.fraction_at_most(10.0), p.fraction_at_most(20.0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  auto world = bench::build_world(args, "bench_ablation_geoip_error",
+                                  "ablation: Fig. 3 precision vs GeoIP database quality");
+  auto& w = *world;
+
+  util::TextTable table{{"database quality", "within 10ms", "within 20ms"}};
+  auto sweep = [&](const char* label, double accurate_fraction, bool centroid) {
+    geo::GeoIpErrorModel model;
+    model.accurate_fraction = accurate_fraction;
+    if (!centroid) model.centroid_probability = 0.0;
+    const auto db = w.internet().build_geoip(model, args.seed ^ 0x9e0);
+    const auto precision = measure_precision(w, db);
+    table.add_row({label, util::format_percent(precision.within_10ms, 1),
+                   util::format_percent(precision.within_20ms, 1)});
+  };
+
+  sweep("perfect database", 1.0, /*centroid=*/false);
+  sweep("accurate 80%, no centroid collapse", 0.8, false);
+  sweep("MaxMind-like (accurate 60%, RU centroid)", 0.6, true);
+  sweep("accurate 40%", 0.4, true);
+  sweep("accurate 20%", 0.2, true);
+  table.print(std::cout);
+  std::cout << "paper context: ~90% within 20 ms with a commercial database; the\n"
+               "plateau shows why one database was 'in practice sufficient' (S6) -\n"
+               "PoPs are continent-scale apart, so only continent-scale errors hurt\n";
+  return 0;
+}

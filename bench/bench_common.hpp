@@ -1,0 +1,70 @@
+// Shared scaffolding for the figure/table benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation.  They accept:
+//   --small        tiny topology (CI smoke runs)
+//   --seed N       world seed (default 1)
+//   --days D       campaign length where applicable (scaled-down defaults)
+// and print deterministic, diff-able text tables.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "measure/workbench.hpp"
+#include "util/table.hpp"
+
+namespace vns::bench {
+
+struct BenchArgs {
+  bool small = false;
+  std::uint64_t seed = 1;
+  double days = 0.0;  ///< 0: bench-specific default
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--small") {
+        args.small = true;
+      } else if (arg == "--seed" && i + 1 < argc) {
+        args.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--days" && i + 1 < argc) {
+        args.days = std::strtod(argv[++i], nullptr);
+      } else if (arg == "--help") {
+        std::cout << "flags: --small --seed N --days D\n";
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] measure::WorkbenchConfig workbench_config() const {
+    return small ? measure::WorkbenchConfig::small(seed)
+                 : measure::WorkbenchConfig::paper_scale(seed);
+  }
+};
+
+/// Builds the workbench, timing and reporting construction.
+inline std::unique_ptr<measure::Workbench> build_world(const BenchArgs& args,
+                                                       const std::string& bench_name,
+                                                       const std::string& paper_ref) {
+  util::print_bench_header(std::cout, bench_name, paper_ref, args.seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto world = measure::Workbench::build(args.workbench_config());
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::cout << "world: " << world->internet().as_count() << " ASes, "
+            << world->internet().prefixes().size() << " prefixes, "
+            << world->vns().fabric().neighbor_count() << " eBGP sessions (built in "
+            << util::format_double(elapsed, 1) << " s)\n\n";
+  return world;
+}
+
+}  // namespace vns::bench

@@ -1,0 +1,132 @@
+// Performance microbenchmarks (google-benchmark) for the hot paths: the
+// routing-table trie, great-circle math, the BGP decision process,
+// Gao–Rexford route computation, path-model sampling, and full fabric
+// convergence per announced prefix.
+#include <benchmark/benchmark.h>
+
+#include "bgp/decision.hpp"
+#include "bgp/fabric.hpp"
+#include "geo/geo.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/path_model.hpp"
+#include "topo/internet.hpp"
+#include "topo/segments.hpp"
+#include "util/rng.hpp"
+
+using namespace vns;
+
+namespace {
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  net::PrefixTrie<int> trie;
+  util::Rng rng{1};
+  for (int i = 0; i < 100000; ++i) {
+    trie.insert(net::Ipv4Prefix{net::Ipv4Address{static_cast<std::uint32_t>(rng())},
+                                static_cast<std::uint8_t>(rng.uniform_int(8, 24))},
+                i);
+  }
+  std::uint32_t q = 0x01020304;
+  for (auto _ : state) {
+    q = q * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(trie.longest_match(net::Ipv4Address{q}));
+  }
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_GreatCircle(benchmark::State& state) {
+  const geo::GeoPoint a{52.37, 4.90}, b{-33.87, 151.21};
+  for (auto _ : state) benchmark::DoNotOptimize(geo::great_circle_km(a, b));
+}
+BENCHMARK(BM_GreatCircle);
+
+void BM_DecisionSelectBest(benchmark::State& state) {
+  std::vector<bgp::Route> candidates;
+  util::Rng rng{2};
+  for (int i = 0; i < 24; ++i) {
+    bgp::Route route;
+    route.prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000}, 16};
+    route.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 1000));
+    std::vector<net::Asn> path;
+    for (int h = 0; h < static_cast<int>(rng.uniform_int(1, 5)); ++h) {
+      path.push_back(static_cast<net::Asn>(rng.uniform_int(1000, 4000)));
+    }
+    route.attrs.as_path = bgp::AsPath{std::move(path)};
+    route.egress = static_cast<bgp::RouterId>(i);
+    route.advertiser = static_cast<bgp::RouterId>(i);
+    route.learned_via_ebgp = i % 2;
+    candidates.push_back(std::move(route));
+  }
+  const bgp::DecisionContext ctx{0, nullptr};
+  for (auto _ : state) benchmark::DoNotOptimize(bgp::select_best(candidates, ctx));
+}
+BENCHMARK(BM_DecisionSelectBest);
+
+void BM_GaoRexfordRoutesTo(benchmark::State& state) {
+  topo::InternetConfig config;
+  config.ltp_count = 8;
+  config.stp_count = 120;
+  config.cahp_count = 240;
+  config.ec_count = 600;
+  const auto internet = topo::Internet::generate(config);
+  topo::AsIndex dest = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internet.routes_to(dest));
+    dest = (dest + 17) % static_cast<topo::AsIndex>(internet.as_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(internet.as_count()));
+}
+BENCHMARK(BM_GaoRexfordRoutesTo);
+
+void BM_PathModelSampleLosses(benchmark::State& state) {
+  const auto catalog = topo::SegmentCatalog::paper_calibrated();
+  std::vector<sim::SegmentProfile> segments;
+  const geo::GeoPoint ams{52.37, 4.90}, sin{1.35, 103.82};
+  segments.push_back(catalog.transit_hop(ams, sin, topo::RegionClass::kEU,
+                                         topo::RegionClass::kAP));
+  segments.push_back(catalog.last_mile(topo::AsType::kCAHP,
+                                       geo::WorldRegion::kAsiaPacific, sin));
+  const sim::PathModel path{std::move(segments), 86400.0, util::Rng{3}};
+  util::Rng rng{4};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(path.sample_losses(t, 2000, rng));
+  }
+}
+BENCHMARK(BM_PathModelSampleLosses);
+
+void BM_FabricAnnouncementConvergence(benchmark::State& state) {
+  // Cost of announcing + converging one prefix through a 4-router RR fabric.
+  bgp::Fabric fabric{65000};
+  const auto a = fabric.add_router("A");
+  const auto b = fabric.add_router("B");
+  const auto c = fabric.add_router("C");
+  const auto rr = fabric.add_router("RR");
+  for (auto client : {a, b, c}) {
+    fabric.add_rr_client_session(rr, client);
+    fabric.router(client).set_advertise_best_external(true);
+  }
+  fabric.add_igp_link(a, b, 10);
+  fabric.add_igp_link(b, c, 10);
+  fabric.add_igp_link(a, rr, 1);
+  const auto up_a = fabric.add_neighbor(a, 174, bgp::NeighborKind::kUpstream, "upA");
+  const auto up_c = fabric.add_neighbor(c, 3356, bgp::NeighborKind::kUpstream, "upC");
+
+  std::uint32_t block = 1;
+  for (auto _ : state) {
+    const net::Ipv4Prefix prefix{net::Ipv4Address{(block++ % 60000u + 1024u) << 12}, 20};
+    bgp::Attributes attrs;
+    attrs.as_path = bgp::AsPath{{174, 400}};
+    fabric.announce(up_a, prefix, attrs);
+    bgp::Attributes attrs2;
+    attrs2.as_path = bgp::AsPath{{3356, 401}};
+    fabric.announce(up_c, prefix, attrs2);
+    benchmark::DoNotOptimize(fabric.run_to_convergence());
+  }
+}
+BENCHMARK(BM_FabricAnnouncementConvergence);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// A miniature last-mile survey (the §5.2 campaign at demo scale): probe a
+// small host sample from three PoPs for one simulated day and show how loss
+// varies with AS type, region and hour of day.
+//
+//   $ ./build/examples/last_mile_survey
+#include <iostream>
+#include <map>
+
+#include "measure/prober.hpp"
+#include "measure/workbench.hpp"
+#include "sim/path_model.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace vns;
+
+int main() {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(5));
+  auto& w = *world;
+  const double horizon = sim::kSecondsPerDay;
+  util::Rng rng{11};
+  measure::Prober prober{rng.fork("survey")};
+
+  const auto hosts = w.select_last_mile_hosts(/*per_cell=*/8, 77);
+  std::cout << "surveying " << hosts.size() << " hosts from AMS, SJS and SIN for one day\n\n";
+
+  std::map<std::string, std::map<topo::AsType, util::Summary>> by_type;
+  measure::HourlyLossCounter hourly{sim::kTzCet};
+
+  for (const char* vantage : {"AMS", "SJS", "SIN"}) {
+    const auto pop = *w.vns().find_pop(vantage);
+    for (const auto& host : hosts) {
+      const sim::PathModel path{w.probe_segments(pop, host.prefix_id, true), horizon,
+                                util::Rng{host.prefix_id * 7 + pop}};
+      for (double t = 0.0; t < horizon; t += 600.0) {
+        const auto train = prober.train(path, t, 100);
+        by_type[vantage][host.type].add(train.loss_fraction() * 100.0);
+        if (pop == *w.vns().find_pop("SJS") &&
+            host.region == geo::WorldRegion::kAsiaPacific) {
+          hourly.record(t, train.lost > 0);
+        }
+      }
+    }
+  }
+
+  util::TextTable table{{"vantage", "LTP %", "STP %", "CAHP %", "EC %"}};
+  for (const char* vantage : {"AMS", "SJS", "SIN"}) {
+    std::vector<std::string> row{vantage};
+    for (int t = 0; t < topo::kAsTypeCount; ++t) {
+      row.push_back(
+          util::format_double(by_type[vantage][static_cast<topo::AsType>(t)].mean(), 2));
+    }
+    table.add_row(row);
+  }
+  std::cout << "average loss by destination AS type:\n";
+  table.print(std::cout);
+
+  std::cout << "\nSJS -> AP loss frequency by hour (CET) - the diurnal signature:\n";
+  for (int hour = 0; hour < 24; ++hour) {
+    const auto lossy = hourly.lossy_rounds(hour);
+    std::cout << (hour < 10 ? " " : "") << hour << " | ";
+    for (std::uint32_t i = 0; i < lossy; i += 2) std::cout << '#';
+    std::cout << " " << lossy << '\n';
+  }
+  std::cout << "\n(access networks lose packets when their users are awake)\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart: build a world, turn on geo-based cold-potato routing, and
+// watch the egress decision change.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the core API end to end:
+//   1. generate a synthetic Internet,
+//   2. geolocate its prefixes (with realistic database errors),
+//   3. assemble the VNS overlay and feed it full routing tables,
+//   4. compare egress selection before/after the geo route reflector,
+//   5. query the internal data plane.
+#include <iostream>
+
+#include "core/vns_network.hpp"
+#include "geo/cities.hpp"
+#include "topo/internet.hpp"
+
+using namespace vns;
+
+int main() {
+  // 1. A small synthetic Internet: AS-level topology, geography, prefixes.
+  topo::InternetConfig internet_config;
+  internet_config.seed = 42;
+  internet_config.ltp_count = 6;
+  internet_config.stp_count = 60;
+  internet_config.cahp_count = 120;
+  internet_config.ec_count = 240;
+  const auto internet = topo::Internet::generate(internet_config);
+  std::cout << "Internet: " << internet.as_count() << " ASes, "
+            << internet.prefixes().size() << " prefixes\n";
+
+  // 2. The GeoIP database the route reflector will query.
+  const auto geoip = internet.build_geoip(geo::GeoIpErrorModel{}, /*seed=*/7);
+
+  // 3. The VNS overlay: 11 PoPs, clustered L2 topology, BGP + geo-RR.
+  core::VnsNetwork vns{internet, geoip};
+  vns.feed_routes();
+  std::cout << "VNS: " << vns.pops().size() << " PoPs, "
+            << vns.fabric().router_count() << " routers, "
+            << vns.fabric().neighbor_count() << " eBGP sessions\n\n";
+
+  // 4. Pick a destination and compare the egress decision.
+  const auto& prefix_info = internet.prefix(100);
+  const auto address = prefix_info.prefix.first_host();
+  const auto viewpoint = *vns.find_pop("LON");
+  const auto reported = geoip.lookup(prefix_info.prefix);
+
+  std::cout << "destination " << prefix_info.prefix.to_string() << " (origin AS"
+            << internet.as_at(prefix_info.origin).asn << ", hosts near "
+            << internet.as_at(prefix_info.origin).home.name << ")\n";
+  if (reported) {
+    const auto geo_pop = vns.geo_closest_pop(*reported);
+    std::cout << "GeoIP-closest PoP: " << vns.pop(geo_pop).name << "\n";
+  }
+
+  vns.set_geo_routing(false);
+  const auto before = vns.egress_pop(viewpoint, address);
+  const auto* route_before = vns.route_at(viewpoint, address);
+  std::cout << "hot-potato egress from London:  "
+            << (before ? vns.pop(*before).name : "-") << " (local-pref "
+            << (route_before ? route_before->attrs.local_pref : 0) << ", AS path ["
+            << (route_before ? route_before->attrs.as_path.to_string() : "") << "])\n";
+
+  vns.set_geo_routing(true);
+  const auto after = vns.egress_pop(viewpoint, address);
+  const auto* route_after = vns.route_at(viewpoint, address);
+  std::cout << "geo cold-potato egress:         "
+            << (after ? vns.pop(*after).name : "-") << " (local-pref "
+            << (route_after ? route_after->attrs.local_pref : 0) << ", AS path ["
+            << (route_after ? route_after->attrs.as_path.to_string() : "") << "])\n\n";
+
+  // 5. The internal ride the media would take.
+  if (after) {
+    const auto path = vns.internal_path(viewpoint, *after);
+    std::cout << "internal path LON->" << vns.pop(*after).name << ": ";
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      std::cout << (i ? " -> " : "") << vns.pop(path[i]).name;
+    }
+    std::cout << " (" << vns.internal_rtt_ms(viewpoint, *after) << " ms RTT)\n";
+  }
+
+  // Bonus: the management interface can always override.
+  const auto sydney = *vns.find_pop("SYD");
+  vns.force_exit(prefix_info.prefix, sydney);
+  std::cout << "after force_exit(SYD):          "
+            << vns.pop(*vns.egress_pop(viewpoint, address)).name << "\n";
+  vns.clear_overrides();
+  return 0;
+}

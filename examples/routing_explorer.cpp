@@ -1,0 +1,85 @@
+// Routing explorer: dump the VNS overlay and walk a sample of destinations
+// through the control plane — GeoIP record, geo-chosen PoP, hot-potato vs
+// cold-potato egress, AS path, and the effect of the management interface.
+//
+//   $ ./build/examples/routing_explorer [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "measure/workbench.hpp"
+#include "util/table.hpp"
+
+using namespace vns;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 17;
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(seed));
+  auto& w = *world;
+
+  // ---- the overlay ------------------------------------------------------------
+  util::TextTable pops{{"id", "PoP", "city", "region", "routers", "upstreams", "peers"}};
+  for (const auto& pop : w.vns().pops()) {
+    pops.add_row({std::to_string(pop.id + 1), pop.name, std::string{pop.city.name},
+                  std::string{to_string(pop.region)}, std::to_string(pop.routers.size()),
+                  std::to_string(pop.upstream_sessions.size()),
+                  std::to_string(pop.peer_sessions.size())});
+  }
+  std::cout << "VNS points of presence:\n";
+  pops.print(std::cout);
+
+  util::TextTable links{{"link", "km", "RTT ms", "kind"}};
+  for (const auto& link : w.vns().links()) {
+    links.add_row({w.vns().pop(link.a).name + "-" + w.vns().pop(link.b).name,
+                   util::format_double(link.km, 0), util::format_double(link.rtt_ms, 1),
+                   link.long_haul ? "long-haul" : "regional"});
+  }
+  std::cout << "\ndedicated L2 links:\n";
+  links.print(std::cout);
+
+  // ---- destinations through the control plane ---------------------------------
+  const auto viewpoint = *w.vns().find_pop("AMS");
+  util::TextTable routes{{"prefix", "origin", "GeoIP class", "geo PoP", "hot-potato",
+                          "cold-potato", "AS path (after)"}};
+  for (std::size_t id = 5; id < w.internet().prefixes().size() && routes.row_count() < 12;
+       id += w.internet().prefixes().size() / 12) {
+    const auto& info = w.internet().prefix(id);
+    const auto address = info.prefix.first_host();
+    const auto* entry = w.geoip().entry(info.prefix);
+
+    w.vns().set_geo_routing(false);
+    const auto hot = w.vns().egress_pop(viewpoint, address);
+    w.vns().set_geo_routing(true);
+    const auto cold = w.vns().egress_pop(viewpoint, address);
+    const auto* route = w.vns().route_at(viewpoint, address);
+    w.vns().set_geo_routing(false);
+
+    routes.add_row({info.prefix.to_string(),
+                    std::string{w.internet().as_at(info.origin).home.name},
+                    entry ? std::string{to_string(entry->error_class)} : "none",
+                    entry ? w.vns().pop(w.vns().geo_closest_pop(entry->reported)).name : "-",
+                    hot ? w.vns().pop(*hot).name : "-", cold ? w.vns().pop(*cold).name : "-",
+                    route ? route->attrs.as_path.to_string() : "-"});
+  }
+  std::cout << "\negress decisions from Amsterdam (hot-potato vs geo cold-potato):\n";
+  routes.print(std::cout);
+
+  // ---- management interface -----------------------------------------------------
+  w.vns().set_geo_routing(true);
+  const auto& victim = w.internet().prefix(25);
+  std::cout << "\nmanagement interface on " << victim.prefix.to_string() << ":\n";
+  std::cout << "  geo egress: "
+            << w.vns().pop(*w.vns().egress_pop(viewpoint, victim.prefix.first_host())).name
+            << '\n';
+  w.vns().force_exit(victim.prefix, *w.vns().find_pop("OSL"));
+  std::cout << "  force_exit(OSL): "
+            << w.vns().pop(*w.vns().egress_pop(viewpoint, victim.prefix.first_host())).name
+            << '\n';
+  w.vns().clear_overrides();
+  w.vns().exempt_prefix(victim.prefix);
+  std::cout << "  exempted (default policy): "
+            << w.vns().pop(*w.vns().egress_pop(viewpoint, victim.prefix.first_host())).name
+            << '\n';
+  w.vns().clear_overrides();
+  w.vns().set_geo_routing(false);
+  return 0;
+}

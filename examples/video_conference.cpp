@@ -1,0 +1,91 @@
+// A two-minute HD video conference, Amsterdam <-> Sydney, streamed both
+// through the VNS overlay and through Internet transit — the §5.1 experiment
+// as a single runnable scenario.
+//
+//   $ ./build/examples/video_conference
+//
+// Shows the media API: video profiles, slot-level sessions, per-packet
+// Gilbert–Elliott sessions, and RFC 3550 jitter.
+#include <iostream>
+
+#include "measure/workbench.hpp"
+#include "media/session.hpp"
+#include "sim/path_model.hpp"
+#include "sim/time.hpp"
+#include "util/table.hpp"
+
+using namespace vns;
+
+namespace {
+
+void report(const char* label, const media::SessionStats& stats) {
+  std::cout << "  " << label << ": sent " << stats.packets_sent << ", lost "
+            << stats.packets_lost << " (" << util::format_double(stats.loss_percent(), 4)
+            << "%), lossy slots " << stats.lossy_slots() << "/24, jitter "
+            << util::format_double(stats.jitter_ms, 2) << " ms\n";
+}
+
+}  // namespace
+
+int main() {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(2024));
+  auto& w = *world;
+  w.vns().set_geo_routing(true);
+
+  const auto ams = *w.vns().find_pop("AMS");
+  const auto syd = *w.vns().find_pop("SYD");
+  const double horizon = 1.0 * sim::kSecondsPerDay;
+
+  // Path A: inside VNS, over the dedicated L2 links.
+  auto vns_segments = w.vns().internal_segments(ams, syd, w.catalog());
+  std::cout << "VNS path AMS->SYD (" << vns_segments.size() << " links):";
+  double vns_rtt = 0;
+  for (const auto& seg : vns_segments) {
+    std::cout << " " << seg.label;
+    vns_rtt += seg.rtt_ms;
+  }
+  std::cout << "  [" << util::format_double(vns_rtt, 1) << " ms base RTT]\n";
+
+  // Path B: the public Internet, via Amsterdam's primary upstream.
+  std::vector<topo::AsIndex> upstream;
+  for (const auto& attachment : w.vns().attachments()) {
+    if (attachment.pop == ams && attachment.upstream) {
+      upstream.push_back(attachment.as);
+      break;
+    }
+  }
+  auto transit_segments = topo::transit_path_segments(
+      w.internet(), w.vns().pop(ams).city.location, w.vns().pop(ams).city.region, upstream,
+      w.vns().pop(syd).city.location, topo::AsType::kLTP, w.vns().pop(syd).city.region,
+      w.catalog(), w.delay(), /*include_last_mile=*/false);
+  double transit_rtt = 0;
+  for (const auto& seg : transit_segments) transit_rtt += seg.rtt_ms;
+  std::cout << "transit path AMS->SYD via AS"
+            << w.internet().as_at(upstream.front()).asn << "  ["
+            << util::format_double(transit_rtt, 1) << " ms base RTT]\n\n";
+
+  const sim::PathModel vns_path{std::move(vns_segments), horizon, util::Rng{1}};
+  const sim::PathModel transit_path{std::move(transit_segments), horizon, util::Rng{2}};
+
+  const auto profile = media::VideoProfile::hd1080();
+  media::SessionConfig config;
+  util::Rng rng{99};
+
+  // Stream during Asia-Pacific peak hours, when transit hurts the most.
+  const double start = 6.0 * 3600.0;  // 06:00 UTC = mid-day in AP
+  std::cout << "1080p session at AP peak hours (slot-level model):\n";
+  report("through VNS    ", media::run_session(vns_path, profile, start, config, rng));
+  report("through transit", media::run_session(transit_path, profile, start, config, rng));
+
+  std::cout << "\nsame paths, per-packet Gilbert-Elliott execution (bursty loss):\n";
+  report("through VNS    ",
+         media::run_packet_session(vns_path, profile, start, config, 8.0, rng));
+  report("through transit",
+         media::run_packet_session(transit_path, profile, start, config, 8.0, rng));
+
+  std::cout << "\nsame paths at 03:00 local AP (off-peak):\n";
+  const double off_peak = 19.0 * 3600.0;
+  report("through VNS    ", media::run_session(vns_path, profile, off_peak, config, rng));
+  report("through transit", media::run_session(transit_path, profile, off_peak, config, rng));
+  return 0;
+}

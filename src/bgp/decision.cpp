@@ -1,0 +1,80 @@
+#include "bgp/decision.hpp"
+
+namespace vns::bgp {
+
+const char* to_string(DecisionRung rung) noexcept {
+  switch (rung) {
+    case DecisionRung::kLocalPref: return "local-pref";
+    case DecisionRung::kAsPathLength: return "as-path-length";
+    case DecisionRung::kOrigin: return "origin";
+    case DecisionRung::kMed: return "med";
+    case DecisionRung::kEbgpOverIbgp: return "ebgp-over-ibgp";
+    case DecisionRung::kIgpMetric: return "igp-metric";
+    case DecisionRung::kRouterId: return "router-id";
+    case DecisionRung::kEqual: return "equal";
+  }
+  return "unknown";
+}
+
+bool prefer(const Route& a, const Route& b, const DecisionContext& ctx,
+            DecisionRung* rung_out) {
+  auto decided = [&](DecisionRung rung, bool result) {
+    if (rung_out != nullptr) *rung_out = rung;
+    return result;
+  };
+
+  // 0. Locally originated routes win outright (vendor "weight" behaviour).
+  if (a.locally_originated != b.locally_originated) {
+    return decided(DecisionRung::kLocalPref, a.locally_originated);
+  }
+  // 1. Highest LOCAL_PREF.
+  if (a.attrs.local_pref != b.attrs.local_pref) {
+    return decided(DecisionRung::kLocalPref, a.attrs.local_pref > b.attrs.local_pref);
+  }
+  // 2. Shortest AS_PATH.
+  if (a.attrs.as_path.length() != b.attrs.as_path.length()) {
+    return decided(DecisionRung::kAsPathLength,
+                   a.attrs.as_path.length() < b.attrs.as_path.length());
+  }
+  // 3. Lowest ORIGIN.
+  if (a.attrs.origin != b.attrs.origin) {
+    return decided(DecisionRung::kOrigin, a.attrs.origin < b.attrs.origin);
+  }
+  // 4. Lowest MED, comparable only between routes from the same neighbor AS.
+  if (a.attrs.as_path.first_hop() == b.attrs.as_path.first_hop() &&
+      a.attrs.med != b.attrs.med) {
+    return decided(DecisionRung::kMed, a.attrs.med < b.attrs.med);
+  }
+  // 5. Prefer eBGP-learned over iBGP-learned.
+  if (a.learned_via_ebgp != b.learned_via_ebgp) {
+    return decided(DecisionRung::kEbgpOverIbgp, a.learned_via_ebgp);
+  }
+  // 6. Lowest IGP metric to the NEXT_HOP (hot potato).
+  if (ctx.igp != nullptr && ctx.self != kInvalidRouter && a.egress != kInvalidRouter &&
+      b.egress != kInvalidRouter) {
+    const IgpMetric metric_a = ctx.igp->metric(ctx.self, a.egress);
+    const IgpMetric metric_b = ctx.igp->metric(ctx.self, b.egress);
+    if (metric_a != metric_b) {
+      return decided(DecisionRung::kIgpMetric, metric_a < metric_b);
+    }
+  }
+  // 7. Lowest advertising-router id, then lowest neighbor id: deterministic.
+  if (a.advertiser != b.advertiser) {
+    return decided(DecisionRung::kRouterId, a.advertiser < b.advertiser);
+  }
+  if (a.neighbor != b.neighbor) {
+    return decided(DecisionRung::kRouterId, a.neighbor < b.neighbor);
+  }
+  return decided(DecisionRung::kEqual, false);
+}
+
+std::size_t select_best(std::span<const Route> candidates, const DecisionContext& ctx) {
+  if (candidates.empty()) return static_cast<std::size_t>(-1);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (prefer(candidates[i], candidates[best], ctx)) best = i;
+  }
+  return best;
+}
+
+}  // namespace vns::bgp

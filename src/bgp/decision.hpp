@@ -1,0 +1,55 @@
+// The BGP best-path decision process (RFC 4271 §9.1.2.2 plus universal
+// vendor practice), exactly the tie-break ladder §3.2 of the paper walks
+// through:
+//
+//   1. highest LOCAL_PREF                  (administrative preference)
+//   2. shortest AS_PATH                    (rough QoS proxy)
+//   3. lowest ORIGIN                       (IGP < EGP < INCOMPLETE)
+//   4. lowest MED, same neighbor AS only
+//   5. eBGP-learned over iBGP-learned      (leave the AS quickly...)
+//   6. lowest IGP metric to the NEXT_HOP   (...i.e. hot-potato routing)
+//   7. lowest advertising-router id        (deterministic final tie-break)
+//
+// The geo-RR's entire effect (step 1 dominating steps 5–6) is visible here:
+// raising LOCAL_PREF above the default freezes the ladder at step 1 and
+// converts hot-potato into cold-potato egress selection.
+#pragma once
+
+#include <span>
+
+#include "bgp/igp.hpp"
+#include "bgp/types.hpp"
+
+namespace vns::bgp {
+
+/// Which rung of the ladder decided a comparison — exposed for diagnostics
+/// and for the ablation benches.
+enum class DecisionRung : std::uint8_t {
+  kLocalPref,
+  kAsPathLength,
+  kOrigin,
+  kMed,
+  kEbgpOverIbgp,
+  kIgpMetric,
+  kRouterId,
+  kEqual,
+};
+
+[[nodiscard]] const char* to_string(DecisionRung rung) noexcept;
+
+/// Context the deciding router evaluates candidates in.
+struct DecisionContext {
+  RouterId self = kInvalidRouter;     ///< deciding router
+  const IgpTopology* igp = nullptr;   ///< for the hot-potato rung (may be null)
+};
+
+/// Returns true when `a` is preferred over `b` at the deciding router.
+/// `rung_out`, when non-null, receives the rung that decided.
+[[nodiscard]] bool prefer(const Route& a, const Route& b, const DecisionContext& ctx,
+                          DecisionRung* rung_out = nullptr);
+
+/// Index of the best route among candidates (empty span -> SIZE_MAX).
+[[nodiscard]] std::size_t select_best(std::span<const Route> candidates,
+                                      const DecisionContext& ctx);
+
+}  // namespace vns::bgp

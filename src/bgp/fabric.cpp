@@ -1,0 +1,96 @@
+#include "bgp/fabric.hpp"
+
+#include <stdexcept>
+
+namespace vns::bgp {
+
+RouterId Fabric::add_router(std::string name) {
+  const auto id = static_cast<RouterId>(routers_.size());
+  routers_.push_back(std::make_unique<Router>(id, std::move(name), local_asn_));
+  igp_.ensure_size(routers_.size());
+  routers_.back()->set_igp(&igp_);
+  return id;
+}
+
+void Fabric::add_ibgp_session(RouterId a, RouterId b) {
+  router(a).add_ibgp_session(b, /*peer_is_client=*/false);
+  router(b).add_ibgp_session(a, /*peer_is_client=*/false);
+}
+
+void Fabric::add_rr_client_session(RouterId rr, RouterId client) {
+  router(rr).set_route_reflector(true);
+  router(rr).add_ibgp_session(client, /*peer_is_client=*/true);
+  router(client).add_ibgp_session(rr, /*peer_is_client=*/false);
+}
+
+NeighborId Fabric::add_neighbor(RouterId attached_to, net::Asn asn, NeighborKind kind,
+                                std::string name) {
+  NeighborInfo info;
+  info.id = static_cast<NeighborId>(neighbors_.size());
+  info.asn = asn;
+  info.kind = kind;
+  info.attached_to = attached_to;
+  info.name = std::move(name);
+  neighbors_.push_back(info);
+  neighbor_exports_.emplace_back();
+  router(attached_to).add_ebgp_session(info);
+  return info.id;
+}
+
+void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes attrs) {
+  const NeighborInfo& info = neighbor(from);
+  Route route;
+  route.prefix = prefix;
+  route.attrs = std::move(attrs);
+  enqueue(router(info.attached_to).handle_ebgp_update(info, /*withdraw=*/false, std::move(route)));
+}
+
+void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
+  const NeighborInfo& info = neighbor(from);
+  Route route;
+  route.prefix = prefix;
+  enqueue(router(info.attached_to).handle_ebgp_update(info, /*withdraw=*/true, std::move(route)));
+}
+
+void Fabric::originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes attrs) {
+  enqueue(router(at).originate(prefix, std::move(attrs)));
+}
+
+void Fabric::refresh_policies() {
+  for (auto& r : routers_) enqueue(r->refresh_all());
+}
+
+void Fabric::enqueue(std::vector<Emission> emissions) {
+  for (auto& emission : emissions) queue_.push_back(std::move(emission));
+}
+
+std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    if (++processed > max_messages) {
+      throw std::runtime_error("BGP fabric failed to converge within message budget");
+    }
+    const Emission emission = std::move(queue_.front());
+    queue_.pop_front();
+    ++delivered_;
+    if (emission.to_neighbor != kNoNeighbor) {
+      // External neighbors are passive sinks: record the export.
+      auto& sink = neighbor_exports_.at(emission.to_neighbor);
+      if (emission.withdraw) {
+        sink.erase(emission.route.prefix);
+      } else {
+        sink[emission.route.prefix] = emission.route;
+      }
+    } else {
+      enqueue(router(emission.to_router)
+                  .handle_ibgp_update(emission.from, emission.withdraw, emission.route));
+    }
+  }
+  return processed;
+}
+
+const std::unordered_map<net::Ipv4Prefix, Route>& Fabric::exported_to(NeighborId id) const {
+  return neighbor_exports_.at(id);
+}
+
+}  // namespace vns::bgp

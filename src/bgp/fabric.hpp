@@ -1,0 +1,90 @@
+// The single-AS BGP fabric: owns the routers, the IGP topology, the external
+// neighbor registry, and a deterministic FIFO message bus between them.
+//
+// The VNS overlay is "organized as a single Autonomous System" (§3.1); this
+// class is that AS's control plane.  External neighbors (upstream transit
+// providers and settlement-free peers attached at each PoP) are modelled as
+// announcement sources and export sinks: the topo module decides what they
+// announce, and the fabric records what VNS would announce back to them.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/igp.hpp"
+#include "bgp/router.hpp"
+#include "bgp/types.hpp"
+
+namespace vns::bgp {
+
+class Fabric {
+ public:
+  explicit Fabric(net::Asn local_asn) : local_asn_(local_asn) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] net::Asn local_asn() const noexcept { return local_asn_; }
+
+  // --- topology construction ----------------------------------------------
+  RouterId add_router(std::string name);
+  [[nodiscard]] Router& router(RouterId id) { return *routers_.at(id); }
+  [[nodiscard]] const Router& router(RouterId id) const { return *routers_.at(id); }
+  [[nodiscard]] std::size_t router_count() const noexcept { return routers_.size(); }
+
+  [[nodiscard]] IgpTopology& igp() noexcept { return igp_; }
+  [[nodiscard]] const IgpTopology& igp() const noexcept { return igp_; }
+  /// Adds an IGP link; metric typically derives from link delay.
+  void add_igp_link(RouterId a, RouterId b, IgpMetric metric) { igp_.add_link(a, b, metric); }
+
+  /// Full iBGP peering between two ordinary routers.
+  void add_ibgp_session(RouterId a, RouterId b);
+  /// RR-client session: `rr` reflects routes learned from `client`.
+  void add_rr_client_session(RouterId rr, RouterId client);
+
+  NeighborId add_neighbor(RouterId attached_to, net::Asn asn, NeighborKind kind,
+                          std::string name);
+  [[nodiscard]] const NeighborInfo& neighbor(NeighborId id) const { return neighbors_.at(id); }
+  [[nodiscard]] std::size_t neighbor_count() const noexcept { return neighbors_.size(); }
+
+  // --- driving the control plane -------------------------------------------
+  /// External neighbor announces a prefix to the router it attaches to.
+  void announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes attrs);
+  void withdraw(NeighborId from, const net::Ipv4Prefix& prefix);
+  /// A router originates a prefix locally (VNS anycast/service prefixes).
+  void originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes attrs);
+
+  /// Re-applies import policies everywhere (route-refresh), e.g. after
+  /// installing the geo policy on the RR; caller then runs convergence.
+  void refresh_policies();
+
+  /// Processes queued updates until quiescent.  Returns the number of
+  /// messages delivered; throws std::runtime_error if `max_messages` is
+  /// exceeded (a non-converging configuration).
+  std::size_t run_to_convergence(std::size_t max_messages = 20'000'000);
+
+  [[nodiscard]] bool converged() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
+
+  // --- inspection -----------------------------------------------------------
+  /// Everything VNS currently exports to an external neighbor.
+  [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& exported_to(
+      NeighborId id) const;
+
+ private:
+  void enqueue(std::vector<Emission> emissions);
+
+  net::Asn local_asn_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<NeighborInfo> neighbors_;
+  IgpTopology igp_;
+  std::deque<Emission> queue_;
+  std::size_t delivered_ = 0;
+  /// Export sink per neighbor (what the neighbor has been sent).
+  std::vector<std::unordered_map<net::Ipv4Prefix, Route>> neighbor_exports_;
+};
+
+}  // namespace vns::bgp

@@ -1,0 +1,98 @@
+#include "bgp/igp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace vns::bgp {
+
+void IgpTopology::resize(std::size_t router_count) {
+  adjacency_.assign(router_count, {});
+  distance_.assign(router_count, {});
+  predecessor_.assign(router_count, {});
+  computed_.assign(router_count, false);
+}
+
+void IgpTopology::ensure_size(std::size_t router_count) {
+  if (router_count <= adjacency_.size()) return;
+  adjacency_.resize(router_count);
+  distance_.resize(router_count);
+  predecessor_.resize(router_count);
+  computed_.assign(router_count, false);
+}
+
+void IgpTopology::add_link(RouterId a, RouterId b, IgpMetric metric) {
+  assert(a < adjacency_.size() && b < adjacency_.size() && a != b);
+  // Keep at most one edge per pair, retaining the lower metric.
+  auto upsert = [&](RouterId from, RouterId to) {
+    for (auto& edge : adjacency_[from]) {
+      if (edge.to == to) {
+        edge.metric = std::min(edge.metric, metric);
+        return;
+      }
+    }
+    adjacency_[from].push_back({to, metric});
+  };
+  upsert(a, b);
+  upsert(b, a);
+  std::fill(computed_.begin(), computed_.end(), false);  // invalidate caches
+}
+
+bool IgpTopology::has_link(RouterId a, RouterId b) const noexcept {
+  if (a >= adjacency_.size()) return false;
+  return std::any_of(adjacency_[a].begin(), adjacency_[a].end(),
+                     [&](const Edge& e) { return e.to == b; });
+}
+
+void IgpTopology::run_dijkstra(RouterId source) const {
+  const std::size_t n = adjacency_.size();
+  auto& dist = distance_[source];
+  auto& pred = predecessor_[source];
+  dist.assign(n, kUnreachable);
+  pred.assign(n, kInvalidRouter);
+  dist[source] = 0;
+
+  using Item = std::pair<IgpMetric, RouterId>;  // (distance, router)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  frontier.push({0, source});
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;
+    for (const auto& edge : adjacency_[u]) {
+      const IgpMetric candidate = d + edge.metric;
+      // Strict improvement, or equal-cost tie broken toward the lower
+      // predecessor id, keeps paths deterministic.
+      if (candidate < dist[edge.to] ||
+          (candidate == dist[edge.to] && u < pred[edge.to])) {
+        dist[edge.to] = candidate;
+        pred[edge.to] = u;
+        frontier.push({candidate, edge.to});
+      }
+    }
+  }
+  computed_[source] = true;
+}
+
+IgpMetric IgpTopology::metric(RouterId from, RouterId to) const {
+  assert(from < adjacency_.size() && to < adjacency_.size());
+  if (from == to) return 0;
+  if (!computed_[from]) run_dijkstra(from);
+  return distance_[from][to];
+}
+
+std::vector<RouterId> IgpTopology::shortest_path(RouterId from, RouterId to) const {
+  assert(from < adjacency_.size() && to < adjacency_.size());
+  if (!computed_[from]) run_dijkstra(from);
+  std::vector<RouterId> path;
+  if (from != to && predecessor_[from][to] == kInvalidRouter) return path;  // unreachable
+  for (RouterId hop = to; hop != kInvalidRouter && hop != from;
+       hop = predecessor_[from][hop]) {
+    path.push_back(hop);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace vns::bgp

@@ -1,0 +1,60 @@
+// Intra-AS IGP: a weighted undirected graph over the AS's routers with
+// all-pairs shortest-path metrics (Dijkstra per source, computed lazily and
+// cached).  The BGP decision process consumes these metrics in its
+// hot-potato tie-break (RFC 4271 §9.1.2.2.e: "lowest interior cost to the
+// NEXT_HOP"), and the data-plane model consumes the corresponding paths to
+// compute intra-overlay propagation delay.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace vns::bgp {
+
+/// Metric value; kUnreachable for disconnected pairs.
+using IgpMetric = std::uint32_t;
+inline constexpr IgpMetric kUnreachable = std::numeric_limits<IgpMetric>::max();
+
+class IgpTopology {
+ public:
+  /// Creates a topology over `router_count` routers and no links.
+  explicit IgpTopology(std::size_t router_count = 0) { resize(router_count); }
+
+  void resize(std::size_t router_count);
+  /// Grows to at least `router_count` routers, preserving existing links.
+  void ensure_size(std::size_t router_count);
+  [[nodiscard]] std::size_t router_count() const noexcept { return adjacency_.size(); }
+
+  /// Adds (or tightens) an undirected link with the given metric.
+  void add_link(RouterId a, RouterId b, IgpMetric metric);
+
+  /// Shortest-path metric; 0 for a==b, kUnreachable when disconnected.
+  [[nodiscard]] IgpMetric metric(RouterId from, RouterId to) const;
+
+  /// Routers on the shortest path from `from` to `to`, inclusive of both
+  /// endpoints; empty when unreachable.  Ties break toward lower router ids,
+  /// deterministically.
+  [[nodiscard]] std::vector<RouterId> shortest_path(RouterId from, RouterId to) const;
+
+  [[nodiscard]] bool has_link(RouterId a, RouterId b) const noexcept;
+
+ private:
+  struct Edge {
+    RouterId to;
+    IgpMetric metric;
+  };
+
+  void run_dijkstra(RouterId source) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  // Lazily filled per-source distance and predecessor tables.
+  mutable std::vector<std::vector<IgpMetric>> distance_;
+  mutable std::vector<std::vector<RouterId>> predecessor_;
+  mutable std::vector<bool> computed_;
+};
+
+}  // namespace vns::bgp

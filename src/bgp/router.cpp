@@ -1,0 +1,323 @@
+#include "bgp/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vns::bgp {
+
+bool same_advertisement(const Route& a, const Route& b) noexcept {
+  return a.prefix == b.prefix && a.attrs == b.attrs && a.egress == b.egress &&
+         a.neighbor == b.neighbor && a.learned_via_ebgp == b.learned_via_ebgp &&
+         a.originator_id == b.originator_id && a.cluster_list == b.cluster_list;
+}
+
+Router::Router(RouterId id, std::string name, net::Asn local_asn)
+    : id_(id), name_(std::move(name)), local_asn_(local_asn) {}
+
+void Router::add_ibgp_session(RouterId peer, bool peer_is_client) {
+  assert(peer != id_);
+  ibgp_sessions_.push_back({peer, peer_is_client});
+}
+
+void Router::add_ebgp_session(const NeighborInfo& neighbor) {
+  assert(neighbor.attached_to == id_);
+  ebgp_sessions_.push_back(neighbor);
+}
+
+ImportContext Router::make_context(const SessionKey& key) const {
+  ImportContext ctx;
+  ctx.receiver = id_;
+  ctx.session = key.kind;
+  if (key.kind == SessionKind::kEbgp) {
+    ctx.neighbor = key.id;
+    for (const auto& session : ebgp_sessions_) {
+      if (session.id == key.id) {
+        ctx.neighbor_kind = session.kind;
+        break;
+      }
+    }
+  } else if (key.kind == SessionKind::kIbgp) {
+    ctx.sender = key.id;
+    for (const auto& session : ibgp_sessions_) {
+      if (session.peer == key.id) {
+        ctx.sender_is_client = session.peer_is_client;
+        break;
+      }
+    }
+  }
+  return ctx;
+}
+
+std::optional<Route> Router::import(const SessionKey& key, const Route& raw) const {
+  Route route = raw;
+  if (import_policy_) {
+    const ImportContext ctx = make_context(key);
+    if (!import_policy_(ctx, route)) return std::nullopt;
+  }
+  return route;
+}
+
+std::vector<Route> Router::candidates(const net::Ipv4Prefix& prefix) const {
+  std::vector<Route> result;
+  for (const auto& [packed, table] : adj_rib_in_) {
+    const auto it = table.find(prefix);
+    if (it == table.end()) continue;
+    const SessionKey key{static_cast<SessionKind>(packed >> 32),
+                         static_cast<std::uint32_t>(packed & 0xffffffffu)};
+    if (auto route = import(key, it->second)) result.push_back(std::move(*route));
+  }
+  if (const auto it = originated_.find(prefix); it != originated_.end()) {
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+std::optional<Route> Router::best_external_candidate(
+    const net::Ipv4Prefix& prefix, std::optional<NeighborKind> only_kind) const {
+  std::optional<Route> best;
+  const DecisionContext ctx{id_, igp_};
+  for (const auto& [packed, table] : adj_rib_in_) {
+    const SessionKey key{static_cast<SessionKind>(packed >> 32),
+                         static_cast<std::uint32_t>(packed & 0xffffffffu)};
+    if (key.kind != SessionKind::kEbgp) continue;
+    const auto it = table.find(prefix);
+    if (it == table.end()) continue;
+    auto route = import(key, it->second);
+    if (!route) continue;
+    if (only_kind && route->learned_from_kind != *only_kind) continue;
+    if (!best || prefer(*route, *best, ctx)) best = std::move(route);
+  }
+  return best;
+}
+
+std::vector<Emission> Router::handle_ebgp_update(const NeighborInfo& neighbor, bool withdraw,
+                                                 Route route) {
+  const SessionKey key{SessionKind::kEbgp, neighbor.id};
+  std::vector<Emission> out;
+  const net::Ipv4Prefix prefix = route.prefix;
+  auto& table = adj_rib_in_[key.packed()];
+  if (withdraw) {
+    if (table.erase(prefix) == 0) return out;  // nothing known; no-op
+  } else {
+    // eBGP sender loop prevention: a path already containing our AS is ours.
+    if (route.attrs.as_path.contains(local_asn_)) return out;
+    route.egress = id_;
+    route.advertiser = id_;
+    route.neighbor = neighbor.id;
+    route.learned_via_ebgp = true;
+    route.locally_originated = false;
+    route.learned_from_kind = neighbor.kind;
+    route.attrs.local_pref = kDefaultLocalPref;  // LOCAL_PREF is not carried on eBGP
+    route.originator_id = kInvalidRouter;
+    route.cluster_list.clear();
+    table[prefix] = std::move(route);
+  }
+  decide_and_advertise(prefix, out);
+  return out;
+}
+
+std::vector<Emission> Router::handle_ibgp_update(RouterId sender, bool withdraw, Route route) {
+  const SessionKey key{SessionKind::kIbgp, sender};
+  std::vector<Emission> out;
+  const net::Ipv4Prefix prefix = route.prefix;
+  auto& table = adj_rib_in_[key.packed()];
+  if (withdraw) {
+    if (table.erase(prefix) == 0) return out;
+  } else {
+    // RFC 4456 loop prevention.
+    if (route.originator_id == id_) return out;
+    if (is_route_reflector_ &&
+        std::find(route.cluster_list.begin(), route.cluster_list.end(), id_) !=
+            route.cluster_list.end()) {
+      return out;
+    }
+    route.learned_via_ebgp = false;
+    route.locally_originated = false;
+    route.advertiser = sender;
+    table[prefix] = std::move(route);
+  }
+  decide_and_advertise(prefix, out);
+  return out;
+}
+
+std::vector<Emission> Router::originate(const net::Ipv4Prefix& prefix, Attributes attrs) {
+  Route route;
+  route.prefix = prefix;
+  route.attrs = std::move(attrs);
+  route.egress = id_;
+  route.neighbor = kNoNeighbor;
+  route.learned_via_ebgp = false;
+  route.locally_originated = true;
+  // Own routes export like customer routes (to everyone); the kind travels
+  // with the route over iBGP where the locally_originated flag does not.
+  route.learned_from_kind = NeighborKind::kCustomer;
+  route.advertiser = id_;
+  originated_[prefix] = std::move(route);
+  std::vector<Emission> out;
+  decide_and_advertise(prefix, out);
+  return out;
+}
+
+std::vector<Emission> Router::refresh_all() {
+  // Deterministic order: collect and sort every prefix this router knows.
+  std::vector<net::Ipv4Prefix> prefixes;
+  for (const auto& [packed, table] : adj_rib_in_) {
+    (void)packed;
+    for (const auto& [prefix, route] : table) {
+      (void)route;
+      prefixes.push_back(prefix);
+    }
+  }
+  for (const auto& [prefix, route] : originated_) {
+    (void)route;
+    prefixes.push_back(prefix);
+  }
+  for (const auto& [prefix, route] : loc_rib_) {
+    (void)route;
+    prefixes.push_back(prefix);
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+
+  std::vector<Emission> out;
+  for (const auto& prefix : prefixes) decide_and_advertise(prefix, out);
+  return out;
+}
+
+void Router::decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out) {
+  const auto routes = candidates(prefix);
+  const DecisionContext ctx{id_, igp_};
+  const std::size_t best = select_best(routes, ctx);
+  if (best == static_cast<std::size_t>(-1)) {
+    loc_rib_.erase(prefix);
+  } else {
+    loc_rib_[prefix] = routes[best];
+  }
+  sync_adj_rib_out(prefix, out);
+}
+
+std::optional<Route> Router::route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
+                                                 const IbgpSession& session) const {
+  const auto best_it = loc_rib_.find(prefix);
+  const Route* best = best_it == loc_rib_.end() ? nullptr : &best_it->second;
+
+  if (best != nullptr && best->attrs.has_community(kNoAdvertise)) best = nullptr;
+
+  if (best != nullptr) {
+    if (best->locally_originated || best->learned_via_ebgp) {
+      // Own/eBGP routes go to every iBGP session.
+      return *best;
+    }
+    if (is_route_reflector_) {
+      // Reflection: client routes to everyone, non-client routes to clients
+      // only; never back to the router we learned it from.
+      bool learned_from_client = false;
+      for (const auto& s : ibgp_sessions_) {
+        if (s.peer == best->advertiser) {
+          learned_from_client = s.peer_is_client;
+          break;
+        }
+      }
+      const bool eligible = learned_from_client || session.peer_is_client;
+      if (eligible && session.peer != best->advertiser) {
+        Route reflected = *best;
+        if (reflected.originator_id == kInvalidRouter) {
+          reflected.originator_id = reflected.advertiser;
+        }
+        reflected.cluster_list.push_back(id_);
+        return reflected;
+      }
+    }
+  }
+
+  // Best is absent-or-iBGP at this border router: the "best external"
+  // feature keeps the best eBGP-learned route visible to the RR / peers,
+  // which is the paper's fix for hidden routes (§3.2).
+  if (best_external_) {
+    auto external = best_external_candidate(prefix);
+    if (external &&
+        !(best != nullptr && same_advertisement(*external, *best)) &&
+        !external->attrs.has_community(kNoAdvertise)) {
+      return external;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Route> Router::route_for_neighbor(const net::Ipv4Prefix& prefix,
+                                                const NeighborInfo& neighbor) const {
+  const auto best_it = loc_rib_.find(prefix);
+  if (best_it == loc_rib_.end()) return std::nullopt;
+  const Route& best = best_it->second;
+  if (best.attrs.has_community(kNoExport) || best.attrs.has_community(kNoAdvertise)) {
+    return std::nullopt;
+  }
+  // Do not hand a route back to the very neighbor it came from.
+  if (best.learned_via_ebgp && best.neighbor == neighbor.id) return std::nullopt;
+  if (export_policy_) {
+    if (!export_policy_(best, neighbor.id, neighbor.kind)) return std::nullopt;
+  } else {
+    // Default Gao–Rexford: originated and customer-learned routes export to
+    // everyone; peer/upstream-learned routes export to customers only.
+    const bool from_customer =
+        best.locally_originated || best.learned_from_kind == NeighborKind::kCustomer;
+    if (!from_customer && neighbor.kind != NeighborKind::kCustomer) return std::nullopt;
+  }
+  Route exported = best;
+  exported.attrs.as_path = best.attrs.as_path.prepended(local_asn_);
+  exported.attrs.local_pref = kDefaultLocalPref;  // not carried on eBGP
+  exported.egress = id_;
+  return exported;
+}
+
+void Router::sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out) {
+  auto sync_one = [&](const SessionKey& key, std::optional<Route> desired, RouterId to_router,
+                      NeighborId to_neighbor) {
+    auto& sent = adj_rib_out_[key.packed()];
+    const auto it = sent.find(prefix);
+    if (desired) {
+      if (it != sent.end() && same_advertisement(it->second, *desired)) return;
+      sent[prefix] = *desired;
+      out.push_back({id_, to_router, to_neighbor, false, std::move(*desired)});
+    } else if (it != sent.end()) {
+      sent.erase(it);
+      Route withdraw_route;
+      withdraw_route.prefix = prefix;
+      out.push_back({id_, to_router, to_neighbor, true, std::move(withdraw_route)});
+    }
+  };
+
+  for (const auto& session : ibgp_sessions_) {
+    sync_one(SessionKey{SessionKind::kIbgp, session.peer},
+             route_for_ibgp_peer(prefix, session), session.peer, kNoNeighbor);
+  }
+  for (const auto& session : ebgp_sessions_) {
+    sync_one(SessionKey{SessionKind::kEbgp, session.id},
+             route_for_neighbor(prefix, session), kInvalidRouter, session.id);
+  }
+}
+
+const Route* Router::best_route(const net::Ipv4Prefix& prefix) const noexcept {
+  const auto it = loc_rib_.find(prefix);
+  return it == loc_rib_.end() ? nullptr : &it->second;
+}
+
+const Route* Router::advertised_to_neighbor(NeighborId neighbor,
+                                            const net::Ipv4Prefix& prefix) const noexcept {
+  const SessionKey key{SessionKind::kEbgp, neighbor};
+  const auto table = adj_rib_out_.find(key.packed());
+  if (table == adj_rib_out_.end()) return nullptr;
+  const auto it = table->second.find(prefix);
+  return it == table->second.end() ? nullptr : &it->second;
+}
+
+std::size_t Router::rib_in_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, table] : adj_rib_in_) {
+    (void)key;
+    total += table.size();
+  }
+  return total;
+}
+
+}  // namespace vns::bgp

@@ -1,0 +1,191 @@
+// A BGP-speaking router inside the modelled AS.
+//
+// Implements the pieces of a production BGP daemon that the paper's design
+// depends on (§3.2):
+//   - Adj-RIB-In per session, Loc-RIB, Adj-RIB-Out with implicit-withdraw
+//     delta suppression;
+//   - the RFC-4271 decision process (see decision.hpp), with the hot-potato
+//     IGP tie-break fed by the AS's IGP topology;
+//   - standard iBGP propagation rules (eBGP-learned routes only) and route
+//     reflection with client/non-client semantics and sender split-horizon;
+//   - the `best external` feature [13]: a border router keeps advertising
+//     its best eBGP-learned route over iBGP even when its overall best is an
+//     iBGP route — the fix the paper deploys against hidden routes;
+//   - pluggable import policy, which is where the geo-RR modification lives
+//     (vns::core::GeoRouteReflector installs it), and a Gao-Rexford-shaped
+//     default export policy toward external neighbors;
+//   - NO_EXPORT / NO_ADVERTISE community handling.
+//
+// Routers do not talk to each other directly: handle_*() returns the updates
+// to emit and the Fabric delivers them (deterministic FIFO).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/decision.hpp"
+#include "bgp/igp.hpp"
+#include "bgp/types.hpp"
+
+namespace vns::bgp {
+
+/// Where a route in an Adj-RIB-In came from.
+enum class SessionKind : std::uint8_t { kIbgp, kEbgp, kLocal };
+
+/// Key identifying one RIB-in slot: session kind + peer id.
+struct SessionKey {
+  SessionKind kind = SessionKind::kLocal;
+  std::uint32_t id = 0;  ///< RouterId for iBGP, NeighborId for eBGP, 0 local
+
+  [[nodiscard]] std::uint64_t packed() const noexcept {
+    return (std::uint64_t{static_cast<std::uint8_t>(kind)} << 32) | id;
+  }
+  friend bool operator==(const SessionKey&, const SessionKey&) = default;
+};
+
+/// Context handed to import policies.
+struct ImportContext {
+  RouterId receiver = kInvalidRouter;
+  SessionKind session = SessionKind::kLocal;
+  NeighborId neighbor = kNoNeighbor;       ///< eBGP only
+  NeighborKind neighbor_kind = NeighborKind::kUpstream;
+  RouterId sender = kInvalidRouter;        ///< iBGP only
+  bool sender_is_client = false;           ///< iBGP only, from the RR's view
+};
+
+/// Import policy: may mutate the route (e.g. set LOCAL_PREF); returning
+/// false rejects it from consideration.  Must be a pure function of
+/// (context, route) so that policy refresh is idempotent.
+using ImportPolicy = std::function<bool(const ImportContext&, Route&)>;
+
+/// Export decision toward an external neighbor.
+using ExportPolicy = std::function<bool(const Route&, NeighborId, NeighborKind)>;
+
+/// An update emitted by a router, to be delivered by the Fabric.
+struct Emission {
+  RouterId from = kInvalidRouter;
+  /// Target iBGP peer, or kInvalidRouter when targeting an eBGP neighbor.
+  RouterId to_router = kInvalidRouter;
+  NeighborId to_neighbor = kNoNeighbor;
+  bool withdraw = false;
+  Route route;  ///< for withdraw, only `prefix` is meaningful
+};
+
+/// Descriptor of one external (eBGP) neighbor attachment.
+struct NeighborInfo {
+  NeighborId id = kNoNeighbor;
+  net::Asn asn = 0;
+  NeighborKind kind = NeighborKind::kUpstream;
+  RouterId attached_to = kInvalidRouter;
+  std::string name;
+};
+
+class Router {
+ public:
+  Router(RouterId id, std::string name, net::Asn local_asn);
+
+  [[nodiscard]] RouterId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // --- configuration -------------------------------------------------------
+  void set_route_reflector(bool value) noexcept { is_route_reflector_ = value; }
+  [[nodiscard]] bool is_route_reflector() const noexcept { return is_route_reflector_; }
+  void set_advertise_best_external(bool value) noexcept { best_external_ = value; }
+  void set_import_policy(ImportPolicy policy) { import_policy_ = std::move(policy); }
+  void set_export_policy(ExportPolicy policy) { export_policy_ = std::move(policy); }
+  void set_igp(const IgpTopology* igp) noexcept { igp_ = igp; }
+
+  void add_ibgp_session(RouterId peer, bool peer_is_client);
+  void add_ebgp_session(const NeighborInfo& neighbor);
+
+  // --- event handlers (called by Fabric); return updates to deliver --------
+  [[nodiscard]] std::vector<Emission> handle_ebgp_update(const NeighborInfo& neighbor,
+                                                         bool withdraw, Route route);
+  [[nodiscard]] std::vector<Emission> handle_ibgp_update(RouterId sender, bool withdraw,
+                                                         Route route);
+  /// Locally originates a prefix (e.g. the VNS anycast TURN prefix).
+  [[nodiscard]] std::vector<Emission> originate(const net::Ipv4Prefix& prefix,
+                                                Attributes attrs);
+  /// Re-runs import policy + decision for every known prefix (the BGP
+  /// route-refresh analog; used when a policy changes, §4.2's before/after).
+  [[nodiscard]] std::vector<Emission> refresh_all();
+
+  // --- inspection ----------------------------------------------------------
+  [[nodiscard]] const Route* best_route(const net::Ipv4Prefix& prefix) const noexcept;
+  [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& loc_rib() const noexcept {
+    return loc_rib_;
+  }
+  /// Last route advertised to an eBGP neighbor (empty when withdrawn/none).
+  [[nodiscard]] const Route* advertised_to_neighbor(NeighborId neighbor,
+                                                    const net::Ipv4Prefix& prefix) const noexcept;
+  /// Best route among this router's own eBGP-learned candidates, regardless
+  /// of what the overall best is.  This is what a probe "forced out of the
+  /// AS immediately at this router" (§4.1) would follow.  `only_kind`
+  /// restricts to sessions of one business relationship (e.g. upstreams).
+  [[nodiscard]] std::optional<Route> best_local_exit(
+      const net::Ipv4Prefix& prefix, std::optional<NeighborKind> only_kind = std::nullopt) const {
+    return best_external_candidate(prefix, only_kind);
+  }
+  /// Raw (pre-policy) Adj-RIB-In entry count, for diagnostics.
+  [[nodiscard]] std::size_t rib_in_size() const noexcept;
+
+ private:
+  struct IbgpSession {
+    RouterId peer;
+    bool peer_is_client;  ///< from this router's perspective as an RR
+  };
+
+  /// Applies the import policy; returns the post-policy route or nullopt.
+  [[nodiscard]] std::optional<Route> import(const SessionKey& key, const Route& raw) const;
+  /// All post-policy candidates for a prefix.
+  [[nodiscard]] std::vector<Route> candidates(const net::Ipv4Prefix& prefix) const;
+  /// Best eBGP-learned candidate only (for best-external advertisement).
+  [[nodiscard]] std::optional<Route> best_external_candidate(
+      const net::Ipv4Prefix& prefix,
+      std::optional<NeighborKind> only_kind = std::nullopt) const;
+
+  /// Re-runs the decision process for a prefix and emits the deltas.
+  void decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out);
+  /// Emits (with suppression) the route this router should currently be
+  /// advertising to each session for `prefix`.
+  void sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out);
+
+  /// The route (if any) to advertise over a given iBGP session right now.
+  [[nodiscard]] std::optional<Route> route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
+                                                         const IbgpSession& session) const;
+  /// The route (if any) to advertise to a given eBGP neighbor right now.
+  [[nodiscard]] std::optional<Route> route_for_neighbor(const net::Ipv4Prefix& prefix,
+                                                        const NeighborInfo& neighbor) const;
+
+  [[nodiscard]] ImportContext make_context(const SessionKey& key) const;
+
+  RouterId id_;
+  std::string name_;
+  net::Asn local_asn_;
+  bool is_route_reflector_ = false;
+  bool best_external_ = false;
+
+  ImportPolicy import_policy_;
+  ExportPolicy export_policy_;
+  const IgpTopology* igp_ = nullptr;
+
+  std::vector<IbgpSession> ibgp_sessions_;
+  std::vector<NeighborInfo> ebgp_sessions_;
+
+  /// Raw routes as received, keyed by packed session key then prefix.
+  std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, Route>> adj_rib_in_;
+  std::unordered_map<net::Ipv4Prefix, Route> originated_;
+  std::unordered_map<net::Ipv4Prefix, Route> loc_rib_;
+  /// Last advertisement per session (packed key) and prefix.
+  std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, Route>> adj_rib_out_;
+};
+
+/// Route equality for implicit-withdraw suppression: attributes + forwarding
+/// context (not the advertiser bookkeeping).
+[[nodiscard]] bool same_advertisement(const Route& a, const Route& b) noexcept;
+
+}  // namespace vns::bgp

@@ -1,0 +1,130 @@
+// BGP value types: path attributes, routes, neighbor descriptors.
+//
+// We implement the subset of BGP-4 (RFC 4271) that the paper's routing
+// machinery exercises: LOCAL_PREF, AS_PATH, ORIGIN, MED, communities
+// (including NO_EXPORT, used by the management interface for static
+// more-specifics, §3.2), next-hop tracking at PoP granularity, and the
+// eBGP/iBGP distinction the decision process depends on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace vns::bgp {
+
+/// Identifier of a BGP-speaking router inside the modelled AS.
+using RouterId = std::uint32_t;
+inline constexpr RouterId kInvalidRouter = ~RouterId{0};
+
+/// Identifier of an external (eBGP) neighbor session.
+using NeighborId = std::uint32_t;
+inline constexpr NeighborId kNoNeighbor = ~NeighborId{0};
+
+/// ORIGIN attribute; lower is preferred (RFC 4271 §9.1.2.2.c).
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// Business relationship with an external neighbor (Gao–Rexford roles).
+enum class NeighborKind : std::uint8_t { kUpstream, kPeer, kCustomer };
+
+[[nodiscard]] constexpr const char* to_string(NeighborKind kind) noexcept {
+  switch (kind) {
+    case NeighborKind::kUpstream: return "upstream";
+    case NeighborKind::kPeer: return "peer";
+    case NeighborKind::kCustomer: return "customer";
+  }
+  return "unknown";
+}
+
+/// BGP community value. Well-known communities from RFC 1997.
+using Community = std::uint32_t;
+inline constexpr Community kNoExport = 0xFFFFFF01;
+inline constexpr Community kNoAdvertise = 0xFFFFFF02;
+
+/// AS_PATH as a flat sequence (AS_SEQUENCE only; AS_SET aggregation is not
+/// needed for a single-AS overlay with stub neighbors).
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<net::Asn> hops) : hops_(std::move(hops)) {}
+
+  [[nodiscard]] std::size_t length() const noexcept { return hops_.size(); }
+  [[nodiscard]] bool contains(net::Asn asn) const noexcept {
+    return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+  }
+  /// First AS on the path: the neighboring AS the route was learned from.
+  [[nodiscard]] net::Asn first_hop() const noexcept { return hops_.empty() ? 0 : hops_.front(); }
+  /// Last AS on the path: the origin AS of the prefix.
+  [[nodiscard]] net::Asn origin_as() const noexcept { return hops_.empty() ? 0 : hops_.back(); }
+
+  [[nodiscard]] AsPath prepended(net::Asn asn) const {
+    std::vector<net::Asn> hops;
+    hops.reserve(hops_.size() + 1);
+    hops.push_back(asn);
+    hops.insert(hops.end(), hops_.begin(), hops_.end());
+    return AsPath{std::move(hops)};
+  }
+
+  [[nodiscard]] const std::vector<net::Asn>& hops() const noexcept { return hops_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<net::Asn> hops_;
+};
+
+/// Default LOCAL_PREF assigned on import when no policy overrides it.
+inline constexpr std::uint32_t kDefaultLocalPref = 100;
+
+/// Mutable path attributes carried with an announcement.
+struct Attributes {
+  std::uint32_t local_pref = kDefaultLocalPref;
+  AsPath as_path;
+  Origin origin = Origin::kIgp;
+  std::uint32_t med = 0;
+  std::vector<Community> communities;
+
+  [[nodiscard]] bool has_community(Community community) const noexcept {
+    return std::find(communities.begin(), communities.end(), community) != communities.end();
+  }
+  void add_community(Community community) {
+    if (!has_community(community)) communities.push_back(community);
+  }
+
+  friend bool operator==(const Attributes&, const Attributes&) = default;
+};
+
+/// A route as stored in a RIB: prefix + attributes + learning context.
+struct Route {
+  net::Ipv4Prefix prefix;
+  Attributes attrs;
+
+  /// Border router where the traffic leaves the AS (the BGP NEXT_HOP,
+  /// tracked at router granularity: iBGP does not rewrite it).
+  RouterId egress = kInvalidRouter;
+  /// External neighbor the egress router learned the route from;
+  /// kNoNeighbor for internally originated routes.
+  NeighborId neighbor = kNoNeighbor;
+  /// True when this RIB entry was learned over eBGP by the holding router.
+  bool learned_via_ebgp = false;
+  /// True for routes this AS originates itself (e.g. the anycast prefix);
+  /// such routes win the decision process outright, like vendor "weight".
+  bool locally_originated = false;
+  /// Business relationship of the neighbor the route entered the AS from;
+  /// drives the Gao–Rexford default export policy.
+  NeighborKind learned_from_kind = NeighborKind::kUpstream;
+  /// Router that sent us this route (self for eBGP/originated routes).
+  RouterId advertiser = kInvalidRouter;
+  /// RFC 4456 loop prevention: the router that injected the route into iBGP
+  /// (set on first reflection), and the reflection clusters traversed.
+  RouterId originator_id = kInvalidRouter;
+  std::vector<RouterId> cluster_list;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace vns::bgp

@@ -1,0 +1,101 @@
+#include "core/economics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topo/segments.hpp"
+
+namespace vns::core {
+
+double CostBreakdown::l2_share() const noexcept {
+  double l2 = 0.0;
+  for (const auto& line : lines) {
+    if (line.item.find("L2") != std::string::npos) l2 += line.usd_monthly;
+  }
+  return total_usd_monthly > 0.0 ? l2 / total_usd_monthly : 0.0;
+}
+
+double EconomicsModel::transit_price_per_mbps(double volume_mbps, int region_class) const {
+  const double volume = std::max(volume_mbps, 10.0);
+  const double scale = std::pow(volume / 1000.0, -model_.transit_scale_elasticity);
+  return model_.transit_usd_per_mbps_at_1g * scale *
+         model_.transit_region_factor[region_class];
+}
+
+CostBreakdown EconomicsModel::monthly_cost(const TrafficProfile& traffic) const {
+  CostBreakdown breakdown;
+  breakdown.serviced_mbps = traffic.serviced_mbps;
+  const auto pops = vns_.pops();
+
+  // Equipment, amortized.
+  double routers = 0.0;
+  for (const auto& pop : pops) routers += static_cast<double>(pop.routers.size());
+  breakdown.lines.push_back(
+      {"equipment (amortized)",
+       (routers * model_.equipment_per_router_usd +
+        static_cast<double>(pops.size()) * model_.equipment_per_pop_usd) /
+           model_.amortization_months});
+
+  // Hosting and operations.
+  breakdown.lines.push_back(
+      {"hosting/power/ops", static_cast<double>(pops.size()) * model_.hosting_per_pop_monthly_usd});
+
+  // Settlement-free peering: fixed per session.
+  breakdown.lines.push_back(
+      {"peering (fixed)", static_cast<double>(vns_.attachments().size()) *
+                              model_.peering_per_session_monthly_usd});
+
+  // IP transit: media enters and leaves through transit at the edges.  Under
+  // cold potato each media stream is billed on transit once per end; under
+  // hot potato the long haul ALSO rides transit (the inter-region traffic is
+  // handed off at the source and carried by providers), which bills it at
+  // premium rates instead of using the already-committed L2 capacity.
+  const double inter_mbps = traffic.serviced_mbps * (1.0 - traffic.intra_region_fraction);
+  const double edge_mbps = traffic.serviced_mbps;
+  double transit_cost =
+      edge_mbps * transit_price_per_mbps(edge_mbps, /*blended region=*/1);
+  if (!traffic.cold_potato) {
+    transit_cost += inter_mbps * transit_price_per_mbps(inter_mbps, /*AP-heavy*/ 2);
+  }
+  breakdown.lines.push_back({"IP transit", transit_cost});
+
+  // Dedicated L2 links: every link pays its commit; inter-region traffic on
+  // long-haul circuits beyond the commit pays discounted overage.
+  double l2_regional = 0.0, l2_long_haul = 0.0;
+  double long_haul_count = 0.0;
+  for (const auto& link : vns_.links()) {
+    const double base = model_.l2_transit_multiple *
+                        transit_price_per_mbps(model_.l2_commit_mbps, 1) *
+                        model_.l2_commit_mbps;
+    if (link.long_haul) {
+      const double distance = model_.l2_long_haul_usd_per_mbps_per_1000km * link.km / 1000.0 *
+                              model_.l2_commit_mbps;
+      l2_long_haul += base + distance;
+      long_haul_count += 1.0;
+    } else {
+      l2_regional += base;
+    }
+  }
+  if (traffic.cold_potato && long_haul_count > 0.0) {
+    const double per_link = inter_mbps / long_haul_count;
+    const double overage = std::max(0.0, per_link - model_.l2_commit_mbps);
+    l2_long_haul += overage * long_haul_count * model_.l2_overage_discount *
+                    model_.l2_transit_multiple * transit_price_per_mbps(overage + 1.0, 1);
+  }
+  breakdown.lines.push_back({"L2 links (regional mesh)", l2_regional});
+  breakdown.lines.push_back({"L2 links (long-haul)", l2_long_haul});
+
+  for (const auto& line : breakdown.lines) breakdown.total_usd_monthly += line.usd_monthly;
+  return breakdown;
+}
+
+double EconomicsModel::long_haul_utilization(const TrafficProfile& traffic) const {
+  double long_haul_count = 0.0;
+  for (const auto& link : vns_.links()) long_haul_count += link.long_haul;
+  if (long_haul_count == 0.0) return 0.0;
+  const double inter_mbps = traffic.serviced_mbps * (1.0 - traffic.intra_region_fraction);
+  const double carried = traffic.cold_potato ? inter_mbps : 0.0;
+  return std::min(1.0, carried / (long_haul_count * model_.l2_commit_mbps));
+}
+
+}  // namespace vns::core

@@ -1,0 +1,98 @@
+// VNS economics: the cost structure §6 describes, made computable.
+//
+// The paper closes with a qualitative cost analysis — one-time equipment
+// amortized over its lifespan, fixed monthly hosting/operations/peering,
+// IP transit subject to economies of scale, and the dedicated L2 links
+// ("the bulk of VNS overall cost"), which are 2-3x the regional transit
+// price and carry a committed-volume minimum — and names an in-depth
+// economic analysis as future work.  This module implements that model over
+// an actual VnsNetwork topology so the ablation bench can reproduce the
+// paper's claims: L2 links dominate cost, cold-potato routing raises their
+// utilization at zero marginal cost, and the service achieves economies of
+// scale as traffic grows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/vns_network.hpp"
+
+namespace vns::core {
+
+struct CostModel {
+  // --- one-time equipment, amortized ----------------------------------------
+  double equipment_per_router_usd = 60000.0;
+  double equipment_per_pop_usd = 40000.0;  ///< servers, relays, switches
+  int amortization_months = 48;
+
+  // --- fixed monthly ----------------------------------------------------------
+  double hosting_per_pop_monthly_usd = 7000.0;  ///< space, power, cooling, ops
+  double peering_per_session_monthly_usd = 250.0;  ///< x-connects, IXP ports
+
+  // --- IP transit (economies of scale) ----------------------------------------
+  /// Price per Mbps at the reference volume; falls with volume^-elasticity.
+  double transit_usd_per_mbps_at_1g = 1.2;
+  double transit_scale_elasticity = 0.25;
+  /// Regional price multipliers [EU, NA, AP] (AP transit is pricier).
+  double transit_region_factor[3] = {1.0, 0.9, 2.2};
+
+  // --- dedicated L2 links -------------------------------------------------------
+  /// L2 capacity is priced per Mbps as a multiple of same-region transit
+  /// (§6: "typically between two and three times the regular IP transit
+  /// price"), plus a distance component for long-haul circuits.
+  double l2_transit_multiple = 2.8;
+  double l2_long_haul_usd_per_mbps_per_1000km = 1.4;
+  /// Minimum committed volume per link (Mbps): paid regardless of use.
+  double l2_commit_mbps = 1000.0;
+  /// Committed-plus burst pricing above the commit (cheaper per Mbps).
+  double l2_overage_discount = 0.7;
+};
+
+/// One line of the monthly cost breakdown.
+struct CostLine {
+  std::string item;
+  double usd_monthly = 0.0;
+};
+
+struct CostBreakdown {
+  std::vector<CostLine> lines;
+  double total_usd_monthly = 0.0;
+  double serviced_mbps = 0.0;
+
+  [[nodiscard]] double usd_per_mbps() const noexcept {
+    return serviced_mbps > 0.0 ? total_usd_monthly / serviced_mbps : 0.0;
+  }
+  /// Share of the total taken by the dedicated L2 links.
+  [[nodiscard]] double l2_share() const noexcept;
+};
+
+/// Traffic assumptions for a billing month.
+struct TrafficProfile {
+  double serviced_mbps = 500.0;        ///< average customer media volume
+  /// Share of conferences staying within one region (§3.1: "most
+  /// videoconferences involve parties in the same geographical region").
+  double intra_region_fraction = 0.75;
+  /// Cold potato carries inter-region traffic on the L2 mesh; hot potato
+  /// would push it to transit at the source side instead.
+  bool cold_potato = true;
+};
+
+class EconomicsModel {
+ public:
+  EconomicsModel(const VnsNetwork& vns, CostModel model = {})
+      : vns_(vns), model_(model) {}
+
+  /// Monthly cost breakdown for the given traffic profile.
+  [[nodiscard]] CostBreakdown monthly_cost(const TrafficProfile& traffic) const;
+
+  /// Mean utilization of the long-haul L2 commits under the profile.
+  [[nodiscard]] double long_haul_utilization(const TrafficProfile& traffic) const;
+
+ private:
+  [[nodiscard]] double transit_price_per_mbps(double volume_mbps, int region_class) const;
+
+  const VnsNetwork& vns_;
+  CostModel model_;
+};
+
+}  // namespace vns::core

@@ -1,0 +1,527 @@
+#include "core/vns_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "bgp/decision.hpp"
+#include "sim/time.hpp"
+
+namespace vns::core {
+namespace {
+
+struct PopSpec {
+  const char* code;
+  const char* city;
+  geo::PopRegion region;
+};
+
+/// Fixed PoP table.  Display ids (index+1) are chosen so the paper's
+/// references hold: PoPs 3 and 5 on the US east coast, 7 in AP, 9 in EU,
+/// 10 = London (§4.2.1).
+constexpr PopSpec kPopSpecs[] = {
+    {"SJS", "SanJose", geo::PopRegion::kUS},     // 1
+    {"SYD", "Sydney", geo::PopRegion::kOC},      // 2
+    {"ASH", "Ashburn", geo::PopRegion::kUS},     // 3
+    {"HKG", "HongKong", geo::PopRegion::kAP},    // 4
+    {"NYC", "NewYork", geo::PopRegion::kUS},     // 5
+    {"OSL", "Oslo", geo::PopRegion::kEU},        // 6
+    {"SIN", "Singapore", geo::PopRegion::kAP},   // 7
+    {"ATL", "Atlanta", geo::PopRegion::kUS},     // 8
+    {"AMS", "Amsterdam", geo::PopRegion::kEU},   // 9
+    {"LON", "London", geo::PopRegion::kEU},      // 10
+    {"FRA", "Frankfurt", geo::PopRegion::kEU},   // 11
+};
+
+/// Long-haul inter-cluster circuits (§3.1: termination points chosen to
+/// avoid suboptimal internal routing; Singapore has direct links to
+/// Australia, the USA and Europe, §4.3).
+constexpr std::pair<const char*, const char*> kLongHaul[] = {
+    {"LON", "NYC"}, {"AMS", "ASH"},  // transatlantic
+    {"SJS", "HKG"}, {"SJS", "SIN"},  // transpacific
+    {"SIN", "AMS"},                  // Europe-Asia
+    {"SIN", "SYD"}, {"SYD", "SJS"},  // Oceania
+};
+
+}  // namespace
+
+VnsNetwork::VnsNetwork(const topo::Internet& internet, const geo::GeoIpDatabase& geoip,
+                       VnsConfig config)
+    : internet_(internet), geoip_(geoip), config_(config), fabric_(config.asn) {
+  build_pops();
+  build_links();
+  attach_neighbors();
+  install_policies();
+}
+
+void VnsNetwork::build_pops() {
+  for (PopId id = 0; id < std::size(kPopSpecs); ++id) {
+    const auto& spec = kPopSpecs[id];
+    VnsPop pop;
+    pop.id = id;
+    pop.name = spec.code;
+    pop.city = geo::city(spec.city);
+    pop.region = spec.region;
+    for (int r = 0; r < config_.routers_per_pop; ++r) {
+      const auto router = fabric_.add_router(pop.name + "-r" + std::to_string(r));
+      pop.routers.push_back(router);
+      router_pop_.push_back(id);
+      fabric_.router(router).set_advertise_best_external(config_.best_external);
+    }
+    pops_.push_back(std::move(pop));
+  }
+  rr_ = fabric_.add_router("RR");
+  router_pop_.push_back(kNoPop);
+  for (const auto& pop : pops_) {
+    for (const auto router : pop.routers) fabric_.add_rr_client_session(rr_, router);
+  }
+}
+
+void VnsNetwork::build_links() {
+  auto link_pops = [&](PopId a, PopId b, bool long_haul) {
+    VnsLink link;
+    link.a = a;
+    link.b = b;
+    link.km = geo::great_circle_km(pops_[a].city.location, pops_[b].city.location);
+    link.rtt_ms = link.km * config_.delay.rtt_ms_per_km * config_.delay.path_inflation;
+    link.long_haul = long_haul;
+    links_.push_back(link);
+    const auto metric =
+        static_cast<bgp::IgpMetric>(std::max(1.0, std::round(link.rtt_ms * 10.0)));
+    // Inter-PoP circuits terminate on the primary router of each PoP.
+    fabric_.add_igp_link(pops_[a].routers[0], pops_[b].routers[0], metric);
+  };
+
+  // Regional clusters: full mesh.
+  for (PopId a = 0; a < pops_.size(); ++a) {
+    for (PopId b = a + 1; b < pops_.size(); ++b) {
+      if (pops_[a].region == pops_[b].region) link_pops(a, b, /*long_haul=*/false);
+    }
+  }
+  // Long-haul inter-cluster circuits.
+  for (const auto& [from, to] : kLongHaul) {
+    const auto a = find_pop(from);
+    const auto b = find_pop(to);
+    assert(a && b);
+    link_pops(*a, *b, /*long_haul=*/true);
+  }
+  // Intra-PoP fabric: secondary routers hang off the primary at metric 1;
+  // the RR (control plane only) attaches at Amsterdam.
+  for (const auto& pop : pops_) {
+    for (std::size_t r = 1; r < pop.routers.size(); ++r) {
+      fabric_.add_igp_link(pop.routers[0], pop.routers[r], 1);
+    }
+  }
+  fabric_.add_igp_link(pops_[*find_pop("AMS")].routers[0], rr_, 1);
+}
+
+void VnsNetwork::attach_neighbors() {
+  // Distance from an AS's nearest PoP to a point.
+  auto as_distance = [&](topo::AsIndex as, const geo::GeoPoint& where) {
+    double best = 1e18;
+    for (const auto& pop : internet_.as_at(as).pops) {
+      best = std::min(best, geo::great_circle_km(pop.location, where));
+    }
+    return best;
+  };
+  // Count of NA PoPs, to find the "US-centred" Tier-1 for the London config.
+  auto na_presence = [&](topo::AsIndex as) {
+    int count = 0;
+    for (const auto& pop : internet_.as_at(as).pops) {
+      count += pop.region == geo::WorldRegion::kNorthCentralAmerica;
+    }
+    return count;
+  };
+  topo::AsIndex us_centred_ltp = 0;
+  for (topo::AsIndex i = 0; i < internet_.config().ltp_count; ++i) {
+    if (na_presence(i) > na_presence(us_centred_ltp)) us_centred_ltp = i;
+  }
+  us_centred_ltp_ = us_centred_ltp;
+
+  // The transit pool: the few global Tier-1s VNS buys from everywhere
+  // (keeping the provider set small is what makes hot-potato exits local —
+  // the same provider announces the same path at every PoP).
+  std::vector<topo::AsIndex> pool(internet_.config().ltp_count);
+  for (topo::AsIndex i = 0; i < pool.size(); ++i) pool[i] = i;
+  std::sort(pool.begin(), pool.end(), [&](topo::AsIndex a, topo::AsIndex b) {
+    double sum_a = 0.0, sum_b = 0.0;
+    for (const auto& pop : pops_) {
+      sum_a += as_distance(a, pop.city.location);
+      sum_b += as_distance(b, pop.city.location);
+    }
+    return sum_a != sum_b ? sum_a < sum_b : a < b;
+  });
+  pool.resize(std::min<std::size_t>(pool.size(),
+                                    static_cast<std::size_t>(config_.upstream_pool_size)));
+  if (config_.us_upstream_in_london &&
+      std::find(pool.begin(), pool.end(), us_centred_ltp) == pool.end()) {
+    pool.back() = us_centred_ltp;
+  }
+
+  for (auto& pop : pops_) {
+    const auto& here = pop.city.location;
+
+    // Upstreams: this PoP's nearest providers from the pool.
+    std::vector<topo::AsIndex> ltps = pool;
+    std::sort(ltps.begin(), ltps.end(), [&](topo::AsIndex a, topo::AsIndex b) {
+      const double da = as_distance(a, here), db = as_distance(b, here);
+      return da != db ? da < db : a < b;
+    });
+    if (config_.us_upstream_in_london && pop.name == "LON") {
+      // The paper's misconfiguration: a US-based Tier-1 as London's primary
+      // upstream (§5.2.2's anomaly).
+      std::erase(ltps, us_centred_ltp);
+      ltps.insert(ltps.begin(), us_centred_ltp);
+    }
+    const int upstream_count =
+        std::min<int>(config_.upstreams_per_pop, static_cast<int>(ltps.size()));
+    for (int u = 0; u < upstream_count; ++u) {
+      const auto as = ltps[static_cast<std::size_t>(u)];
+      const auto router = pop.routers[static_cast<std::size_t>(u) % pop.routers.size()];
+      const auto session = fabric_.add_neighbor(
+          router, internet_.as_at(as).asn, bgp::NeighborKind::kUpstream,
+          "up-" + pop.name + "-" + std::to_string(internet_.as_at(as).asn));
+      pop.upstream_sessions.push_back(session);
+      attachments_.push_back({as, pop.id, true, session});
+    }
+
+    // Peers: transit/access networks co-located at the PoP's exchange.
+    const topo::AsType peer_types[] = {topo::AsType::kSTP, topo::AsType::kCAHP};
+    auto nearby = internet_.ases_near(here, config_.peer_radius_km, peer_types);
+    std::sort(nearby.begin(), nearby.end(), [&](topo::AsIndex a, topo::AsIndex b) {
+      const double da = as_distance(a, here), db = as_distance(b, here);
+      return da != db ? da < db : a < b;
+    });
+    int peers = 0;
+    for (const auto as : nearby) {
+      if (peers >= config_.max_peers_per_pop) break;
+      const auto router = pop.routers[static_cast<std::size_t>(peers) % pop.routers.size()];
+      const auto session = fabric_.add_neighbor(
+          router, internet_.as_at(as).asn, bgp::NeighborKind::kPeer,
+          "peer-" + pop.name + "-" + std::to_string(internet_.as_at(as).asn));
+      pop.peer_sessions.push_back(session);
+      attachments_.push_back({as, pop.id, false, session});
+      ++peers;
+    }
+  }
+}
+
+std::uint32_t VnsNetwork::lp_from_distance(double km) const noexcept {
+  const double drop = std::floor(km / config_.lp_km_per_point);
+  const double lp = static_cast<double>(config_.lp_max) - drop;
+  return lp < config_.lp_floor ? config_.lp_floor : static_cast<std::uint32_t>(lp);
+}
+
+void VnsNetwork::install_policies() {
+  // Border routers: relationship-based LOCAL_PREF on import (the classic
+  // customer > peer > provider ranking of §4.2).
+  for (const auto& pop : pops_) {
+    for (const auto router : pop.routers) {
+      fabric_.router(router).set_import_policy(
+          [this](const bgp::ImportContext& ctx, bgp::Route& route) {
+            if (ctx.session == bgp::SessionKind::kEbgp) {
+              switch (ctx.neighbor_kind) {
+                case bgp::NeighborKind::kCustomer:
+                  route.attrs.local_pref = config_.lp_customer;
+                  break;
+                case bgp::NeighborKind::kPeer:
+                  route.attrs.local_pref = config_.lp_peer;
+                  break;
+                case bgp::NeighborKind::kUpstream:
+                  route.attrs.local_pref = config_.lp_upstream;
+                  break;
+              }
+            }
+            return true;
+          });
+    }
+  }
+
+  // The modified-Quagga route reflector: on routes received from clients,
+  // look up the prefix's GeoIP location, compute the great-circle distance
+  // from the announcing egress PoP, and assign LOCAL_PREF = f(distance)
+  // (§3.2 "Basic operation"), unless the management interface overrides.
+  fabric_.router(rr_).set_import_policy(
+      [this](const bgp::ImportContext& ctx, bgp::Route& route) {
+        if (ctx.session != bgp::SessionKind::kIbgp || !geo_enabled_) return true;
+        if (exempt_.contains(route.prefix)) return true;
+        if (route.egress >= router_pop_.size()) return true;
+        const PopId egress_pop = router_pop_[route.egress];
+        if (egress_pop == kNoPop) return true;
+        if (const auto it = forced_exit_.find(route.prefix); it != forced_exit_.end()) {
+          route.attrs.local_pref =
+              egress_pop == it->second ? config_.lp_max : config_.lp_floor;
+          return true;
+        }
+        const auto location = geoip_.lookup(route.prefix);
+        if (!location) return true;  // unresolvable: leave default behaviour
+        const double km =
+            geo::great_circle_km(pops_[egress_pop].city.location, *location);
+        route.attrs.local_pref = lp_from_distance(km);
+        return true;
+      });
+}
+
+void VnsNetwork::feed_routes() {
+  for (topo::AsIndex origin = 0; origin < internet_.as_count(); ++origin) {
+    const auto& node = internet_.as_at(origin);
+    if (node.prefix_ids.empty()) continue;
+    const auto table = internet_.routes_to(origin);
+    for (const auto& attachment : attachments_) {
+      if (!table.reachable(attachment.as)) continue;
+      const auto& entry = table.at(attachment.as);
+      // Export policy of the neighbor: upstreams sell transit (everything);
+      // peers exchange only their own and customer routes.
+      const bool exportable = attachment.upstream ||
+                              entry.cls == topo::PathClass::kCustomer ||
+                              attachment.as == origin;
+      if (!exportable) continue;
+      const auto as_path_indices = table.path_from(attachment.as);
+      bgp::Attributes attrs;
+      std::vector<net::Asn> asns;
+      asns.reserve(as_path_indices.size());
+      for (const auto index : as_path_indices) asns.push_back(internet_.as_at(index).asn);
+      attrs.as_path = bgp::AsPath{std::move(asns)};
+      for (const auto prefix_id : node.prefix_ids) {
+        const auto& prefix = internet_.prefix(prefix_id).prefix;
+        fabric_.announce(attachment.session, prefix, attrs);
+        known_prefixes_.insert(prefix, true);
+      }
+    }
+  }
+  // The anycast TURN service prefix is originated at every PoP (§4.4).
+  for (const auto& pop : pops_) {
+    fabric_.originate(pop.routers[0], config_.anycast_prefix, bgp::Attributes{});
+  }
+  known_prefixes_.insert(config_.anycast_prefix, true);
+  fabric_.run_to_convergence();
+}
+
+void VnsNetwork::set_geo_routing(bool enabled) {
+  if (geo_enabled_ == enabled) return;
+  geo_enabled_ = enabled;
+  fabric_.refresh_policies();
+  fabric_.run_to_convergence();
+}
+
+void VnsNetwork::force_exit(const net::Ipv4Prefix& prefix, PopId pop, bool refresh_now) {
+  forced_exit_[prefix] = pop;
+  if (refresh_now) apply_policy_changes();
+}
+
+void VnsNetwork::exempt_prefix(const net::Ipv4Prefix& prefix, bool refresh_now) {
+  exempt_.insert(prefix);
+  if (refresh_now) apply_policy_changes();
+}
+
+void VnsNetwork::apply_policy_changes() {
+  fabric_.refresh_policies();
+  fabric_.run_to_convergence();
+}
+
+void VnsNetwork::add_static_more_specific(const net::Ipv4Prefix& more_specific, PopId pop) {
+  // §3.2: only advertised when the PoP has a route to the less-specific.
+  assert(known_prefixes_.longest_match(more_specific.first_host()).has_value() &&
+         "no covering route for static more-specific");
+  bgp::Attributes attrs;
+  attrs.origin = bgp::Origin::kIncomplete;  // injected, not learned
+  attrs.add_community(bgp::kNoExport);
+  fabric_.originate(pops_.at(pop).routers[0], more_specific, attrs);
+  known_prefixes_.insert(more_specific, true);
+  fabric_.run_to_convergence();
+}
+
+void VnsNetwork::clear_overrides() {
+  forced_exit_.clear();
+  exempt_.clear();
+  fabric_.refresh_policies();
+  fabric_.run_to_convergence();
+}
+
+std::optional<PopId> VnsNetwork::find_pop(std::string_view name) const noexcept {
+  for (const auto& pop : pops_) {
+    if (pop.name == name) return pop.id;
+  }
+  return std::nullopt;
+}
+
+PopId VnsNetwork::geo_closest_pop(const geo::GeoPoint& where) const noexcept {
+  PopId best = 0;
+  double best_km = geo::great_circle_km(pops_[0].city.location, where);
+  for (PopId id = 1; id < pops_.size(); ++id) {
+    const double km = geo::great_circle_km(pops_[id].city.location, where);
+    if (km < best_km) {
+      best_km = km;
+      best = id;
+    }
+  }
+  return best;
+}
+
+std::optional<net::Ipv4Prefix> VnsNetwork::match_prefix(net::Ipv4Address address) const {
+  const auto hit = known_prefixes_.longest_match(address);
+  if (!hit) return std::nullopt;
+  return hit->first;
+}
+
+const bgp::Route* VnsNetwork::route_at(PopId viewpoint, net::Ipv4Address address) const {
+  const auto prefix = match_prefix(address);
+  if (!prefix) return nullptr;
+  return fabric_.router(pops_.at(viewpoint).routers[0]).best_route(*prefix);
+}
+
+std::optional<PopId> VnsNetwork::egress_pop(PopId viewpoint, net::Ipv4Address address) const {
+  const auto* route = route_at(viewpoint, address);
+  if (route == nullptr || route->egress >= router_pop_.size()) return std::nullopt;
+  const PopId pop = router_pop_[route->egress];
+  return pop == kNoPop ? std::nullopt : std::optional<PopId>{pop};
+}
+
+std::optional<bgp::Route> VnsNetwork::local_exit_route(PopId pop, net::Ipv4Address address,
+                                                       bool upstreams_only) const {
+  const auto prefix = match_prefix(address);
+  if (!prefix) return std::nullopt;
+  const auto& site = pops_.at(pop);
+  std::optional<bgp::Route> best;
+  const bgp::DecisionContext ctx{site.routers[0], &fabric_.igp()};
+  const auto only_kind = upstreams_only ? std::optional{bgp::NeighborKind::kUpstream}
+                                        : std::nullopt;
+  for (const auto router : site.routers) {
+    auto candidate = fabric_.router(router).best_local_exit(*prefix, only_kind);
+    if (!candidate) continue;
+    if (!best || bgp::prefer(*candidate, *best, ctx)) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::vector<PopId> VnsNetwork::internal_path(PopId a, PopId b) const {
+  const auto routers =
+      fabric_.igp().shortest_path(pops_.at(a).routers[0], pops_.at(b).routers[0]);
+  std::vector<PopId> path;
+  for (const auto router : routers) {
+    const PopId pop = router_pop_.at(router);
+    if (pop == kNoPop) continue;
+    if (path.empty() || path.back() != pop) path.push_back(pop);
+  }
+  return path;
+}
+
+double VnsNetwork::internal_rtt_ms(PopId a, PopId b) const {
+  const auto path = internal_path(a, b);
+  double rtt = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    for (const auto& link : links_) {
+      if ((link.a == path[i] && link.b == path[i + 1]) ||
+          (link.b == path[i] && link.a == path[i + 1])) {
+        rtt += link.rtt_ms;
+        break;
+      }
+    }
+  }
+  return rtt;
+}
+
+std::vector<sim::SegmentProfile> VnsNetwork::internal_segments(
+    PopId a, PopId b, const topo::SegmentCatalog& catalog) const {
+  std::vector<sim::SegmentProfile> segments;
+  const auto path = internal_path(a, b);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    for (const auto& link : links_) {
+      if ((link.a == path[i] && link.b == path[i + 1]) ||
+          (link.b == path[i] && link.a == path[i + 1])) {
+        auto seg = catalog.vns_link(pops_[link.a].city.location, pops_[link.b].city.location,
+                                    link.long_haul);
+        seg.rtt_ms = link.rtt_ms;
+        segments.push_back(std::move(seg));
+        break;
+      }
+    }
+  }
+  return segments;
+}
+
+const VnsNetwork::NeighborReach& VnsNetwork::reach(topo::AsIndex as) const {
+  if (const auto it = reach_cache_.find(as); it != reach_cache_.end()) return it->second;
+  NeighborReach result;
+  const auto table = internet_.routes_to(as);
+  result.hops.resize(internet_.as_count(), 0xffff);
+  result.in_customer_cone.assign(internet_.as_count(), false);
+  for (topo::AsIndex i = 0; i < internet_.as_count(); ++i) {
+    if (table.reachable(i)) result.hops[i] = table.at(i).hops;
+  }
+  // Customer cone: everything reachable from `as` by only going down.
+  std::queue<topo::AsIndex> frontier;
+  frontier.push(as);
+  result.in_customer_cone[as] = true;
+  while (!frontier.empty()) {
+    const auto current = frontier.front();
+    frontier.pop();
+    for (const auto customer : internet_.as_at(current).customers) {
+      if (!result.in_customer_cone[customer]) {
+        result.in_customer_cone[customer] = true;
+        frontier.push(customer);
+      }
+    }
+  }
+  return reach_cache_.emplace(as, std::move(result)).first->second;
+}
+
+PopId VnsNetwork::select_ingress(topo::AsIndex user_as, const geo::GeoPoint& user_loc,
+                                 bool geo_strategies) const {
+  // Choose the neighbor AS the user's announcement-selected route enters
+  // through: peer routes (cheaper, typically shorter) where the user sits in
+  // the peer's customer cone, otherwise transit; fewest AS hops, then lowest
+  // ASN for determinism.
+  topo::AsIndex chosen = topo::kNoAs;
+  int chosen_rank = 1 << 30;
+  std::uint32_t chosen_hops = ~0u;
+  for (const auto& attachment : attachments_) {
+    const auto& r = reach(attachment.as);
+    std::uint32_t hops = r.hops[user_as];
+    int rank;
+    if (!attachment.upstream && r.in_customer_cone[user_as]) {
+      rank = 0;  // reached through the peer's own cone
+    } else if (attachment.upstream && hops != 0xffff) {
+      rank = 1;
+    } else {
+      continue;
+    }
+    const bool better =
+        rank < chosen_rank || (rank == chosen_rank && hops < chosen_hops) ||
+        (rank == chosen_rank && hops == chosen_hops && chosen != topo::kNoAs &&
+         internet_.as_at(attachment.as).asn < internet_.as_at(chosen).asn);
+    if (better) {
+      chosen = attachment.as;
+      chosen_rank = rank;
+      chosen_hops = hops;
+    }
+  }
+  if (chosen == topo::kNoAs) {
+    // No policy-compliant route (isolated user): fall back to geography.
+    return geo_closest_pop(user_loc);
+  }
+
+  // Among the chosen neighbor's attachments, pick the entry PoP.
+  PopId best_pop = kNoPop;
+  double best_km = 1e18;
+  for (const auto& attachment : attachments_) {
+    if (attachment.as != chosen) continue;
+    if (!geo_strategies) {
+      // Without regional-transit/TE/community strategies the handoff point
+      // is whatever the neighbor's internal routing happens to pick —
+      // geography-blind from the user's perspective.
+      if (best_pop == kNoPop || attachment.pop < best_pop) best_pop = attachment.pop;
+      continue;
+    }
+    const double km =
+        geo::great_circle_km(pops_[attachment.pop].city.location, user_loc);
+    if (km < best_km) {
+      best_km = km;
+      best_pop = attachment.pop;
+    }
+  }
+  return best_pop == kNoPop ? geo_closest_pop(user_loc) : best_pop;
+}
+
+}  // namespace vns::core

@@ -1,0 +1,237 @@
+// The Video Network Service (VNS): the paper's system.
+//
+// VnsNetwork assembles everything §3 describes on top of the substrates:
+//   - a single AS with 11 PoPs on four continents (ATL/ASH/NYC/SJS,
+//     AMS/FRA/LON/OSL, HK/SIN, SYD), each with its own border routers;
+//   - guaranteed-bandwidth L2 links: a full mesh inside each regional
+//     cluster plus a small set of long-haul inter-cluster links whose
+//     termination points are chosen to avoid suboptimal internal routing;
+//   - BGP externally (transit from Tier-1 LTPs, settlement-free peering with
+//     networks co-located at each PoP), an IGP internally;
+//   - the modified-Quagga route reflector implementing geo-based cold-potato
+//     routing: LOCAL_PREF assigned from the great-circle distance between
+//     the announcing egress PoP and the destination prefix's GeoIP location,
+//     then re-advertised to every client except the sender;
+//   - the `best external` fix for hidden routes;
+//   - the management interface: force a different exit PoP, exempt a prefix
+//     from geo-routing, or statically advertise a more-specific at the right
+//     PoP tagged no-export;
+//   - the anycast TURN service prefix originated at every PoP, with the
+//     inbound strategies of §4.4 (regional transit, peering breadth) modelled
+//     in ingress selection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/fabric.hpp"
+#include "geo/geoip.hpp"
+#include "net/prefix_trie.hpp"
+#include "topo/internet.hpp"
+#include "topo/segments.hpp"
+
+namespace vns::core {
+
+using PopId = std::uint32_t;
+inline constexpr PopId kNoPop = ~PopId{0};
+
+/// One VNS point of presence.
+struct VnsPop {
+  PopId id = kNoPop;            ///< 0-based; display id is id+1 (paper's 1-11)
+  std::string name;             ///< short code, e.g. "AMS"
+  geo::City city;
+  geo::PopRegion region = geo::PopRegion::kEU;
+  std::vector<bgp::RouterId> routers;
+  std::vector<bgp::NeighborId> upstream_sessions;
+  std::vector<bgp::NeighborId> peer_sessions;
+};
+
+/// A dedicated L2 link between two PoPs.
+struct VnsLink {
+  PopId a = kNoPop;
+  PopId b = kNoPop;
+  double km = 0.0;
+  double rtt_ms = 0.0;
+  bool long_haul = false;  ///< inter-cluster leased circuit
+};
+
+struct VnsConfig {
+  net::Asn asn = 64800;
+  std::uint64_t seed = 1;
+  /// Border routers per PoP (the paper's network: >20 routers, 11 PoPs).
+  int routers_per_pop = 2;
+  /// Distinct upstream transit attachments per PoP.
+  int upstreams_per_pop = 2;
+  /// VNS buys transit from a deliberately small set of global Tier-1s
+  /// ("seeking to minimize the number of transit ASes", §3.1); each PoP
+  /// attaches its nearest `upstreams_per_pop` providers from this pool.
+  int upstream_pool_size = 3;
+  /// Peers must have a PoP within this radius of the VNS PoP city (IXP
+  /// co-location), and at most `max_peers_per_pop` are accepted.
+  double peer_radius_km = 120.0;
+  int max_peers_per_pop = 6;
+  bool best_external = true;
+  /// Use a US-centred Tier-1 as London's primary upstream — the unintended
+  /// configuration behind the London anomaly of §5.2.2.
+  bool us_upstream_in_london = true;
+
+  /// Geo local-pref mapping lp = lp_max - floor(d_km / km_per_point),
+  /// clamped to [lp_floor, lp_max]; always above the 100 default and above
+  /// the relationship-based tiers (300/200/100).
+  std::uint32_t lp_max = 1000;
+  std::uint32_t lp_floor = 400;
+  double lp_km_per_point = 25.0;
+
+  /// Relationship-based import tiers used by border routers ("normal
+  /// routing policies ... always prefer peer routes over provider routes").
+  std::uint32_t lp_customer = 300, lp_peer = 200, lp_upstream = 100;
+
+  /// The anycast service prefix all TURN relays share (§4.4).
+  net::Ipv4Prefix anycast_prefix{net::Ipv4Address{100, 64, 0, 0}, 22};
+
+  /// Propagation model for the leased links.
+  topo::DelayModel delay;
+};
+
+class VnsNetwork {
+ public:
+  /// Builds the network against a generated Internet and GeoIP database.
+  /// Both references must outlive the VnsNetwork.
+  VnsNetwork(const topo::Internet& internet, const geo::GeoIpDatabase& geoip,
+             VnsConfig config = {});
+
+  VnsNetwork(const VnsNetwork&) = delete;
+  VnsNetwork& operator=(const VnsNetwork&) = delete;
+
+  // --- lifecycle -------------------------------------------------------------
+  /// Feeds every external route (per Gao–Rexford export rules of each
+  /// neighbor) into the fabric and converges.  Call once after construction.
+  void feed_routes();
+
+  /// Turns the geo-based cold-potato policy on/off (route-refresh + converge).
+  /// The network starts with it off — the §4.2 "before" state.
+  void set_geo_routing(bool enabled);
+  [[nodiscard]] bool geo_routing_enabled() const noexcept { return geo_enabled_; }
+
+  // --- management interface (§3.2 "Overriding Geo-routing") -----------------
+  /// Forces all traffic for `prefix` to exit at `pop`.  Pass
+  /// `refresh_now = false` when queueing many overrides, then call
+  /// apply_policy_changes() once.
+  void force_exit(const net::Ipv4Prefix& prefix, PopId pop, bool refresh_now = true);
+  /// Removes a prefix from geo-routing entirely (globally spread prefixes).
+  void exempt_prefix(const net::Ipv4Prefix& prefix, bool refresh_now = true);
+  /// Route-refresh + convergence after a batch of queued policy edits.
+  void apply_policy_changes();
+  /// Statically advertises a more-specific of a known covering prefix at
+  /// `pop`, tagged no-export so it never leaks (§3.2).
+  void add_static_more_specific(const net::Ipv4Prefix& more_specific, PopId pop);
+  void clear_overrides();
+
+  // --- topology access --------------------------------------------------------
+  [[nodiscard]] std::span<const VnsPop> pops() const noexcept { return pops_; }
+  [[nodiscard]] const VnsPop& pop(PopId id) const { return pops_.at(id); }
+  [[nodiscard]] std::optional<PopId> find_pop(std::string_view name) const noexcept;
+  [[nodiscard]] std::span<const VnsLink> links() const noexcept { return links_; }
+  [[nodiscard]] const bgp::Fabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] bgp::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] bgp::RouterId reflector() const noexcept { return rr_; }
+  [[nodiscard]] PopId pop_of_router(bgp::RouterId router) const {
+    return router_pop_.at(router);
+  }
+  [[nodiscard]] const VnsConfig& config() const noexcept { return config_; }
+
+  // --- routing queries ---------------------------------------------------------
+  /// The PoP whose city is geographically closest to a point (what the RR
+  /// computes from the GeoIP-reported location).
+  [[nodiscard]] PopId geo_closest_pop(const geo::GeoPoint& where) const noexcept;
+
+  /// Longest-prefix-match over everything VNS has a route for.
+  [[nodiscard]] std::optional<net::Ipv4Prefix> match_prefix(net::Ipv4Address address) const;
+
+  /// The route installed at `viewpoint`'s primary router for an address
+  /// (LPM), or nullptr when unrouted.
+  [[nodiscard]] const bgp::Route* route_at(PopId viewpoint, net::Ipv4Address address) const;
+
+  /// Egress PoP chosen at `viewpoint` for an address.
+  [[nodiscard]] std::optional<PopId> egress_pop(PopId viewpoint, net::Ipv4Address address) const;
+
+  /// Best route leaving the Internet *locally* at `pop` (probe traffic
+  /// "forced out of VNS immediately at each PoP", §4.1).  With
+  /// `upstreams_only`, restricts to transit sessions (the §4.3 comparison
+  /// "through its upstreams").
+  [[nodiscard]] std::optional<bgp::Route> local_exit_route(PopId pop, net::Ipv4Address address,
+                                                           bool upstreams_only = false) const;
+
+  /// The US-centred Tier-1 in the upstream pool (London's primary upstream
+  /// when `us_upstream_in_london` is set).
+  [[nodiscard]] topo::AsIndex us_centred_upstream() const noexcept { return us_centred_ltp_; }
+
+  // --- internal data plane -----------------------------------------------------
+  /// PoP sequence of the internal shortest path (inclusive); empty if a==b.
+  [[nodiscard]] std::vector<PopId> internal_path(PopId a, PopId b) const;
+  /// Base RTT over the internal path.
+  [[nodiscard]] double internal_rtt_ms(PopId a, PopId b) const;
+  /// Segment profiles (for the sim::PathModel) over the internal path.
+  [[nodiscard]] std::vector<sim::SegmentProfile> internal_segments(
+      PopId a, PopId b, const topo::SegmentCatalog& catalog) const;
+
+  // --- anycast ingress (§4.4) ----------------------------------------------------
+  /// The PoP where a service request from `user_as` (homed at `user_loc`)
+  /// enters VNS.  With `geo_strategies` (regional transit purchases, broad
+  /// peering) the chosen neighbor's attachment nearest the user wins;
+  /// without them, the neighbor hands traffic off hot-potato from its own
+  /// side, ignoring the user's geography (the ablation case).
+  [[nodiscard]] PopId select_ingress(topo::AsIndex user_as, const geo::GeoPoint& user_loc,
+                                     bool geo_strategies = true) const;
+
+  /// All (neighbor AS, PoP) transit/peering attachments.
+  struct Attachment {
+    topo::AsIndex as = topo::kNoAs;
+    PopId pop = kNoPop;
+    bool upstream = false;
+    bgp::NeighborId session = bgp::kNoNeighbor;
+  };
+  [[nodiscard]] std::span<const Attachment> attachments() const noexcept {
+    return attachments_;
+  }
+
+ private:
+  void build_pops();
+  void build_links();
+  void attach_neighbors();
+  void install_policies();
+  [[nodiscard]] std::uint32_t lp_from_distance(double km) const noexcept;
+  /// Reachability of neighbor AS `as` from every AS (lazily cached).
+  struct NeighborReach {
+    std::vector<std::uint16_t> hops;     ///< AS hops to the neighbor
+    std::vector<bool> in_customer_cone;  ///< user inside the neighbor's cone
+  };
+  [[nodiscard]] const NeighborReach& reach(topo::AsIndex as) const;
+
+  const topo::Internet& internet_;
+  const geo::GeoIpDatabase& geoip_;
+  VnsConfig config_;
+
+  bgp::Fabric fabric_;
+  bgp::RouterId rr_ = bgp::kInvalidRouter;
+  std::vector<VnsPop> pops_;
+  std::vector<VnsLink> links_;
+  std::vector<PopId> router_pop_;  ///< indexed by RouterId
+  std::vector<Attachment> attachments_;
+
+  bool geo_enabled_ = false;
+  topo::AsIndex us_centred_ltp_ = topo::kNoAs;
+  std::unordered_map<net::Ipv4Prefix, PopId> forced_exit_;
+  std::unordered_set<net::Ipv4Prefix> exempt_;
+  net::PrefixTrie<bool> known_prefixes_;
+
+  mutable std::unordered_map<topo::AsIndex, NeighborReach> reach_cache_;
+};
+
+}  // namespace vns::core

@@ -1,0 +1,41 @@
+// A small world-city catalog used to place ASes, PoPs, prefixes, and users.
+//
+// The catalog is intentionally static and versioned with the code: topology
+// generation must be deterministic, and the paper's geography (four
+// continents, three measured regions, a handful of named PoP cities) is fully
+// covered by ~70 major Internet cities.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "geo/geo.hpp"
+
+namespace vns::geo {
+
+struct City {
+  std::string_view name;        ///< unique slug, e.g. "Amsterdam"
+  std::string_view country;     ///< ISO-3166 alpha-2
+  GeoPoint location;
+  WorldRegion region;
+};
+
+/// The full catalog, ordered by region then name.
+[[nodiscard]] std::span<const City> all_cities() noexcept;
+
+/// Cities belonging to one world region.
+[[nodiscard]] std::span<const City> cities_in(WorldRegion region) noexcept;
+
+/// Case-sensitive lookup by slug; nullopt when unknown.
+[[nodiscard]] std::optional<City> find_city(std::string_view name) noexcept;
+
+/// Lookup that must succeed (used for the fixed VNS PoP cities);
+/// terminates via assert in debug builds if the slug is unknown.
+[[nodiscard]] City city(std::string_view name) noexcept;
+
+/// World region of an arbitrary point: the region of the nearest catalog
+/// city (used to classify hosts that are not at a catalog city).
+[[nodiscard]] WorldRegion region_of(const GeoPoint& point) noexcept;
+
+}  // namespace vns::geo

@@ -1,0 +1,60 @@
+// Geographic primitives: coordinates, great-circle distance, and the region
+// taxonomies used by the paper.
+//
+// The paper's routing contribution reduces to one computation — the
+// great-circle distance between an egress PoP and a destination prefix's
+// GeoIP location (§3.2) — plus a region vocabulary for reporting: seven world
+// regions for traffic origins (Fig. 7) and four PoP regions (EU/US/AP/OC).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vns::geo {
+
+/// Mean Earth radius in kilometres (IUGG).
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// A point on the Earth's surface, degrees latitude/longitude.
+struct GeoPoint {
+  double latitude_deg = 0.0;   ///< [-90, 90], north positive
+  double longitude_deg = 0.0;  ///< [-180, 180], east positive
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance via the haversine formula (§3.2, [34]).
+/// Numerically stable for antipodal and coincident points.
+[[nodiscard]] double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Moves a point `distance_km` towards `bearing_deg` (0 = north, 90 = east)
+/// along a great circle; used to scatter prefixes around their AS home city.
+[[nodiscard]] GeoPoint destination_point(const GeoPoint& origin, double bearing_deg,
+                                         double distance_km) noexcept;
+
+/// The seven world regions of Fig. 7 (traffic origins).
+enum class WorldRegion : std::uint8_t {
+  kOceania,
+  kAsiaPacific,
+  kMiddleEast,
+  kAfrica,
+  kEurope,
+  kNorthCentralAmerica,
+  kSouthAmerica,
+};
+inline constexpr int kWorldRegionCount = 7;
+
+/// The four VNS PoP regions of §4.4 / Fig. 7.
+enum class PopRegion : std::uint8_t { kEU, kUS, kAP, kOC };
+inline constexpr int kPopRegionCount = 4;
+
+[[nodiscard]] std::string_view to_string(WorldRegion region) noexcept;
+[[nodiscard]] std::string_view to_string(PopRegion region) noexcept;
+
+/// The PoP region that serves a given world region "by geography" —
+/// the expected diagonal of Fig. 7.
+[[nodiscard]] PopRegion expected_pop_region(WorldRegion region) noexcept;
+
+}  // namespace vns::geo

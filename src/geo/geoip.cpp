@@ -1,0 +1,72 @@
+#include "geo/geoip.hpp"
+
+#include <algorithm>
+
+namespace vns::geo {
+
+std::string_view to_string(GeoIpErrorClass error_class) noexcept {
+  switch (error_class) {
+    case GeoIpErrorClass::kAccurate: return "accurate";
+    case GeoIpErrorClass::kJittered: return "jittered";
+    case GeoIpErrorClass::kCountryCentroid: return "country-centroid";
+    case GeoIpErrorClass::kStaleRecord: return "stale-record";
+  }
+  return "unknown";
+}
+
+void GeoIpDatabase::add(const net::Ipv4Prefix& prefix, const GeoPoint& truth,
+                        std::string_view country, const GeoIpErrorModel& model,
+                        util::Rng& rng) {
+  // Error classes are applied in priority order: an explicit stale record
+  // trumps centroid collapse, which trumps ordinary placement noise.
+  if (model.stale_probability > 0.0 && rng.bernoulli(model.stale_probability)) {
+    add_with_report(prefix, truth, model.centroid_location, GeoIpErrorClass::kStaleRecord);
+    return;
+  }
+  const bool centroid_country =
+      std::find(model.centroid_countries.begin(), model.centroid_countries.end(), country) !=
+      model.centroid_countries.end();
+  if (centroid_country && rng.bernoulli(model.centroid_probability)) {
+    add_with_report(prefix, truth, model.centroid_location, GeoIpErrorClass::kCountryCentroid);
+    return;
+  }
+  const double bearing = rng.uniform(0.0, 360.0);
+  if (rng.bernoulli(model.accurate_fraction)) {
+    const double noise_km = std::min(rng.exponential(model.accurate_noise_km), 99.0);
+    add_with_report(prefix, truth, destination_point(truth, bearing, noise_km),
+                    GeoIpErrorClass::kAccurate);
+  } else {
+    const double jitter_km = rng.lognormal(model.jitter_mu_log_km, model.jitter_sigma_log);
+    add_with_report(prefix, truth, destination_point(truth, bearing, jitter_km),
+                    GeoIpErrorClass::kJittered);
+  }
+}
+
+void GeoIpDatabase::add_with_report(const net::Ipv4Prefix& prefix, const GeoPoint& truth,
+                                    const GeoPoint& reported, GeoIpErrorClass error_class) {
+  const bool inserted =
+      table_.insert(prefix, GeoIpEntry{reported, truth, error_class});
+  if (inserted) ++class_counts_[static_cast<std::size_t>(error_class)];
+}
+
+std::optional<GeoPoint> GeoIpDatabase::lookup(net::Ipv4Address address) const noexcept {
+  const auto match = table_.longest_match(address);
+  if (!match) return std::nullopt;
+  return match->second->reported;
+}
+
+std::optional<GeoPoint> GeoIpDatabase::lookup(const net::Ipv4Prefix& prefix) const noexcept {
+  // A prefix locates like its first host: real databases answer per-IP, and
+  // the RR queries them with the NLRI's network address.
+  return lookup(prefix.first_host());
+}
+
+const GeoIpEntry* GeoIpDatabase::entry(const net::Ipv4Prefix& prefix) const noexcept {
+  return table_.find(prefix);
+}
+
+std::size_t GeoIpDatabase::count(GeoIpErrorClass error_class) const noexcept {
+  return class_counts_[static_cast<std::size_t>(error_class)];
+}
+
+}  // namespace vns::geo

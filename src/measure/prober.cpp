@@ -1,0 +1,43 @@
+#include "measure/prober.hpp"
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace vns::measure {
+
+PingResult Prober::ping(const sim::PathModel& path, double t, int count) {
+  PingResult result;
+  result.sent = count;
+  const double p_one_way = path.loss_probability(t);
+  // Round trip: the echo must survive both directions.
+  const double p_rt = 1.0 - (1.0 - p_one_way) * (1.0 - p_one_way);
+  for (int i = 0; i < count; ++i) {
+    if (rng_.bernoulli(p_rt)) {
+      ++result.lost;
+      continue;
+    }
+    const double rtt = path.sample_rtt_ms(t, rng_);
+    if (!result.min_rtt_ms || rtt < *result.min_rtt_ms) result.min_rtt_ms = rtt;
+  }
+  return result;
+}
+
+TrainResult Prober::train(const sim::PathModel& path, double t, int count) {
+  TrainResult result;
+  result.sent = count;
+  result.lost = static_cast<int>(path.sample_losses(t, static_cast<std::uint32_t>(count), rng_));
+  return result;
+}
+
+void HourlyLossCounter::record(double t_seconds, bool had_loss) noexcept {
+  const int hour = static_cast<int>(sim::local_hour(t_seconds, tz_)) % 24;
+  total_[static_cast<std::size_t>(hour)]++;
+  if (had_loss) lossy_[static_cast<std::size_t>(hour)]++;
+}
+
+std::uint32_t HourlyLossCounter::peak_lossy_rounds() const noexcept {
+  return *std::max_element(lossy_.begin(), lossy_.end());
+}
+
+}  // namespace vns::measure

@@ -1,0 +1,68 @@
+// Active-measurement primitives matching the paper's campaigns:
+//   - §4.1: 5 ICMP pings per target, minimum RTT recorded;
+//   - §4.3: 20 pings per day per address for a week;
+//   - §5.2: 100 back-to-back packets every 10 minutes for three weeks.
+// Plus the hourly loss-frequency aggregation behind Fig. 12.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/path_model.hpp"
+#include "util/rng.hpp"
+
+namespace vns::measure {
+
+/// Result of one ping burst.
+struct PingResult {
+  int sent = 0;
+  int lost = 0;
+  /// Minimum RTT over the answered probes; nullopt when all were lost.
+  std::optional<double> min_rtt_ms;
+};
+
+/// Result of one back-to-back packet train.
+struct TrainResult {
+  int sent = 0;
+  int lost = 0;
+  [[nodiscard]] double loss_fraction() const noexcept {
+    return sent ? static_cast<double>(lost) / sent : 0.0;
+  }
+};
+
+class Prober {
+ public:
+  explicit Prober(util::Rng rng) : rng_(rng) {}
+
+  /// `count` pings at time t; echo replies share the path's loss (a probe
+  /// counts as lost when either direction drops it).
+  [[nodiscard]] PingResult ping(const sim::PathModel& path, double t, int count = 5);
+
+  /// `count` packets sent back-to-back at time t (the §5.2 train).
+  [[nodiscard]] TrainResult train(const sim::PathModel& path, double t, int count = 100);
+
+ private:
+  util::Rng rng_;
+};
+
+/// Accumulates, per hour of day in a reporting timezone, how many
+/// measurement rounds experienced loss (Fig. 12's y-axis).
+class HourlyLossCounter {
+ public:
+  explicit HourlyLossCounter(double tz_offset_hours) : tz_(tz_offset_hours) {}
+
+  /// Records one measurement round at absolute time t.
+  void record(double t_seconds, bool had_loss) noexcept;
+
+  [[nodiscard]] std::uint32_t lossy_rounds(int hour) const { return lossy_.at(hour); }
+  [[nodiscard]] std::uint32_t total_rounds(int hour) const { return total_.at(hour); }
+  [[nodiscard]] std::uint32_t peak_lossy_rounds() const noexcept;
+
+ private:
+  double tz_;
+  std::vector<std::uint32_t> lossy_ = std::vector<std::uint32_t>(24, 0);
+  std::vector<std::uint32_t> total_ = std::vector<std::uint32_t>(24, 0);
+};
+
+}  // namespace vns::measure

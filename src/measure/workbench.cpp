@@ -1,0 +1,188 @@
+#include "measure/workbench.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/time.hpp"
+
+namespace vns::measure {
+
+WorkbenchConfig WorkbenchConfig::small(std::uint64_t seed) {
+  WorkbenchConfig config;
+  config.internet.seed = seed;
+  config.internet.ltp_count = 6;
+  config.internet.stp_count = 40;
+  config.internet.cahp_count = 80;
+  config.internet.ec_count = 160;
+  config.vns.seed = seed ^ 0x5eed;
+  return config;
+}
+
+WorkbenchConfig WorkbenchConfig::paper_scale(std::uint64_t seed) {
+  WorkbenchConfig config;
+  config.internet.seed = seed;  // defaults: ~2.2k ASes, ~10k prefixes
+  config.vns.seed = seed ^ 0x5eed;
+  return config;
+}
+
+Workbench::Workbench(const WorkbenchConfig& config)
+    : config_(config),
+      internet_(topo::Internet::generate(config.internet)),
+      geoip_(internet_.build_geoip(config.geoip_model, config.geoip_seed)),
+      vns_(std::make_unique<core::VnsNetwork>(internet_, geoip_, config.vns)) {
+  delay_ = config.vns.delay;
+}
+
+std::unique_ptr<Workbench> Workbench::build(const WorkbenchConfig& config) {
+  // Not make_unique: the constructor is private.
+  auto bench = std::unique_ptr<Workbench>(new Workbench(config));
+  if (config.feed_routes) bench->vns_->feed_routes();
+  return bench;
+}
+
+std::vector<topo::AsIndex> Workbench::local_exit_as_path(core::PopId pop,
+                                                         std::size_t prefix_id,
+                                                         bool upstreams_only) const {
+  const auto& info = internet_.prefix(prefix_id);
+  const auto route = vns_->local_exit_route(pop, info.prefix.first_host(), upstreams_only);
+  std::vector<topo::AsIndex> path;
+  if (!route) return path;
+  path.reserve(route->attrs.as_path.length());
+  for (const auto asn : route->attrs.as_path.hops()) {
+    const auto index = internet_.index_of(asn);
+    if (index) path.push_back(*index);
+  }
+  return path;
+}
+
+std::vector<sim::SegmentProfile> Workbench::probe_segments(core::PopId pop,
+                                                           std::size_t prefix_id,
+                                                           bool include_last_mile,
+                                                           bool upstreams_only) const {
+  const auto& info = internet_.prefix(prefix_id);
+  const auto& origin = internet_.as_at(info.origin);
+  const auto as_path = local_exit_as_path(pop, prefix_id, upstreams_only);
+  const auto& site = vns_->pop(pop);
+
+  // Geo-spread blocks (§3.2 case two) are *served locally* in the far
+  // region — the organization has unregistered presence there — so the
+  // probe's data path runs to the host's actual location through generic
+  // local transit, not back through the origin AS's home infrastructure.
+  if (info.geo_spread) {
+    return topo::transit_path_segments(internet_, site.city.location, site.city.region,
+                                       /*as_path=*/{}, info.location, origin.type,
+                                       geo::region_of(info.location), catalog_, delay_,
+                                       include_last_mile);
+  }
+
+  // §5.2.2's London anomaly: the US-centred Tier-1 serves intra-European
+  // destinations over a thin, congested European backbone, and hauls some
+  // of that traffic ("some of the hosts") across the Atlantic and back.
+  // Both effects apply whenever a European PoP's exit enters that provider
+  // for a European destination — in practice that is London, where it is
+  // the primary upstream.
+  const bool via_us_backbone =
+      config_.model_us_backbone_detour && !as_path.empty() &&
+      as_path.front() == vns_->us_centred_upstream() &&
+      site.city.region == geo::WorldRegion::kEurope &&
+      origin.region == geo::WorldRegion::kEurope;
+  if (via_us_backbone) {
+    std::vector<sim::SegmentProfile> segments;
+    // Thin intra-EU backbone: a hot segment on every such path.
+    sim::SegmentProfile thin;
+    thin.label = "us-tier1-thin-eu-backbone";
+    thin.congestion_loss = 0.048;
+    thin.diurnal = sim::DiurnalProfile{0.06, 0.50, 0.45};
+    thin.tz_offset_hours = sim::tz_from_longitude(info.location.longitude_deg);
+    thin.jitter_base_ms = 0.1;
+    thin.jitter_peak_ms = 1.5;
+    segments.push_back(std::move(thin));
+    // A deterministic eighth of destinations additionally take the full
+    // transatlantic round trip (the RTT-visible part of the anomaly).
+    if ((info.prefix.address().value() >> 16) % 8 == 0) {
+      const auto& ltp = internet_.as_at(as_path.front());
+      const auto& na_core = topo::nearest_pop(ltp, geo::city("NewYork").location);
+      auto crossing = catalog_.transit_hop(site.city.location, na_core.location,
+                                           topo::RegionClass::kEU, topo::RegionClass::kNA);
+      crossing.rtt_ms = geo::great_circle_km(site.city.location, na_core.location) *
+                            delay_.rtt_ms_per_km * delay_.path_inflation +
+                        delay_.per_hop_rtt_ms;
+      crossing.label += "-backbone-detour";
+      segments.push_back(std::move(crossing));
+      auto rest = topo::transit_path_segments(internet_, na_core.location, na_core.region,
+                                              as_path, info.location, origin.type,
+                                              origin.region, catalog_, delay_,
+                                              include_last_mile);
+      segments.insert(segments.end(), std::make_move_iterator(rest.begin()),
+                      std::make_move_iterator(rest.end()));
+      return segments;
+    }
+    auto rest = topo::transit_path_segments(internet_, site.city.location, site.city.region,
+                                            as_path, info.location, origin.type, origin.region,
+                                            catalog_, delay_, include_last_mile);
+    segments.insert(segments.end(), std::make_move_iterator(rest.begin()),
+                    std::make_move_iterator(rest.end()));
+    return segments;
+  }
+
+  // The first AS on the exit path is the neighbor at this PoP (its handoff
+  // is local); transit_path_segments starts hand-offs from the second.
+  return topo::transit_path_segments(internet_, site.city.location, site.city.region, as_path,
+                                     info.location, origin.type, origin.region, catalog_,
+                                     delay_, include_last_mile);
+}
+
+std::vector<Workbench::LastMileHost> Workbench::select_last_mile_hosts(
+    int per_cell, std::uint64_t seed) const {
+  const geo::WorldRegion regions[] = {geo::WorldRegion::kNorthCentralAmerica,
+                                      geo::WorldRegion::kEurope,
+                                      geo::WorldRegion::kAsiaPacific};
+  util::Rng rng{seed};
+  std::vector<LastMileHost> hosts;
+  for (const auto region : regions) {
+    for (int t = 0; t < topo::kAsTypeCount; ++t) {
+      const auto type = static_cast<topo::AsType>(t);
+      // Group candidate prefixes by origin AS, then round-robin across ASes
+      // so the sample maximizes AS and prefix diversity (§5.2.1).
+      std::map<topo::AsIndex, std::vector<std::size_t>> by_as;
+      for (std::size_t id = 0; id < internet_.prefixes().size(); ++id) {
+        const auto& info = internet_.prefix(id);
+        if (info.geo_spread || info.stale_geoip) continue;
+        const auto& origin = internet_.as_at(info.origin);
+        if (origin.type != type || origin.region != region) continue;
+        by_as[info.origin].push_back(id);
+      }
+      std::vector<std::vector<std::size_t>> pools;
+      pools.reserve(by_as.size());
+      for (auto& [as, ids] : by_as) {
+        rng.shuffle(ids);
+        pools.push_back(std::move(ids));
+      }
+      rng.shuffle(pools);
+      int taken = 0;
+      for (std::size_t round = 0; taken < per_cell; ++round) {
+        bool any = false;
+        for (auto& pool : pools) {
+          if (round >= pool.size()) continue;
+          any = true;
+          hosts.push_back({pool[round], type, region});
+          if (++taken >= per_cell) break;
+        }
+        if (!any) break;  // cell exhausted below per_cell
+      }
+    }
+  }
+  return hosts;
+}
+
+double Workbench::probe_base_rtt_ms(core::PopId pop, std::size_t prefix_id,
+                                    bool upstreams_only) const {
+  double rtt = 0.0;
+  for (const auto& seg :
+       probe_segments(pop, prefix_id, /*include_last_mile=*/true, upstreams_only)) {
+    rtt += seg.rtt_ms;
+  }
+  return rtt;
+}
+
+}  // namespace vns::measure

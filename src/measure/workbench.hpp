@@ -1,0 +1,91 @@
+// The measurement workbench: one fully-assembled world (synthetic Internet,
+// GeoIP database, VNS overlay with routes fed and converged, calibrated
+// segment catalog) shared by the benches and examples.
+//
+// Scale presets: `small()` builds in well under a second (tests, smoke
+// runs); `paper_scale()` is the default bench size — a few thousand ASes
+// and ~10k prefixes, enough for every distribution in the paper to take its
+// shape while a full figure regenerates in seconds.
+#pragma once
+
+#include <memory>
+
+#include "core/vns_network.hpp"
+#include "geo/geoip.hpp"
+#include "topo/internet.hpp"
+#include "topo/segments.hpp"
+
+namespace vns::measure {
+
+struct WorkbenchConfig {
+  topo::InternetConfig internet;
+  core::VnsConfig vns;
+  geo::GeoIpErrorModel geoip_model;
+  std::uint64_t geoip_seed = 4242;
+  bool feed_routes = true;
+  /// Model the documented behaviour behind the §5.2.2 London anomaly: the
+  /// US-centred Tier-1 carries Europe-to-Europe traffic across its home
+  /// backbone (over the Atlantic and back) instead of handing it off locally.
+  bool model_us_backbone_detour = true;
+
+  [[nodiscard]] static WorkbenchConfig small(std::uint64_t seed = 1);
+  [[nodiscard]] static WorkbenchConfig paper_scale(std::uint64_t seed = 1);
+};
+
+class Workbench {
+ public:
+  /// Builds the world: generate -> geolocate -> build VNS -> feed routes.
+  [[nodiscard]] static std::unique_ptr<Workbench> build(const WorkbenchConfig& config);
+
+  Workbench(const Workbench&) = delete;
+  Workbench& operator=(const Workbench&) = delete;
+
+  [[nodiscard]] const topo::Internet& internet() const noexcept { return internet_; }
+  [[nodiscard]] const geo::GeoIpDatabase& geoip() const noexcept { return geoip_; }
+  [[nodiscard]] core::VnsNetwork& vns() noexcept { return *vns_; }
+  [[nodiscard]] const core::VnsNetwork& vns() const noexcept { return *vns_; }
+  [[nodiscard]] const topo::SegmentCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const topo::DelayModel& delay() const noexcept { return delay_; }
+  [[nodiscard]] const WorkbenchConfig& config() const noexcept { return config_; }
+
+  /// AS-index path a probe "forced out of VNS at `pop`" follows to the
+  /// prefix (the local exit route's AS path); empty when unrouted.
+  /// `upstreams_only` restricts the exit to transit sessions (§4.3).
+  [[nodiscard]] std::vector<topo::AsIndex> local_exit_as_path(
+      core::PopId pop, std::size_t prefix_id, bool upstreams_only = false) const;
+
+  /// Segment list for that probe path; `include_last_mile` adds the
+  /// destination access network (§5.2 campaigns) on top of the transit legs.
+  [[nodiscard]] std::vector<sim::SegmentProfile> probe_segments(
+      core::PopId pop, std::size_t prefix_id, bool include_last_mile,
+      bool upstreams_only = false) const;
+
+  /// Base RTT (ms) of that probe path to the prefix's true host location.
+  [[nodiscard]] double probe_base_rtt_ms(core::PopId pop, std::size_t prefix_id,
+                                         bool upstreams_only = false) const;
+
+  /// One selected end host of the §5.2 campaign.
+  struct LastMileHost {
+    std::size_t prefix_id = 0;
+    topo::AsType type = topo::AsType::kEC;
+    geo::WorldRegion region = geo::WorldRegion::kEurope;
+  };
+
+  /// Selects the §5.2 host sample: `per_cell` hosts per (AS type x region)
+  /// for NA, EU and AP — 12 cells, maximizing the number of distinct ASes
+  /// (the paper's 600 = 50 x 4 types x 3 regions).  Deterministic per seed.
+  [[nodiscard]] std::vector<LastMileHost> select_last_mile_hosts(int per_cell,
+                                                                 std::uint64_t seed) const;
+
+ private:
+  explicit Workbench(const WorkbenchConfig& config);
+
+  WorkbenchConfig config_;
+  topo::Internet internet_;
+  geo::GeoIpDatabase geoip_;
+  std::unique_ptr<core::VnsNetwork> vns_;
+  topo::SegmentCatalog catalog_ = topo::SegmentCatalog::paper_calibrated();
+  topo::DelayModel delay_;
+};
+
+}  // namespace vns::measure

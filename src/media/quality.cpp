@@ -1,0 +1,44 @@
+#include "media/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vns::media {
+
+double r_factor(const QualityInput& input) noexcept {
+  const double r0 = 93.2;
+
+  // Delay impairment (G.107 shape): gentle below the interactivity knee at
+  // ~177 ms one-way, steep above.  Jitter consumes receive-buffer margin,
+  // so it acts as additional delay.
+  const double d = input.one_way_delay_ms + 2.0 * input.jitter_ms;
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+
+  // Loss impairment: logarithmic in loss percentage, amplified by
+  // burstiness (a burst wipes whole frames; FEC-style concealment fails).
+  const double loss_pct = std::max(input.loss_fraction, 0.0) * 100.0;
+  const double burst_amp = 1.0 + 0.5 * std::log(std::max(input.burstiness, 1.0));
+  const double ie = 11.0 * std::log1p(10.0 * loss_pct * burst_amp);
+
+  return std::clamp(r0 - id - ie, 0.0, r0);
+}
+
+double mos(const QualityInput& input) noexcept {
+  const double r = r_factor(input);
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  return 1.0 + 0.035 * r + 7.0e-6 * r * (r - 60.0) * (100.0 - r);
+}
+
+double mos_of_session(const SessionStats& stats, double base_rtt_ms,
+                      double burstiness) noexcept {
+  QualityInput input;
+  input.loss_fraction = stats.loss_fraction();
+  input.burstiness = burstiness;
+  input.one_way_delay_ms = base_rtt_ms / 2.0;
+  input.jitter_ms = stats.jitter_ms;
+  return mos(input);
+}
+
+}  // namespace vns::media

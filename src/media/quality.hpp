@@ -1,0 +1,36 @@
+// Call-quality estimation: an E-model-flavoured mapping from the measured
+// network statistics (loss, burstiness, one-way delay, jitter) to a mean
+// opinion score.
+//
+// The paper anchors two operational thresholds: users start complaining
+// above 0.15 % loss (§5.1.1; industry telepresence guidance says 0.1 %),
+// and RTTs above ~150 ms are noticeable (§5).  This model reproduces those
+// anchors: the impairment curve loses about a third of a MOS point at
+// 0.15 % random loss, more when the same loss is bursty, and the delay term
+// follows ITU-T G.107's knee at ~177 ms one-way.  Scores are meant for
+// *relative* comparison of paths (VNS vs transit), not absolute prediction.
+#pragma once
+
+#include "media/session.hpp"
+
+namespace vns::media {
+
+struct QualityInput {
+  double loss_fraction = 0.0;      ///< end-to-end media loss [0,1]
+  double burstiness = 1.0;         ///< mean loss-burst length in packets (>=1)
+  double one_way_delay_ms = 0.0;   ///< propagation + queueing, one way
+  double jitter_ms = 0.0;          ///< RFC 3550 interarrival jitter
+};
+
+/// Transmission-rating factor R in [0, 93.2] (higher is better).
+[[nodiscard]] double r_factor(const QualityInput& input) noexcept;
+
+/// Mean opinion score in [1, 4.5] derived from R (ITU-T G.107 mapping).
+[[nodiscard]] double mos(const QualityInput& input) noexcept;
+
+/// Convenience: scores a measured session over a path with a known base
+/// RTT.  Burstiness defaults to random loss (1.0).
+[[nodiscard]] double mos_of_session(const SessionStats& stats, double base_rtt_ms,
+                                    double burstiness = 1.0) noexcept;
+
+}  // namespace vns::media

@@ -1,0 +1,75 @@
+#include "media/repair.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vns::media {
+
+RepairStats run_fec(double mean_loss, double mean_burst_packets, std::uint64_t packets,
+                    const FecConfig& config, util::Rng& rng) {
+  RepairStats stats;
+  auto channel = sim::GilbertElliott::from_mean_loss(mean_loss, mean_burst_packets);
+  const int block = config.k + config.r;
+  int media_in_block = 0;
+  int lost_in_block = 0;
+
+  auto flush_block = [&](int media_sent) {
+    // Parity packets traverse the same channel.
+    int parity_lost = 0;
+    for (int i = 0; i < config.r; ++i) {
+      stats.repair_packets++;
+      parity_lost += channel.lose_packet(rng);
+    }
+    // Recoverable iff total losses in the block do not exceed r.
+    if (lost_in_block + parity_lost > config.r) {
+      // Only the media losses matter for playback.
+      stats.unrecovered += static_cast<std::uint64_t>(lost_in_block);
+    }
+    (void)media_sent;
+    media_in_block = 0;
+    lost_in_block = 0;
+  };
+
+  for (std::uint64_t p = 0; p < packets; ++p) {
+    stats.media_packets++;
+    const bool lost = channel.lose_packet(rng);
+    stats.lost_before_repair += lost;
+    lost_in_block += lost;
+    if (++media_in_block == config.k) flush_block(config.k);
+  }
+  if (media_in_block > 0) flush_block(media_in_block);
+  (void)block;
+  return stats;
+}
+
+RepairStats run_retransmit(double mean_loss, double mean_burst_packets, std::uint64_t packets,
+                           const RetransmitConfig& config, util::Rng& rng) {
+  RepairStats stats;
+  auto channel = sim::GilbertElliott::from_mean_loss(mean_loss, mean_burst_packets);
+  // Attempts that fit the deadline: detection takes about half an RTT (the
+  // NACK), the repair takes another full relay RTT per attempt.
+  const int budget_attempts = std::min(
+      config.max_attempts,
+      config.relay_rtt_ms > 0.0
+          ? static_cast<int>((config.deadline_ms - config.relay_rtt_ms / 2.0) /
+                             config.relay_rtt_ms)
+          : config.max_attempts);
+
+  for (std::uint64_t p = 0; p < packets; ++p) {
+    stats.media_packets++;
+    if (!channel.lose_packet(rng)) continue;
+    stats.lost_before_repair++;
+    bool recovered = false;
+    for (int attempt = 0; attempt < budget_attempts && !recovered; ++attempt) {
+      stats.repair_packets++;
+      // Retransmissions ride the same channel; bursts tend to eat them too
+      // (the chain state persists), which is exactly FEC's and RTX's shared
+      // weakness against bursty loss.
+      recovered = !channel.lose_packet(rng);
+    }
+    if (!recovered) stats.unrecovered++;
+  }
+  return stats;
+}
+
+}  // namespace vns::media

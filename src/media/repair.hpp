@@ -1,0 +1,71 @@
+// Loss-repair strategies for real-time media: forward error correction and
+// relay-assisted selective retransmission.
+//
+// §2 of the paper frames the design space this reproduction's ablations
+// explore: "Random losses can be mitigated by employing forward error
+// correction (FEC), but FEC performs poorly when loss is very high or
+// bursty.  In such cases, selective retransmission of packets over the
+// lossy hop can be employed, given that the RTT is not high.  But, it
+// requires the presence of video relay server close to end users."  VNS's
+// PoPs are exactly such relays; `bench_ablation_repair` quantifies the
+// trade-off on the same paths the Fig. 9 experiment measures.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gilbert_elliott.hpp"
+#include "sim/path_model.hpp"
+#include "util/rng.hpp"
+
+namespace vns::media {
+
+/// Result of running a repair strategy over a packet stream.
+struct RepairStats {
+  std::uint64_t media_packets = 0;       ///< source packets sent
+  std::uint64_t repair_packets = 0;      ///< FEC or retransmitted packets
+  std::uint64_t lost_before_repair = 0;  ///< network drops of media packets
+  std::uint64_t unrecovered = 0;         ///< still missing at the deadline
+
+  [[nodiscard]] double residual_loss() const noexcept {
+    return media_packets ? static_cast<double>(unrecovered) / media_packets : 0.0;
+  }
+  [[nodiscard]] double raw_loss() const noexcept {
+    return media_packets ? static_cast<double>(lost_before_repair) / media_packets : 0.0;
+  }
+  /// Bandwidth overhead of the repair traffic.
+  [[nodiscard]] double overhead() const noexcept {
+    return media_packets ? static_cast<double>(repair_packets) / media_packets : 0.0;
+  }
+};
+
+struct FecConfig {
+  /// Block code: k media packets protected by r parity packets; any r
+  /// losses within a block of k+r are recoverable (Reed-Solomon-style).
+  int k = 10;
+  int r = 1;
+};
+
+struct RetransmitConfig {
+  /// One-way playout deadline: a repair must arrive within this budget
+  /// after the original would have (receive-buffer depth).
+  double deadline_ms = 150.0;
+  /// RTT between the receiver and the retransmitting relay.
+  double relay_rtt_ms = 30.0;
+  /// Maximum retransmission attempts within the deadline.
+  int max_attempts = 2;
+};
+
+/// Streams `packets` packets through a Gilbert–Elliott channel with the
+/// given mean loss and burstiness, applying (k, r) FEC block recovery.
+[[nodiscard]] RepairStats run_fec(double mean_loss, double mean_burst_packets,
+                                  std::uint64_t packets, const FecConfig& config,
+                                  util::Rng& rng);
+
+/// Same stream, with NACK-based selective retransmission from a relay:
+/// each loss is re-requested; an attempt succeeds if the retransmission
+/// survives the channel and fits the playout deadline.
+[[nodiscard]] RepairStats run_retransmit(double mean_loss, double mean_burst_packets,
+                                         std::uint64_t packets, const RetransmitConfig& config,
+                                         util::Rng& rng);
+
+}  // namespace vns::media

@@ -1,0 +1,74 @@
+// Video session execution and instrumentation.
+//
+// Mirrors the paper's measurement client (§5.1): a SIP/RTP client streams a
+// pre-recorded conference to an echo server for two minutes, logging lost
+// packets per five-second slot (24 slots, §5.1.2) and RFC 3550 interarrival
+// jitter.  Two execution modes:
+//   - run_session: slot-level statistical execution against a
+//     sim::PathModel (fast; used by the campaign benches), and
+//   - run_packet_session: per-packet execution with an explicit schedule
+//     and a Gilbert–Elliott channel layered on the path model (used for
+//     fine-grained validation of the slot-level shortcut).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/video.hpp"
+#include "sim/gilbert_elliott.hpp"
+#include "sim/path_model.hpp"
+#include "util/rng.hpp"
+
+namespace vns::media {
+
+/// Instrumentation results of one streamed session.
+struct SessionStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  std::vector<std::uint32_t> slot_packets;  ///< per 5 s slot
+  std::vector<std::uint32_t> slot_losses;
+  double jitter_ms = 0.0;  ///< RFC 3550 interarrival jitter estimate
+
+  [[nodiscard]] double loss_fraction() const noexcept {
+    return packets_sent ? static_cast<double>(packets_lost) / packets_sent : 0.0;
+  }
+  [[nodiscard]] double loss_percent() const noexcept { return loss_fraction() * 100.0; }
+  /// Number of 5-second slots with at least one lost packet (Fig. 10's x).
+  [[nodiscard]] int lossy_slots() const noexcept;
+};
+
+struct SessionConfig {
+  double duration_s = 120.0;  ///< the paper's two-minute streams
+  double slot_s = 5.0;        ///< loss-logging granularity (24 slots)
+  /// Extra delay-sample pairs drawn to estimate jitter.
+  int jitter_samples = 64;
+};
+
+/// Slot-level execution: packet counts per slot from the profile, losses
+/// drawn from the path model's instantaneous loss probability.
+[[nodiscard]] SessionStats run_session(const sim::PathModel& path, const VideoProfile& profile,
+                                       double start_s, const SessionConfig& config,
+                                       util::Rng& rng);
+
+/// Per-packet execution over an explicit schedule, with Gilbert–Elliott
+/// burstiness (mean burst length in packets) modulating the path loss.
+[[nodiscard]] SessionStats run_packet_session(const sim::PathModel& path,
+                                              const VideoProfile& profile, double start_s,
+                                              const SessionConfig& config,
+                                              double mean_burst_packets, util::Rng& rng);
+
+/// RFC 3550 §6.4.1 interarrival-jitter estimator.
+class JitterEstimator {
+ public:
+  /// Feeds one packet's one-way transit delay (ms).
+  void add_transit_ms(double transit_ms) noexcept;
+  [[nodiscard]] double jitter_ms() const noexcept { return jitter_ms_; }
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+ private:
+  double last_transit_ms_ = 0.0;
+  double jitter_ms_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace vns::media

@@ -1,0 +1,63 @@
+#include "media/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vns::media {
+
+VideoProfile VideoProfile::hd720() {
+  VideoProfile profile;
+  profile.name = "720p";
+  profile.video_bitrate_bps = 2.5e6;
+  profile.fps = 30;
+  return profile;
+}
+
+VideoProfile VideoProfile::hd1080() {
+  VideoProfile profile;
+  profile.name = "1080p";
+  profile.video_bitrate_bps = 4.5e6;
+  profile.fps = 30;
+  return profile;
+}
+
+double VideoProfile::packets_per_second() const noexcept {
+  const double video_pps = video_bitrate_bps / 8.0 / payload_bytes;
+  const double audio_pps = 50.0;  // 20 ms audio framing
+  (void)audio_bitrate_bps;
+  return video_pps + audio_pps;
+}
+
+std::uint32_t VideoProfile::packets_in(double seconds) const noexcept {
+  return static_cast<std::uint32_t>(packets_per_second() * seconds + 0.5);
+}
+
+PacketSchedule build_schedule(const VideoProfile& profile, double duration_s, util::Rng& rng) {
+  PacketSchedule schedule;
+  const double frame_interval = 1.0 / profile.fps;
+  const double mean_frame_bits = profile.video_bitrate_bps * frame_interval;
+  // Solve for the delta-frame size so that with one key frame per GOP the
+  // average bitrate matches: (key_factor + (gop-1)) * delta = gop * mean.
+  const double delta_frame_bits = mean_frame_bits * profile.gop_frames /
+                                  (profile.keyframe_size_factor + profile.gop_frames - 1);
+  const double payload_bits = profile.payload_bytes * 8.0;
+
+  int frame = 0;
+  for (double t = 0.0; t < duration_s; t += frame_interval, ++frame) {
+    const bool keyframe = frame % profile.gop_frames == 0;
+    const double frame_bits =
+        (keyframe ? profile.keyframe_size_factor : 1.0) * delta_frame_bits *
+        rng.uniform(0.85, 1.15);  // mild encoder variance
+    const int packets = std::max(1, static_cast<int>(std::ceil(frame_bits / payload_bits)));
+    for (int p = 0; p < packets; ++p) {
+      // Packets of one frame leave back-to-back (~0.1 ms pacing).
+      schedule.send_offsets_s.push_back(t + p * 1e-4);
+    }
+  }
+  // Audio: 50 packets/s interleaved.
+  for (double t = 0.0; t < duration_s; t += 0.02) schedule.send_offsets_s.push_back(t);
+  std::sort(schedule.send_offsets_s.begin(), schedule.send_offsets_s.end());
+  return schedule;
+}
+
+}  // namespace vns::media

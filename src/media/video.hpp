@@ -1,0 +1,49 @@
+// Synthetic HD video-conference traffic.
+//
+// The paper streams pre-recorded 720p/1080p conferences captured on
+// professional equipment (§5.1); the loss and jitter statistics it reports
+// depend on the *packet process* (rate, packetization, key-frame bursts),
+// not on pixel content, so we generate an equivalent RTP packet schedule:
+// CBR-ish encoded video at the profile bitrate, MTU-sized packets, periodic
+// key frames that burst several packets back-to-back, plus a constant-rate
+// audio stream.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vns::media {
+
+struct VideoProfile {
+  std::string_view name;
+  double video_bitrate_bps = 4.0e6;
+  double audio_bitrate_bps = 64e3;
+  int fps = 30;
+  int payload_bytes = 1200;        ///< RTP payload per packet
+  int gop_frames = 60;             ///< key-frame period
+  double keyframe_size_factor = 6.0;  ///< key frame vs average frame size
+
+  /// Industry-standard presets used by the paper's clients.
+  [[nodiscard]] static VideoProfile hd720();
+  [[nodiscard]] static VideoProfile hd1080();
+
+  /// Mean packets per second across video + audio.
+  [[nodiscard]] double packets_per_second() const noexcept;
+  /// Expected packets in a window of `seconds`.
+  [[nodiscard]] std::uint32_t packets_in(double seconds) const noexcept;
+};
+
+/// One RTP packet's departure offset within a session.
+struct PacketSchedule {
+  std::vector<double> send_offsets_s;  ///< ascending, within [0, duration)
+};
+
+/// Builds an explicit per-packet schedule (key-frame bursts included) for
+/// fine-grained experiments; campaign statistics use packets_in() instead.
+[[nodiscard]] PacketSchedule build_schedule(const VideoProfile& profile, double duration_s,
+                                            util::Rng& rng);
+
+}  // namespace vns::media

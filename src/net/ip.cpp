@@ -1,0 +1,59 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace vns::net {
+namespace {
+
+/// Parses a decimal octet (0..255) at the front of `text`, advancing it.
+std::optional<std::uint32_t> parse_octet(std::string_view& text) noexcept {
+  std::uint32_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    const auto part = parse_octet(text);
+    if (!part) return std::nullopt;
+    value = (value << 8) | *part;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buffer;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  auto length_text = text.substr(slash + 1);
+  const auto length = parse_octet(length_text);
+  if (!length || !length_text.empty() || *length > 32) return std::nullopt;
+  return Ipv4Prefix{*address, static_cast<std::uint8_t>(*length)};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace vns::net

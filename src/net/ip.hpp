@@ -1,0 +1,105 @@
+// IPv4 address and CIDR prefix value types.
+//
+// The routing substrate works entirely on these types: prefixes are BGP NLRI,
+// addresses are probe targets and media endpoints.  Both are trivially
+// copyable, totally ordered, and hashable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vns::net {
+
+/// An autonomous system number (32-bit per RFC 6793).
+using Asn = std::uint32_t;
+
+/// IPv4 address stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Parses dotted-quad notation; returns nullopt on any syntax error.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv4 CIDR prefix; the address is stored canonicalized (host bits zeroed).
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Canonicalizes: bits below the prefix length are cleared.
+  constexpr Ipv4Prefix(Ipv4Address address, std::uint8_t length) noexcept
+      : address_(Ipv4Address{address.value() & mask_for(length)}),
+        length_(length <= 32 ? length : 32) {}
+
+  [[nodiscard]] constexpr Ipv4Address address() const noexcept { return address_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return length_; }
+
+  /// Network mask for a prefix length; mask_for(0) == 0.
+  [[nodiscard]] static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0u : (length >= 32 ? ~0u : ~0u << (32 - length));
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask_for(length_)) == address_.value();
+  }
+
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+
+  /// First assignable host address (we use .1 by convention, matching the
+  /// paper's "first IP address in each destination prefix" probing rule).
+  [[nodiscard]] constexpr Ipv4Address first_host() const noexcept {
+    return length_ >= 31 ? address_ : Ipv4Address{address_.value() + 1};
+  }
+
+  /// Number of addresses covered (2^(32-length), saturating for /0).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Parses "a.b.c.d/len"; returns nullopt on any syntax error.
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const noexcept = default;
+
+ private:
+  Ipv4Address address_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace vns::net
+
+template <>
+struct std::hash<vns::net::Ipv4Address> {
+  std::size_t operator()(const vns::net::Ipv4Address& addr) const noexcept {
+    return std::hash<std::uint32_t>{}(addr.value());
+  }
+};
+
+template <>
+struct std::hash<vns::net::Ipv4Prefix> {
+  std::size_t operator()(const vns::net::Ipv4Prefix& prefix) const noexcept {
+    const auto mixed = (std::uint64_t{prefix.address().value()} << 8) | prefix.length();
+    return std::hash<std::uint64_t>{}(mixed);
+  }
+};

@@ -1,0 +1,147 @@
+// Binary radix trie keyed by IPv4 prefixes, supporting exact insert/erase,
+// longest-prefix match, and covered-prefix enumeration.
+//
+// This is the routing-table container for both the BGP Loc-RIBs and the
+// GeoIP database: a lookup of a destination address walks at most 32 nodes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace vns::net {
+
+/// Map from Ipv4Prefix to T with longest-prefix-match semantics.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or overwrites the value at an exact prefix. Returns true when
+  /// the prefix was newly inserted.
+  bool insert(const Ipv4Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Removes an exact prefix; returns true when present.
+  bool erase(const Ipv4Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] T* find(const Ipv4Prefix& prefix) noexcept {
+    Node* node = descend(prefix);
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+  [[nodiscard]] const T* find(const Ipv4Prefix& prefix) const noexcept {
+    return const_cast<PrefixTrie*>(this)->find(prefix);
+  }
+
+  /// Longest-prefix match for an address; nullopt when nothing covers it.
+  [[nodiscard]] std::optional<std::pair<Ipv4Prefix, const T*>> longest_match(
+      Ipv4Address address) const noexcept {
+    const Node* node = root_.get();
+    const Node* best = node->value ? node : nullptr;
+    std::uint8_t best_depth = 0;
+    std::uint8_t depth = 0;
+    std::uint32_t bits = address.value();
+    while (depth < 32) {
+      const std::size_t branch = (bits >> 31) & 1u;
+      bits <<= 1;
+      node = node->children[branch].get();
+      if (node == nullptr) break;
+      ++depth;
+      if (node->value) {
+        best = node;
+        best_depth = depth;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    const std::uint32_t masked = address.value() & Ipv4Prefix::mask_for(best_depth);
+    return std::make_pair(Ipv4Prefix{Ipv4Address{masked}, best_depth}, &*best->value);
+  }
+
+  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  void for_each(const std::function<void(const Ipv4Prefix&, const T&)>& visit) const {
+    walk(root_.get(), 0, 0, visit);
+  }
+
+  /// Collects every stored prefix covered by `covering` (including itself).
+  [[nodiscard]] std::vector<Ipv4Prefix> covered_by(const Ipv4Prefix& covering) const {
+    std::vector<Ipv4Prefix> result;
+    for_each([&](const Ipv4Prefix& prefix, const T&) {
+      if (covering.contains(prefix)) result.push_back(prefix);
+    });
+    return result;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  Node* descend(const Ipv4Prefix& prefix) noexcept {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.address().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const std::size_t branch = (bits >> 31) & 1u;
+      bits <<= 1;
+      node = node->children[branch].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  Node* descend_create(const Ipv4Prefix& prefix) {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.address().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const std::size_t branch = (bits >> 31) & 1u;
+      bits <<= 1;
+      if (!node->children[branch]) node->children[branch] = std::make_unique<Node>();
+      node = node->children[branch].get();
+    }
+    return node;
+  }
+
+  static void walk(const Node* node, std::uint32_t bits, std::uint8_t depth,
+                   const std::function<void(const Ipv4Prefix&, const T&)>& visit) {
+    if (node->value) {
+      visit(Ipv4Prefix{Ipv4Address{bits}, depth}, *node->value);
+    }
+    for (std::size_t branch = 0; branch < 2; ++branch) {
+      if (node->children[branch]) {
+        const std::uint32_t child_bits =
+            bits | (branch ? (1u << (31 - depth)) : 0u);
+        walk(node->children[branch].get(), child_bits, depth + 1, visit);
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vns::net

@@ -1,0 +1,32 @@
+#include "sim/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vns::sim {
+namespace {
+
+/// Gaussian bump on a 24-hour circle (wraps around midnight).
+double circular_bump(double hour, double centre, double width) noexcept {
+  double delta = std::fabs(hour - centre);
+  delta = std::min(delta, 24.0 - delta);
+  return std::exp(-0.5 * (delta / width) * (delta / width));
+}
+
+}  // namespace
+
+double DiurnalProfile::level(double local_hour) const noexcept {
+  const double value = base +
+                       business_weight * circular_bump(local_hour, kBusinessPeakHour, kBusinessWidthH) +
+                       evening_weight * circular_bump(local_hour, kEveningPeakHour, kEveningWidthH);
+  return std::clamp(value, 0.0, 1.0);
+}
+
+double DiurnalProfile::daily_mean() const noexcept {
+  double sum = 0.0;
+  constexpr int kSamples = 96;
+  for (int i = 0; i < kSamples; ++i) sum += level(24.0 * i / kSamples);
+  return sum / kSamples;
+}
+
+}  // namespace vns::sim

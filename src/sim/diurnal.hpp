@@ -1,0 +1,45 @@
+// Diurnal congestion profiles.
+//
+// §5.2.3 shows loss frequency following the *destination region's* local
+// peak hours: business hours for enterprise/transit networks, evening hours
+// for residential access (CAHP), and an AP-wide congestion floor strong
+// enough to mask remote regions' peaks.  A profile maps local hour of day to
+// a congestion level in [0, 1] that scales a segment's congestion-driven
+// loss and queueing jitter.
+#pragma once
+
+#include <string>
+
+namespace vns::sim {
+
+/// Congestion level as a function of local hour: a base level plus two
+/// smooth peaks (business and evening), each with its own weight.
+struct DiurnalProfile {
+  double base = 0.1;             ///< off-peak floor
+  double business_weight = 0.0;  ///< peak centred on kBusinessPeakHour
+  double evening_weight = 0.0;   ///< peak centred on kEveningPeakHour
+
+  static constexpr double kBusinessPeakHour = 13.0;  ///< 09–17 bump
+  static constexpr double kBusinessWidthH = 2.8;
+  static constexpr double kEveningPeakHour = 20.5;   ///< 19–23 bump
+  static constexpr double kEveningWidthH = 1.4;
+
+  /// Level in [0,1] at the given local hour [0,24).
+  [[nodiscard]] double level(double local_hour) const noexcept;
+
+  /// Mean level over a full day (trapezoidal, 96 samples).
+  [[nodiscard]] double daily_mean() const noexcept;
+
+  // --- canned profiles -------------------------------------------------------
+  [[nodiscard]] static DiurnalProfile flat(double level) noexcept { return {level, 0.0, 0.0}; }
+  /// Enterprise / transit: business-hours dominated.
+  [[nodiscard]] static DiurnalProfile business(double base, double peak) noexcept {
+    return {base, peak, peak * 0.25};
+  }
+  /// Residential access: evening dominated (CAHP-style).
+  [[nodiscard]] static DiurnalProfile residential(double base, double peak) noexcept {
+    return {base, peak * 0.35, peak};
+  }
+};
+
+}  // namespace vns::sim

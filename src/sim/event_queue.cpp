@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace vns::sim {
+
+void EventQueue::schedule(double when, Action action) {
+  events_.push(Event{std::max(when, now_), next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::run_until(double t_end) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().when <= t_end) {
+    // Copy out before pop: the action may schedule more events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  if (events_.empty()) now_ = std::max(now_, t_end);
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace vns::sim

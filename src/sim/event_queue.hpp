@@ -1,0 +1,55 @@
+// A minimal discrete-event engine: schedule closures at absolute simulated
+// times and run them in timestamp order (FIFO among equal timestamps).
+// Campaign drivers (probing schedules, twice-hourly video sessions) use it
+// to interleave measurement traffic exactly like the deployed experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vns::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when` (seconds). Scheduling in the
+  /// past is clamped to "now".
+  void schedule(double when, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  /// Runs events until the queue empties or the next event is after
+  /// `t_end`; returns the number of events executed.  `now()` advances to
+  /// each event's timestamp, and finally to t_end if the queue drained.
+  std::size_t run_until(double t_end);
+
+  /// Runs everything. Returns events executed.
+  std::size_t run_all();
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;  ///< FIFO tie-break for equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vns::sim

@@ -1,0 +1,40 @@
+#include "sim/gilbert_elliott.hpp"
+
+#include <algorithm>
+
+namespace vns::sim {
+
+GilbertElliott::GilbertElliott(double p_gb, double p_bg, double loss_good,
+                               double loss_bad) noexcept
+    : p_gb_(std::clamp(p_gb, 0.0, 1.0)),
+      p_bg_(std::clamp(p_bg, 0.0, 1.0)),
+      loss_good_(std::clamp(loss_good, 0.0, 1.0)),
+      loss_bad_(std::clamp(loss_bad, 0.0, 1.0)) {}
+
+GilbertElliott GilbertElliott::from_mean_loss(double mean_loss,
+                                              double mean_burst_packets) noexcept {
+  mean_loss = std::clamp(mean_loss, 0.0, 0.999);
+  mean_burst_packets = std::max(mean_burst_packets, 1.0);
+  // Bad-state sojourn is geometric with mean 1/p_bg.
+  const double p_bg = 1.0 / mean_burst_packets;
+  // Stationary Bad probability pi_B = p_gb / (p_gb + p_bg) = mean_loss.
+  const double p_gb = mean_loss >= 1.0 ? 1.0 : p_bg * mean_loss / (1.0 - mean_loss);
+  return GilbertElliott{std::min(p_gb, 1.0), p_bg, 0.0, 1.0};
+}
+
+bool GilbertElliott::lose_packet(util::Rng& rng) noexcept {
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+}
+
+double GilbertElliott::stationary_loss() const noexcept {
+  const double denom = p_gb_ + p_bg_;
+  const double pi_bad = denom > 0.0 ? p_gb_ / denom : 0.0;
+  return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+}
+
+}  // namespace vns::sim

@@ -1,0 +1,44 @@
+// Gilbert–Elliott two-state Markov loss channel.
+//
+// Internet loss is temporally dependent ("bursty", §2 citing [20, 8]): a
+// packet following a lost packet is far likelier to be lost than the
+// long-run average.  The GE channel captures this with a Good and a Bad
+// state; we parameterize it by the operationally meaningful pair
+// (mean loss rate, mean burst length) and derive the transition matrix.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace vns::sim {
+
+class GilbertElliott {
+ public:
+  /// Raw parameterization.
+  /// p_gb: P(Good->Bad) per packet; p_bg: P(Bad->Good) per packet;
+  /// loss_good/loss_bad: loss probability within each state.
+  GilbertElliott(double p_gb, double p_bg, double loss_good, double loss_bad) noexcept;
+
+  /// Operational parameterization: long-run `mean_loss` in [0,1) and mean
+  /// burst (Bad-state sojourn) length in packets (>= 1).  Good state is
+  /// loss-free; Bad state loses every packet.  mean_loss = pi_B.
+  [[nodiscard]] static GilbertElliott from_mean_loss(double mean_loss,
+                                                     double mean_burst_packets) noexcept;
+
+  /// Advances the chain one packet and returns true when the packet is lost.
+  [[nodiscard]] bool lose_packet(util::Rng& rng) noexcept;
+
+  /// Long-run loss probability of the chain.
+  [[nodiscard]] double stationary_loss() const noexcept;
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+  void reset(bool bad = false) noexcept { bad_ = bad; }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_good_;
+  double loss_bad_;
+  bool bad_ = false;
+};
+
+}  // namespace vns::sim

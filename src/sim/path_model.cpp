@@ -1,0 +1,108 @@
+#include "sim/path_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace vns::sim {
+
+PathModel::PathModel(std::vector<SegmentProfile> segments, double horizon_s, util::Rng rng)
+    : segments_(std::move(segments)) {
+  bursts_.resize(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const auto& seg = segments_[i];
+    base_rtt_ms_ += seg.rtt_ms;
+    if (seg.burst_rate_per_day <= 0.0 || horizon_s <= 0.0) continue;
+    util::Rng seg_rng = rng.fork(static_cast<std::uint64_t>(i));
+    const double horizon_days = horizon_s / kSecondsPerDay;
+    const auto events = seg_rng.poisson(seg.burst_rate_per_day * horizon_days);
+    auto& timeline = bursts_[i];
+    timeline.reserve(events);
+    // Lognormal with the requested mean: mu = ln(mean) - sigma^2/2.
+    const double sigma = seg.burst_duration_sigma;
+    const double mu = std::log(std::max(seg.burst_duration_mean_s, 1e-3)) - sigma * sigma / 2.0;
+    for (std::uint32_t e = 0; e < events; ++e) {
+      const double start = seg_rng.uniform(0.0, horizon_s);
+      const double duration = seg_rng.lognormal(mu, sigma);
+      timeline.push_back({start, start + duration});
+    }
+    std::sort(timeline.begin(), timeline.end(),
+              [](const BurstEvent& a, const BurstEvent& b) { return a.start_s < b.start_s; });
+  }
+}
+
+bool PathModel::segment_burst_active(std::size_t i, double t) const noexcept {
+  const auto& timeline = bursts_[i];
+  // Binary search for the last event starting at or before t.
+  auto it = std::upper_bound(timeline.begin(), timeline.end(), t,
+                             [](double value, const BurstEvent& e) { return value < e.start_s; });
+  // Events can overlap; scan backwards while starts could still cover t.
+  while (it != timeline.begin()) {
+    --it;
+    if (it->end_s > t) return true;
+    // Durations are unordered relative to starts, so we cannot stop at the
+    // first non-covering event; bound the scan with a generous window.
+    if (t - it->start_s > 7200.0) break;  // no event lasts > 2h in practice
+  }
+  return false;
+}
+
+double PathModel::segment_loss(std::size_t i, double t) const noexcept {
+  const auto& seg = segments_[i];
+  double p = seg.random_loss;
+  if (seg.congestion_loss > 0.0) {
+    p += seg.congestion_loss * seg.diurnal.level(local_hour(t, seg.tz_offset_hours));
+  }
+  if (segment_burst_active(i, t)) p += seg.burst_loss;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double PathModel::segment_jitter(std::size_t i, double t) const noexcept {
+  const auto& seg = segments_[i];
+  const double level = seg.diurnal.level(local_hour(t, seg.tz_offset_hours));
+  return seg.jitter_base_ms + (seg.jitter_peak_ms - seg.jitter_base_ms) * level;
+}
+
+double PathModel::loss_probability(double t) const noexcept {
+  double survive = 1.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    survive *= 1.0 - segment_loss(i, t);
+  }
+  return 1.0 - survive;
+}
+
+std::uint32_t PathModel::sample_losses(double t, std::uint32_t packets,
+                                       util::Rng& rng) const noexcept {
+  return rng.binomial(packets, loss_probability(t));
+}
+
+double PathModel::sample_rtt_ms(double t, util::Rng& rng) const noexcept {
+  double rtt = base_rtt_ms_;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const double scale = segment_jitter(i, t);
+    if (scale > 0.0) rtt += rng.exponential(scale);
+  }
+  return rtt;
+}
+
+double PathModel::min_rtt_ms(double t, int probes, util::Rng& rng) const noexcept {
+  double best = sample_rtt_ms(t, rng);
+  for (int i = 1; i < probes; ++i) best = std::min(best, sample_rtt_ms(t, rng));
+  return best;
+}
+
+double PathModel::expected_jitter_ms(double t) const noexcept {
+  double jitter = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) jitter += segment_jitter(i, t);
+  return jitter;
+}
+
+bool PathModel::burst_active(double t) const noexcept {
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segment_burst_active(i, t)) return true;
+  }
+  return false;
+}
+
+}  // namespace vns::sim

@@ -1,0 +1,109 @@
+// The end-to-end data-plane model: a path is an ordered set of segments,
+// each contributing propagation delay, baseline random loss,
+// congestion-driven loss keyed to its own local time of day, queueing
+// jitter, and rare burst events (IGP/BGP convergence, short-lived severe
+// congestion — the loss classes §5.1.2 identifies).
+//
+// Packets are not simulated individually across routers; instead the model
+// answers, for any instant t: "what is the loss probability / RTT
+// distribution right now?"  Campaign drivers then sample packet trains,
+// 5-second media slots, and pings from it.  This reproduces every statistic
+// the paper reports (loss rate, lossy-slot counts, jitter, min-RTT) at a
+// tiny fraction of the cost of packet-level simulation, which is what makes
+// the 7M-probe and two-week-streaming campaigns tractable on a laptop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/diurnal.hpp"
+#include "util/rng.hpp"
+
+namespace vns::sim {
+
+/// Static description of one path segment.
+struct SegmentProfile {
+  std::string label;
+
+  /// Round-trip propagation + processing contribution of this segment (ms).
+  double rtt_ms = 0.0;
+
+  /// Baseline per-packet random loss probability (uniform in time).
+  double random_loss = 0.0;
+  /// Additional per-packet loss at full congestion (scaled by the diurnal
+  /// level of the segment's local clock).
+  double congestion_loss = 0.0;
+  DiurnalProfile diurnal = DiurnalProfile::flat(0.0);
+  /// Local clock driving the diurnal profile (hours ahead of UTC).
+  double tz_offset_hours = 0.0;
+
+  /// Rare severe events (routing convergence, transient congestion):
+  /// Poisson arrivals with lognormal durations; `burst_loss` applies while
+  /// an event is active.
+  double burst_rate_per_day = 0.0;
+  double burst_duration_mean_s = 2.0;
+  double burst_duration_sigma = 1.0;  ///< sigma of the underlying normal
+  double burst_loss = 0.5;
+
+  /// Queueing jitter scale (ms): exponential tail added to the base RTT,
+  /// interpolated between base and peak by the diurnal level.
+  double jitter_base_ms = 0.1;
+  double jitter_peak_ms = 1.5;
+};
+
+/// One realized burst event on a segment.
+struct BurstEvent {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// A realized path: burst timelines are drawn once (deterministically from
+/// the seed) for the experiment horizon; all queries are then const.
+class PathModel {
+ public:
+  PathModel(std::vector<SegmentProfile> segments, double horizon_s, util::Rng rng);
+
+  /// Instantaneous per-packet loss probability across all segments.
+  [[nodiscard]] double loss_probability(double t) const noexcept;
+
+  /// Number of packets lost out of `packets` sent around time t
+  /// (binomial draw against the instantaneous loss probability).
+  [[nodiscard]] std::uint32_t sample_losses(double t, std::uint32_t packets,
+                                            util::Rng& rng) const noexcept;
+
+  /// Sum of segment base RTTs (the floor of any RTT sample).
+  [[nodiscard]] double base_rtt_ms() const noexcept { return base_rtt_ms_; }
+
+  /// One RTT sample at time t: base + congestion-scaled queueing tail.
+  [[nodiscard]] double sample_rtt_ms(double t, util::Rng& rng) const noexcept;
+
+  /// Minimum of `probes` RTT samples (the paper's 5-ping min-RTT metric).
+  [[nodiscard]] double min_rtt_ms(double t, int probes, util::Rng& rng) const noexcept;
+
+  /// Expected RFC3550-style interarrival jitter at time t (ms): the mean
+  /// absolute delay delta, which for an exponential tail equals its scale.
+  [[nodiscard]] double expected_jitter_ms(double t) const noexcept;
+
+  /// True when any segment has an active burst event at time t.
+  [[nodiscard]] bool burst_active(double t) const noexcept;
+
+  [[nodiscard]] const std::vector<SegmentProfile>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] const std::vector<std::vector<BurstEvent>>& burst_timelines() const noexcept {
+    return bursts_;
+  }
+
+ private:
+  /// Loss probability contributed by segment i at time t.
+  [[nodiscard]] double segment_loss(std::size_t i, double t) const noexcept;
+  /// Jitter scale (ms) of segment i at time t.
+  [[nodiscard]] double segment_jitter(std::size_t i, double t) const noexcept;
+  [[nodiscard]] bool segment_burst_active(std::size_t i, double t) const noexcept;
+
+  std::vector<SegmentProfile> segments_;
+  std::vector<std::vector<BurstEvent>> bursts_;  ///< per segment, sorted by start
+  double base_rtt_ms_ = 0.0;
+};
+
+}  // namespace vns::sim

@@ -1,0 +1,27 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+
+namespace vns::sim {
+
+double hour_of_day_utc(double t_seconds) noexcept {
+  double hours = std::fmod(t_seconds / kSecondsPerHour, 24.0);
+  if (hours < 0) hours += 24.0;
+  return hours;
+}
+
+double local_hour(double t_seconds, double tz_offset_hours) noexcept {
+  double hours = std::fmod(t_seconds / kSecondsPerHour + tz_offset_hours, 24.0);
+  if (hours < 0) hours += 24.0;
+  return hours;
+}
+
+int day_index(double t_seconds) noexcept {
+  return static_cast<int>(std::floor(t_seconds / kSecondsPerDay));
+}
+
+double tz_from_longitude(double longitude_deg) noexcept {
+  return std::round(longitude_deg / 15.0);
+}
+
+}  // namespace vns::sim

@@ -1,0 +1,36 @@
+// Simulation time utilities.
+//
+// Experiments run on a simulated timeline measured in seconds from the
+// campaign start (midnight UTC of day 0).  The paper reports everything in
+// CET and keys congestion to *local* peak hours of the destination region
+// (§5.2.3), so the conversions here are the load-bearing part.
+#pragma once
+
+namespace vns::sim {
+
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Timezone offsets (hours ahead of UTC) used for the paper's regions.
+/// CET is the paper's reporting timezone.
+inline constexpr double kTzCet = 1.0;
+inline constexpr double kTzUsEast = -5.0;
+inline constexpr double kTzUsWest = -8.0;
+inline constexpr double kTzSingapore = 8.0;
+inline constexpr double kTzSydney = 10.0;
+
+/// Hour of day [0, 24) in UTC for a simulation timestamp.
+[[nodiscard]] double hour_of_day_utc(double t_seconds) noexcept;
+
+/// Hour of day [0, 24) in a timezone offset by `tz_offset_hours` from UTC.
+[[nodiscard]] double local_hour(double t_seconds, double tz_offset_hours) noexcept;
+
+/// Day index (0-based) since campaign start, in UTC.
+[[nodiscard]] int day_index(double t_seconds) noexcept;
+
+/// Approximate timezone offset from a longitude (15 degrees per hour),
+/// rounded to the nearest hour — good enough to key diurnal congestion to
+/// the destination's local clock.
+[[nodiscard]] double tz_from_longitude(double longitude_deg) noexcept;
+
+}  // namespace vns::sim

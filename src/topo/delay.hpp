@@ -1,0 +1,64 @@
+// PoP-level delay expansion of AS paths.
+//
+// AS-level hops say nothing about propagation delay; what matters is *where*
+// the traffic is handed between networks.  Transit providers hand traffic
+// off hot-potato — at the interconnection point nearest the traffic's
+// current position (§3.2) — so we expand an AS path into a sequence of
+// geographic waypoints: starting at the source, each next AS is entered at
+// its PoP city closest to the current waypoint, and the final hop runs to
+// the destination host.  RTT follows from great-circle distance, a fibre
+// inflation factor, and per-hop processing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/geo.hpp"
+#include "topo/internet.hpp"
+
+namespace vns::topo {
+
+struct DelayModel {
+  /// Round-trip milliseconds per kilometre of great-circle path
+  /// (light in fibre: ~100 km one-way per ms -> 0.01 ms/km RTT per km).
+  double rtt_ms_per_km = 0.01;
+  /// Fibre paths are not great circles; observed inflation ~1.2-1.5.
+  double path_inflation = 1.3;
+  /// Transit hops touching AP-class regions ride more circuitous submarine
+  /// routes; VNS's leased circuits do not (this is why Singapore wins the
+  /// Fig. 6 comparison: "direct dedicated links to Australia, USA, Europe").
+  double ap_transit_inflation = 1.55;
+  /// Router/queueing processing per AS-level hop (RTT ms).
+  double per_hop_rtt_ms = 0.7;
+  /// Fixed last-mile access latency (RTT ms) at the destination edge.
+  double last_mile_rtt_ms = 3.0;
+};
+
+/// The expanded geographic route of one AS path.
+struct ExpandedPath {
+  std::vector<geo::GeoPoint> waypoints;  ///< source, each AS ingress, destination
+  double distance_km = 0.0;              ///< sum of waypoint great-circle legs
+  double rtt_ms = 0.0;                   ///< modelled base RTT
+};
+
+/// Expands `as_path` (indices into `internet`) from a source location to a
+/// destination host location.  An empty path means source and destination
+/// are served by the same AS (direct leg).
+[[nodiscard]] ExpandedPath expand_path(const Internet& internet,
+                                       const geo::GeoPoint& source,
+                                       std::span<const AsIndex> as_path,
+                                       const geo::GeoPoint& destination,
+                                       const DelayModel& model = {});
+
+/// The PoP city of `as_node` nearest to `from` (hot-potato entry point).
+[[nodiscard]] const geo::City& nearest_pop(const AsNode& as_node,
+                                           const geo::GeoPoint& from) noexcept;
+
+/// The PoP city of `as_node` minimizing detour on the way from `from`
+/// toward `destination` (hot-potato among forward-progress interconnects:
+/// real providers interconnect densely enough that hand-offs do not
+/// backtrack away from the destination).
+[[nodiscard]] const geo::City& handoff_pop(const AsNode& as_node, const geo::GeoPoint& from,
+                                           const geo::GeoPoint& destination) noexcept;
+
+}  // namespace vns::topo

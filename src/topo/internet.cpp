@@ -1,0 +1,468 @@
+#include "topo/internet.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+namespace vns::topo {
+namespace {
+
+/// Cities eligible for AS placement (excludes pseudo-entries like the
+/// Russia centroid, which exists only as a GeoIP artefact).
+std::vector<geo::City> placement_cities(geo::WorldRegion region) {
+  std::vector<geo::City> cities;
+  for (const auto& city : geo::cities_in(region)) {
+    if (city.name != "RussiaCentroid") cities.push_back(city);
+  }
+  return cities;
+}
+
+geo::City sample_city(const std::vector<geo::City>& cities, util::Rng& rng) {
+  assert(!cities.empty());
+  return cities[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(cities.size()) - 1))];
+}
+
+/// Samples a city near `home` (among the k nearest in the list): regional
+/// carriers cluster their PoPs around their home market.
+geo::City sample_city_near(const std::vector<geo::City>& cities, const geo::City& home,
+                           util::Rng& rng, std::size_t k_nearest = 5) {
+  std::vector<geo::City> sorted = cities;
+  std::sort(sorted.begin(), sorted.end(), [&](const geo::City& a, const geo::City& b) {
+    return geo::great_circle_km(a.location, home.location) <
+           geo::great_circle_km(b.location, home.location);
+  });
+  sorted.resize(std::min(k_nearest, sorted.size()));
+  return sample_city(sorted, rng);
+}
+
+/// Adds a provider->customer edge, deduplicated.
+void add_provider(std::vector<AsNode>& ases, AsIndex provider, AsIndex customer) {
+  if (provider == customer) return;
+  auto& p = ases[provider];
+  auto& c = ases[customer];
+  if (std::find(c.providers.begin(), c.providers.end(), provider) != c.providers.end()) return;
+  c.providers.push_back(provider);
+  p.customers.push_back(customer);
+}
+
+/// Adds a peering edge, deduplicated.
+void add_peering(std::vector<AsNode>& ases, AsIndex a, AsIndex b) {
+  if (a == b) return;
+  auto& na = ases[a];
+  if (std::find(na.peers.begin(), na.peers.end(), b) != na.peers.end()) return;
+  na.peers.push_back(b);
+  ases[b].peers.push_back(a);
+}
+
+geo::WorldRegion sample_region(const InternetConfig& config, util::Rng& rng) {
+  return static_cast<geo::WorldRegion>(rng.weighted_index(
+      std::span<const double>{config.region_weights, geo::kWorldRegionCount}));
+}
+
+}  // namespace
+
+std::vector<AsIndex> RouteTable::path_from(AsIndex src) const {
+  std::vector<AsIndex> path;
+  if (!reachable(src)) return path;
+  AsIndex current = src;
+  path.push_back(current);
+  // hops bound guards against (impossible) next-hop cycles.
+  for (std::uint32_t guard = 0; current != dest_ && guard < entries_.size(); ++guard) {
+    current = entries_[current].next_hop;
+    if (current == kNoAs) return {};
+    path.push_back(current);
+  }
+  return path;
+}
+
+std::optional<AsIndex> Internet::index_of(net::Asn asn) const noexcept {
+  const auto it = asn_index_.find(asn);
+  if (it == asn_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Internet Internet::generate(const InternetConfig& config) {
+  Internet internet;
+  internet.config_ = config;
+  auto& ases = internet.ases_;
+  auto& prefixes = internet.prefixes_;
+
+  util::Rng master{config.seed};
+  util::Rng place_rng = master.fork("placement");
+  util::Rng edge_rng = master.fork("edges");
+  util::Rng prefix_rng = master.fork("prefixes");
+
+  const std::size_t total = config.ltp_count + config.stp_count + config.cahp_count +
+                            config.ec_count;
+  ases.reserve(total);
+
+  // Pre-split the placement city lists per region.
+  std::vector<std::vector<geo::City>> region_cities(geo::kWorldRegionCount);
+  for (int r = 0; r < geo::kWorldRegionCount; ++r) {
+    region_cities[static_cast<std::size_t>(r)] =
+        placement_cities(static_cast<geo::WorldRegion>(r));
+  }
+  std::vector<geo::City> all_cities;
+  for (const auto& list : region_cities) all_cities.insert(all_cities.end(), list.begin(), list.end());
+
+  net::Asn next_asn = 1000;
+
+  // --- LTPs: tier-1-like, global footprints, fully meshed clique. ----------
+  for (std::size_t i = 0; i < config.ltp_count; ++i) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.type = AsType::kLTP;
+    node.region = sample_region(config, place_rng);
+    node.home = sample_city(region_cities[static_cast<std::size_t>(node.region)], place_rng);
+    node.pops.push_back(node.home);
+    // Dense presence in the three measured regions plus a sample of the
+    // rest: Tier-1 backbones interconnect at essentially every major hub,
+    // which is what keeps hot-potato hand-offs local.
+    for (geo::WorldRegion must :
+         {geo::WorldRegion::kEurope, geo::WorldRegion::kNorthCentralAmerica,
+          geo::WorldRegion::kAsiaPacific}) {
+      for (const auto& city : region_cities[static_cast<std::size_t>(must)]) {
+        if (place_rng.bernoulli(0.85)) node.pops.push_back(city);
+      }
+    }
+    // At least one Oceania landing point (all Tier-1s land trans-Pacific
+    // capacity in Sydney or Auckland) and a sample of everything else.
+    node.pops.push_back(sample_city(
+        region_cities[static_cast<std::size_t>(geo::WorldRegion::kOceania)], place_rng));
+    const int extras = static_cast<int>(place_rng.uniform_int(4, 9));
+    for (int k = 0; k < extras; ++k) node.pops.push_back(sample_city(all_cities, place_rng));
+    ases.push_back(std::move(node));
+  }
+  for (AsIndex a = 0; a < config.ltp_count; ++a) {
+    for (AsIndex b = a + 1; b < config.ltp_count; ++b) add_peering(ases, a, b);
+  }
+
+  // --- STPs: regional carriers, customers of 1-2 LTPs, regional peering. ---
+  const AsIndex stp_begin = static_cast<AsIndex>(ases.size());
+  for (std::size_t i = 0; i < config.stp_count; ++i) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.type = AsType::kSTP;
+    node.region = sample_region(config, place_rng);
+    const auto& cities = region_cities[static_cast<std::size_t>(node.region)];
+    node.home = sample_city(cities, place_rng);
+    node.pops.push_back(node.home);
+    const int extras = static_cast<int>(place_rng.uniform_int(1, 3));
+    for (int k = 0; k < extras; ++k) node.pops.push_back(sample_city_near(cities, node.home, place_rng));
+    // Some Asian carriers interconnect only on the US west coast and haul
+    // traffic home across their own trans-Pacific capacity (§4.1).
+    if (node.region == geo::WorldRegion::kAsiaPacific && place_rng.bernoulli(0.30)) {
+      node.interconnects.push_back(
+          place_rng.bernoulli(0.5) ? geo::city("LosAngeles") : geo::city("SanJose"));
+    }
+    ases.push_back(std::move(node));
+  }
+  const AsIndex stp_end = static_cast<AsIndex>(ases.size());
+  for (AsIndex s = stp_begin; s < stp_end; ++s) {
+    const int providers = static_cast<int>(edge_rng.uniform_int(1, 2));
+    for (int k = 0; k < providers; ++k) {
+      add_provider(ases, static_cast<AsIndex>(edge_rng.uniform_int(0, static_cast<std::int64_t>(config.ltp_count) - 1)), s);
+    }
+    // Same-region STP peering (IXP-style).
+    for (AsIndex other = stp_begin; other < s; ++other) {
+      if (ases[other].region == ases[s].region && edge_rng.bernoulli(0.08)) {
+        add_peering(ases, s, other);
+      }
+    }
+  }
+
+  // --- CAHPs: access/hosting, customers of regional STPs (or LTPs). -------
+  const AsIndex cahp_begin = static_cast<AsIndex>(ases.size());
+  for (std::size_t i = 0; i < config.cahp_count; ++i) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.type = AsType::kCAHP;
+    node.region = sample_region(config, place_rng);
+    const auto& cities = region_cities[static_cast<std::size_t>(node.region)];
+    node.home = sample_city(cities, place_rng);
+    node.pops.push_back(node.home);
+    if (place_rng.bernoulli(0.4)) node.pops.push_back(sample_city_near(cities, node.home, place_rng));
+    if (node.region == geo::WorldRegion::kAsiaPacific && place_rng.bernoulli(0.18)) {
+      node.interconnects.push_back(
+          place_rng.bernoulli(0.5) ? geo::city("LosAngeles") : geo::city("SanJose"));
+    }
+    ases.push_back(std::move(node));
+  }
+  const AsIndex cahp_end = static_cast<AsIndex>(ases.size());
+  // Region -> STP indices, for provider selection.
+  std::vector<std::vector<AsIndex>> stps_in_region(geo::kWorldRegionCount);
+  for (AsIndex s = stp_begin; s < stp_end; ++s) {
+    stps_in_region[static_cast<std::size_t>(ases[s].region)].push_back(s);
+  }
+  // Edge networks buy transit from carriers *near them*: among the k
+  // geographically nearest same-region STPs (this locality is what keeps
+  // real transit paths direct), falling back to an LTP.
+  auto pick_regional_transit = [&](geo::WorldRegion region, const geo::City& home) -> AsIndex {
+    auto local = stps_in_region[static_cast<std::size_t>(region)];  // copy
+    if (!local.empty() && edge_rng.bernoulli(0.8)) {
+      std::sort(local.begin(), local.end(), [&](AsIndex a, AsIndex b) {
+        const double da = geo::great_circle_km(ases[a].home.location, home.location);
+        const double db = geo::great_circle_km(ases[b].home.location, home.location);
+        return da != db ? da < db : a < b;
+      });
+      const auto k = std::min<std::size_t>(local.size(), 3);
+      return local[static_cast<std::size_t>(
+          edge_rng.uniform_int(0, static_cast<std::int64_t>(k) - 1))];
+    }
+    return static_cast<AsIndex>(edge_rng.uniform_int(0, static_cast<std::int64_t>(config.ltp_count) - 1));
+  };
+  for (AsIndex c = cahp_begin; c < cahp_end; ++c) {
+    const int providers = static_cast<int>(edge_rng.uniform_int(1, 2));
+    for (int k = 0; k < providers; ++k) {
+      add_provider(ases, pick_regional_transit(ases[c].region, ases[c].home), c);
+    }
+    // Occasional CAHP-CAHP peering inside a region.
+    for (AsIndex other = cahp_begin; other < c; ++other) {
+      if (ases[other].region == ases[c].region && edge_rng.bernoulli(0.01)) {
+        add_peering(ases, c, other);
+      }
+    }
+  }
+
+  // --- ECs: stubs, customers of regional CAHP/STP (rarely an LTP). --------
+  const AsIndex ec_begin = static_cast<AsIndex>(ases.size());
+  std::vector<std::vector<AsIndex>> cahps_in_region(geo::kWorldRegionCount);
+  for (AsIndex c = cahp_begin; c < cahp_end; ++c) {
+    cahps_in_region[static_cast<std::size_t>(ases[c].region)].push_back(c);
+  }
+  for (std::size_t i = 0; i < config.ec_count; ++i) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.type = AsType::kEC;
+    node.region = sample_region(config, place_rng);
+    const auto& cities = region_cities[static_cast<std::size_t>(node.region)];
+    node.home = sample_city(cities, place_rng);
+    node.pops.push_back(node.home);
+    ases.push_back(std::move(node));
+  }
+  for (AsIndex e = ec_begin; e < static_cast<AsIndex>(ases.size()); ++e) {
+    const auto region = ases[e].region;
+    auto local_cahps = cahps_in_region[static_cast<std::size_t>(region)];  // copy
+    // Enterprises likewise buy from nearby access providers.
+    std::sort(local_cahps.begin(), local_cahps.end(), [&](AsIndex a, AsIndex b) {
+      const double da = geo::great_circle_km(ases[a].home.location, ases[e].home.location);
+      const double db = geo::great_circle_km(ases[b].home.location, ases[e].home.location);
+      return da != db ? da < db : a < b;
+    });
+    if (local_cahps.size() > 4) local_cahps.resize(4);
+    const int providers = edge_rng.bernoulli(0.25) ? 2 : 1;
+    for (int k = 0; k < providers; ++k) {
+      AsIndex provider;
+      const double roll = edge_rng.uniform();
+      if (roll < 0.55 && !local_cahps.empty()) {
+        provider = local_cahps[static_cast<std::size_t>(
+            edge_rng.uniform_int(0, static_cast<std::int64_t>(local_cahps.size()) - 1))];
+      } else if (roll < 0.92) {
+        provider = pick_regional_transit(region, ases[e].home);
+      } else {
+        provider = static_cast<AsIndex>(
+            edge_rng.uniform_int(0, static_cast<std::int64_t>(config.ltp_count) - 1));
+      }
+      add_provider(ases, provider, e);
+    }
+  }
+
+  // --- Prefix origination. --------------------------------------------------
+  // Every prefix is a distinct /16 from a sequential pool (lengths are not
+  // material to the experiments; uniqueness and LPM-compatibility are).
+  std::uint32_t next_block = 11;  // start at 11.0.0.0/16
+  auto allocate_prefix = [&]() {
+    const net::Ipv4Prefix prefix{net::Ipv4Address{next_block << 16}, 16};
+    ++next_block;
+    if ((next_block >> 8) == 127) next_block = 128 << 8;  // skip loopback /8
+    return prefix;
+  };
+
+  // Pick the "acquired ISP": an AP-region CAHP homed in India, whose block
+  // keeps stale Canadian GeoIP records (the paper's TATA example).
+  AsIndex stale_as = kNoAs;
+  for (AsIndex c = cahp_begin; c < cahp_end && stale_as == kNoAs; ++c) {
+    if (ases[c].home.country == "IN") stale_as = c;
+  }
+  // The acquired ISP and its transit chain interconnect normally in-region;
+  // otherwise the trans-Pacific self-haul would mask the stale-record
+  // cluster the paper attributes to this block.
+  if (stale_as != kNoAs) {
+    ases[stale_as].interconnects.clear();
+    for (const AsIndex p : ases[stale_as].providers) ases[p].interconnects.clear();
+  }
+  if (stale_as == kNoAs && cahp_end > cahp_begin) {
+    // Force one: re-home the first AP-region CAHP to Mumbai.
+    for (AsIndex c = cahp_begin; c < cahp_end; ++c) {
+      if (ases[c].region == geo::WorldRegion::kAsiaPacific) {
+        ases[c].home = geo::city("Mumbai");
+        ases[c].pops.front() = ases[c].home;
+        stale_as = c;
+        break;
+      }
+    }
+  }
+  const geo::GeoPoint stale_registered = geo::city("Toronto").location;
+
+  for (AsIndex index = 0; index < ases.size(); ++index) {
+    auto& node = ases[index];
+    int count = 0;
+    switch (node.type) {
+      case AsType::kLTP:
+        count = static_cast<int>(prefix_rng.uniform_int(config.ltp_prefixes_min, config.ltp_prefixes_max));
+        break;
+      case AsType::kSTP:
+        count = static_cast<int>(prefix_rng.uniform_int(config.stp_prefixes_min, config.stp_prefixes_max));
+        break;
+      case AsType::kCAHP:
+        count = static_cast<int>(prefix_rng.uniform_int(config.cahp_prefixes_min, config.cahp_prefixes_max));
+        break;
+      case AsType::kEC:
+        count = static_cast<int>(prefix_rng.uniform_int(config.ec_prefixes_min, config.ec_prefixes_max));
+        break;
+    }
+    if (index == stale_as) count = std::max(count, config.stale_block_prefixes);
+
+    for (int k = 0; k < count; ++k) {
+      PrefixInfo info;
+      info.prefix = allocate_prefix();
+      info.origin = index;
+      info.country = std::string{node.home.country};
+
+      // Hosts scatter around one of the AS's PoP cities (heavier around home).
+      const geo::City& anchor =
+          (k == 0 || prefix_rng.bernoulli(0.6)) ? node.home
+              : node.pops[static_cast<std::size_t>(prefix_rng.uniform_int(
+                    0, static_cast<std::int64_t>(node.pops.size()) - 1))];
+      const double scatter_km = prefix_rng.exponential(35.0);
+      info.location = geo::destination_point(anchor.location, prefix_rng.uniform(0.0, 360.0),
+                                             std::min(scatter_km, 400.0));
+      info.registered_location = info.location;
+
+      if (index == stale_as && k < config.stale_block_prefixes) {
+        info.stale_geoip = true;
+        info.registered_location = stale_registered;
+      } else if (prefix_rng.bernoulli(config.geo_spread_fraction)) {
+        // Geo-spread block: the registry sees the home region, but the live
+        // hosts sit in a different region entirely.
+        info.geo_spread = true;
+        const auto far_region = static_cast<geo::WorldRegion>(
+            (static_cast<int>(node.region) + 3 + static_cast<int>(prefix_rng.uniform_int(0, 2))) %
+            geo::kWorldRegionCount);
+        const auto& far_cities = region_cities[static_cast<std::size_t>(far_region)];
+        info.registered_location = info.location;
+        info.location = sample_city(far_cities, prefix_rng).location;
+      }
+
+      node.prefix_ids.push_back(prefixes.size());
+      prefixes.push_back(std::move(info));
+    }
+  }
+
+  for (AsIndex i = 0; i < internet.ases_.size(); ++i) {
+    internet.asn_index_.emplace(internet.ases_[i].asn, i);
+  }
+  return internet;
+}
+
+RouteTable Internet::routes_to(AsIndex dest) const {
+  RouteTable table{ases_.size(), dest};
+
+  // Candidate update honouring (class, hops, next-hop-index) preference.
+  auto offer = [&](AsIndex as, PathClass cls, std::uint16_t hops, AsIndex next_hop) {
+    auto& entry = table.at(as);
+    const bool better =
+        cls < entry.cls ||
+        (cls == entry.cls && hops < entry.hops) ||
+        (cls == entry.cls && hops == entry.hops && next_hop < entry.next_hop);
+    if (!better) return false;
+    entry = {cls, hops, next_hop};
+    return true;
+  };
+
+  // Pass A: customer routes — BFS from the destination along provider edges
+  // (each AS on such a path hears the route from a customer).
+  table.at(dest) = {PathClass::kCustomer, 0, kNoAs};
+  std::queue<AsIndex> frontier;
+  frontier.push(dest);
+  while (!frontier.empty()) {
+    const AsIndex current = frontier.front();
+    frontier.pop();
+    const auto& entry = table.at(current);
+    for (AsIndex provider : ases_[current].providers) {
+      if (offer(provider, PathClass::kCustomer,
+                static_cast<std::uint16_t>(entry.hops + 1), current)) {
+        frontier.push(provider);
+      }
+    }
+  }
+
+  // Pass B: peer routes — one peer hop on top of a customer route.
+  for (AsIndex as = 0; as < ases_.size(); ++as) {
+    if (table.at(as).cls != PathClass::kCustomer) continue;
+    const auto hops = table.at(as).hops;
+    for (AsIndex peer : ases_[as].peers) {
+      offer(peer, PathClass::kPeer, static_cast<std::uint16_t>(hops + 1), as);
+    }
+  }
+
+  // Pass C: provider routes — anything an AS selected is exported to its
+  // customers; propagate downward by increasing hop count.
+  using Item = std::pair<std::uint16_t, AsIndex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> downhill;
+  for (AsIndex as = 0; as < ases_.size(); ++as) {
+    if (table.at(as).cls != PathClass::kNone) downhill.push({table.at(as).hops, as});
+  }
+  while (!downhill.empty()) {
+    const auto [hops, current] = downhill.top();
+    downhill.pop();
+    if (table.at(current).hops != hops || table.at(current).cls == PathClass::kNone) continue;
+    for (AsIndex customer : ases_[current].customers) {
+      if (offer(customer, PathClass::kProvider, static_cast<std::uint16_t>(hops + 1), current)) {
+        downhill.push({static_cast<std::uint16_t>(hops + 1), customer});
+      }
+    }
+  }
+
+  return table;
+}
+
+std::vector<AsIndex> Internet::ases_near(const geo::GeoPoint& where, double radius_km,
+                                         std::span<const AsType> types) const {
+  std::vector<AsIndex> result;
+  for (AsIndex i = 0; i < ases_.size(); ++i) {
+    const auto& node = ases_[i];
+    if (std::find(types.begin(), types.end(), node.type) == types.end()) continue;
+    for (const auto& pop : node.pops) {
+      if (geo::great_circle_km(pop.location, where) <= radius_km) {
+        result.push_back(i);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+geo::GeoIpDatabase Internet::build_geoip(const geo::GeoIpErrorModel& model,
+                                         std::uint64_t seed) const {
+  geo::GeoIpDatabase db;
+  util::Rng rng{seed};
+  for (const auto& info : prefixes_) {
+    if (info.stale_geoip) {
+      db.add_with_report(info.prefix, info.location, info.registered_location,
+                        geo::GeoIpErrorClass::kStaleRecord);
+    } else if (info.geo_spread) {
+      // The registry record (home region) is honest for the covering block,
+      // but the probed hosts moved: reported != truth by a region.
+      db.add_with_report(info.prefix, info.location, info.registered_location,
+                        geo::GeoIpErrorClass::kJittered);
+    } else {
+      db.add(info.prefix, info.location, info.country, model, rng);
+    }
+  }
+  return db;
+}
+
+}  // namespace vns::topo

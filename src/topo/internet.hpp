@@ -1,0 +1,123 @@
+// The synthetic Internet: AS-level topology generation and valley-free
+// (Gao–Rexford) policy routing.
+//
+// This substrate stands in for the production Internet the paper measures
+// through.  It preserves the structural properties the experiments depend
+// on: a tier-1 clique with global PoP footprints, regional transit
+// hierarchies, geography-correlated peering, prefix origination with
+// ground-truth locations (plus the geo-spread and stale-record pathologies
+// of §3.2/§4.1), and policy routing in which providers announce everything
+// to customers while peers exchange only customer routes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geoip.hpp"
+#include "topo/as_node.hpp"
+#include "util/rng.hpp"
+
+namespace vns::topo {
+
+/// Preference class of a route under Gao–Rexford policies; lower wins.
+enum class PathClass : std::uint8_t { kCustomer = 0, kPeer = 1, kProvider = 2, kNone = 3 };
+
+/// Generation parameters.  Defaults build a ~2.5k-AS Internet that runs all
+/// paper experiments in seconds; counts scale linearly.
+struct InternetConfig {
+  std::uint64_t seed = 1;
+  std::size_t ltp_count = 12;
+  std::size_t stp_count = 260;
+  std::size_t cahp_count = 560;
+  std::size_t ec_count = 1400;
+
+  /// Prefixes originated per AS, [min, max] by type.
+  int ltp_prefixes_min = 12, ltp_prefixes_max = 40;
+  int stp_prefixes_min = 4, stp_prefixes_max = 16;
+  int cahp_prefixes_min = 3, cahp_prefixes_max = 14;
+  int ec_prefixes_min = 1, ec_prefixes_max = 3;
+
+  /// Fraction of prefixes whose hosts are spread into a different region.
+  double geo_spread_fraction = 0.015;
+  /// Prefixes of the synthetic "acquired ISP" whose GeoIP records are stale
+  /// (the paper's Indian-prefixes-located-in-Canada cluster).
+  int stale_block_prefixes = 40;
+  /// How the paper's regions weigh in AS counts (EU, NA, AP heavy).
+  double region_weights[geo::kWorldRegionCount] = {
+      /*Oceania*/ 0.05, /*AsiaPacific*/ 0.22, /*MiddleEast*/ 0.05,
+      /*Africa*/ 0.04,  /*Europe*/ 0.32,      /*NorthCentralAmerica*/ 0.27,
+      /*SouthAmerica*/ 0.05};
+};
+
+/// Per-destination routing state for every AS: class, AS-hop distance and
+/// next hop toward the destination under Gao–Rexford policies.
+class RouteTable {
+ public:
+  struct Entry {
+    PathClass cls = PathClass::kNone;
+    std::uint16_t hops = 0;
+    AsIndex next_hop = kNoAs;
+  };
+
+  explicit RouteTable(std::size_t as_count, AsIndex dest)
+      : dest_(dest), entries_(as_count) {}
+
+  [[nodiscard]] AsIndex destination() const noexcept { return dest_; }
+  [[nodiscard]] const Entry& at(AsIndex as) const { return entries_[as]; }
+  [[nodiscard]] Entry& at(AsIndex as) { return entries_[as]; }
+  [[nodiscard]] bool reachable(AsIndex as) const { return entries_[as].cls != PathClass::kNone; }
+
+  /// AS indices on the path from `src` to the destination, inclusive of
+  /// both; empty when unreachable.
+  [[nodiscard]] std::vector<AsIndex> path_from(AsIndex src) const;
+
+ private:
+  AsIndex dest_;
+  std::vector<Entry> entries_;
+};
+
+class Internet {
+ public:
+  /// Deterministically generates a topology from the config seed.
+  [[nodiscard]] static Internet generate(const InternetConfig& config);
+
+  [[nodiscard]] std::span<const AsNode> ases() const noexcept { return ases_; }
+  [[nodiscard]] const AsNode& as_at(AsIndex index) const { return ases_.at(index); }
+  [[nodiscard]] std::size_t as_count() const noexcept { return ases_.size(); }
+  [[nodiscard]] std::optional<AsIndex> index_of(net::Asn asn) const noexcept;
+
+  [[nodiscard]] std::span<const PrefixInfo> prefixes() const noexcept { return prefixes_; }
+  [[nodiscard]] const PrefixInfo& prefix(std::size_t id) const { return prefixes_.at(id); }
+
+  /// Gao–Rexford routing toward one destination AS: O(V+E).
+  [[nodiscard]] RouteTable routes_to(AsIndex dest) const;
+
+  /// Convenience: the AS-index path from src to dst (valley-free, policy
+  /// preferred); empty when unreachable.
+  [[nodiscard]] std::vector<AsIndex> best_path(AsIndex src, AsIndex dst) const {
+    return routes_to(dst).path_from(src);
+  }
+
+  /// ASes of the given types with a PoP within `radius_km` of `where`.
+  [[nodiscard]] std::vector<AsIndex> ases_near(const geo::GeoPoint& where, double radius_km,
+                                               std::span<const AsType> types) const;
+
+  /// Builds the GeoIP database over all prefixes: truthful locations pushed
+  /// through the error model, plus explicit stale records for the M&A block.
+  [[nodiscard]] geo::GeoIpDatabase build_geoip(const geo::GeoIpErrorModel& model,
+                                               std::uint64_t seed) const;
+
+  /// The config this Internet was generated from.
+  [[nodiscard]] const InternetConfig& config() const noexcept { return config_; }
+
+ private:
+  InternetConfig config_;
+  std::vector<AsNode> ases_;
+  std::vector<PrefixInfo> prefixes_;
+  std::unordered_map<net::Asn, AsIndex> asn_index_;
+};
+
+}  // namespace vns::topo

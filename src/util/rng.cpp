@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace vns::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Debiased modulo (Lemire-style rejection kept simple for clarity).
+  const std::uint64_t limit = ~0ULL - (~0ULL % range);
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller: two uniforms -> two independent standard normals.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double x_min, double alpha) noexcept {
+  assert(x_min > 0.0 && alpha > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint32_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; fine for our
+    // workload-generation use (packet counts, request counts).
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0u : static_cast<std::uint32_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform();
+  std::uint32_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+std::uint32_t Rng::binomial(std::uint32_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (n <= 64) {
+    std::uint32_t hits = 0;
+    for (std::uint32_t i = 0; i < n; ++i) hits += bernoulli(p);
+    return hits;
+  }
+  const double mean = static_cast<double>(n) * p;
+  if (p < 0.05 && mean < 30.0) {
+    // Rare-event regime: Poisson approximation keeps the tail right.
+    return std::min(poisson(mean), n);
+  }
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double draw = normal(mean, sd);
+  if (draw <= 0.0) return 0;
+  if (draw >= static_cast<double>(n)) return n;
+  return static_cast<std::uint32_t>(draw + 0.5);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(weights.size()) - 1));
+  }
+  double threshold = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (threshold < w) return i;
+    threshold -= w;
+  }
+  return weights.size() - 1;  // numeric slack lands on the last bucket
+}
+
+}  // namespace vns::util

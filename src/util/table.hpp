@@ -1,0 +1,43 @@
+// Plain-text table and CSV emission for bench output.  Every bench binary
+// prints the rows/series of one paper figure or table; these helpers keep the
+// formatting consistent and make the output easy to diff and to re-plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vns::util {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header underline.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (no quoting needed for our numeric/slug content).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+[[nodiscard]] std::string format_double(double value, int decimals = 3);
+
+/// Formats a fraction in [0,1] as a percentage string, e.g. "43.2%".
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 1);
+
+/// Prints a standard bench header line: name, seed, scale parameters.
+void print_bench_header(std::ostream& out, const std::string& name,
+                        const std::string& paper_reference, std::uint64_t seed);
+
+}  // namespace vns::util

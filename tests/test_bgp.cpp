@@ -1,0 +1,479 @@
+// Tests for vns::bgp — IGP shortest paths, the RFC-4271 decision ladder,
+// iBGP propagation, route reflection (including the hidden-routes pathology
+// and its best-external fix, §3.2), community handling, export policy, and
+// fabric convergence.
+#include <gtest/gtest.h>
+
+#include "bgp/decision.hpp"
+#include "bgp/fabric.hpp"
+#include "bgp/igp.hpp"
+#include "bgp/types.hpp"
+
+namespace vns::bgp {
+namespace {
+
+using net::Ipv4Prefix;
+
+const Ipv4Prefix kPrefix = Ipv4Prefix::parse("203.0.113.0/24").value();
+const Ipv4Prefix kPrefix2 = Ipv4Prefix::parse("198.51.100.0/24").value();
+
+Attributes attrs_with_path(std::vector<net::Asn> path) {
+  Attributes attrs;
+  attrs.as_path = AsPath{std::move(path)};
+  return attrs;
+}
+
+// ---------------------------------------------------------------- IGP ------
+
+TEST(Igp, MetricsAndPaths) {
+  IgpTopology igp{4};
+  igp.add_link(0, 1, 10);
+  igp.add_link(1, 2, 10);
+  igp.add_link(0, 2, 50);
+  igp.add_link(2, 3, 5);
+
+  EXPECT_EQ(igp.metric(0, 0), 0u);
+  EXPECT_EQ(igp.metric(0, 1), 10u);
+  EXPECT_EQ(igp.metric(0, 2), 20u);  // via 1, not the direct 50
+  EXPECT_EQ(igp.metric(0, 3), 25u);
+  EXPECT_EQ((igp.shortest_path(0, 3)), (std::vector<RouterId>{0, 1, 2, 3}));
+}
+
+TEST(Igp, UnreachableAndDisconnected) {
+  IgpTopology igp{3};
+  igp.add_link(0, 1, 1);
+  EXPECT_EQ(igp.metric(0, 2), kUnreachable);
+  EXPECT_TRUE(igp.shortest_path(0, 2).empty());
+}
+
+TEST(Igp, ParallelLinkKeepsLowerMetric) {
+  IgpTopology igp{2};
+  igp.add_link(0, 1, 10);
+  igp.add_link(0, 1, 4);
+  EXPECT_EQ(igp.metric(0, 1), 4u);
+  igp.add_link(0, 1, 9);  // higher: ignored
+  EXPECT_EQ(igp.metric(0, 1), 4u);
+}
+
+TEST(Igp, EnsureSizePreservesLinks) {
+  IgpTopology igp{2};
+  igp.add_link(0, 1, 3);
+  igp.ensure_size(5);
+  EXPECT_EQ(igp.metric(0, 1), 3u);
+  EXPECT_EQ(igp.router_count(), 5u);
+}
+
+TEST(Igp, PathTieBreakIsDeterministic) {
+  // Two equal-cost paths 0-1-3 and 0-2-3; the lower-id predecessor wins.
+  IgpTopology igp{4};
+  igp.add_link(0, 1, 5);
+  igp.add_link(0, 2, 5);
+  igp.add_link(1, 3, 5);
+  igp.add_link(2, 3, 5);
+  const auto path = igp.shortest_path(0, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 1u);
+}
+
+// ------------------------------------------------------ decision ladder ----
+
+Route make_route(std::uint32_t lp, std::size_t path_len, bool ebgp, RouterId egress,
+                 RouterId advertiser = 1) {
+  Route r;
+  r.prefix = kPrefix;
+  r.attrs.local_pref = lp;
+  std::vector<net::Asn> path;
+  for (std::size_t i = 0; i < path_len; ++i) path.push_back(100 + static_cast<net::Asn>(i));
+  r.attrs.as_path = AsPath{std::move(path)};
+  r.learned_via_ebgp = ebgp;
+  r.egress = egress;
+  r.advertiser = advertiser;
+  return r;
+}
+
+TEST(Decision, LocalPrefDominatesEverything) {
+  DecisionContext ctx;
+  const Route high = make_route(300, 5, false, 2);
+  const Route low = make_route(100, 1, true, 1);
+  DecisionRung rung;
+  EXPECT_TRUE(prefer(high, low, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kLocalPref);
+}
+
+TEST(Decision, ShorterAsPathWins) {
+  DecisionContext ctx;
+  const Route shorter = make_route(100, 2, false, 2);
+  const Route longer = make_route(100, 3, true, 1);
+  DecisionRung rung;
+  EXPECT_TRUE(prefer(shorter, longer, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kAsPathLength);
+}
+
+TEST(Decision, OriginIgpBeatsIncomplete) {
+  DecisionContext ctx;
+  Route igp_route = make_route(100, 2, true, 1);
+  Route incomplete = make_route(100, 2, true, 2, 3);
+  incomplete.attrs.origin = Origin::kIncomplete;
+  DecisionRung rung;
+  EXPECT_TRUE(prefer(igp_route, incomplete, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kOrigin);
+}
+
+TEST(Decision, MedComparedOnlyWithinSameNeighborAs) {
+  DecisionContext ctx;
+  Route a = make_route(100, 2, true, 1, 1);
+  Route b = make_route(100, 2, true, 2, 2);
+  a.attrs.med = 10;
+  b.attrs.med = 5;
+  // Same first-hop AS (both paths start at 100): MED applies.
+  DecisionRung rung;
+  EXPECT_TRUE(prefer(b, a, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kMed);
+  // Different first-hop AS: MED skipped, falls through to router-id.
+  b.attrs.as_path = AsPath{{999, 101}};
+  EXPECT_TRUE(prefer(a, b, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kRouterId);
+}
+
+TEST(Decision, EbgpPreferredOverIbgp) {
+  DecisionContext ctx;
+  const Route ebgp = make_route(100, 2, true, 5, 5);
+  const Route ibgp = make_route(100, 2, false, 1, 1);
+  DecisionRung rung;
+  EXPECT_TRUE(prefer(ebgp, ibgp, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kEbgpOverIbgp);
+}
+
+TEST(Decision, HotPotatoIgpTieBreak) {
+  IgpTopology igp{3};
+  igp.add_link(0, 1, 5);
+  igp.add_link(0, 2, 50);
+  DecisionContext ctx{0, &igp};
+  const Route near_route = make_route(100, 2, false, 1, 1);
+  const Route far_route = make_route(100, 2, false, 2, 2);
+  DecisionRung rung;
+  EXPECT_TRUE(prefer(near_route, far_route, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kIgpMetric);
+}
+
+TEST(Decision, RouterIdFinalTieBreak) {
+  DecisionContext ctx;
+  const Route a = make_route(100, 2, false, 1, 1);
+  const Route b = make_route(100, 2, false, 1, 2);
+  DecisionRung rung;
+  EXPECT_TRUE(prefer(a, b, ctx, &rung));
+  EXPECT_EQ(rung, DecisionRung::kRouterId);
+  EXPECT_FALSE(prefer(b, a, ctx, &rung));
+}
+
+TEST(Decision, LocallyOriginatedWinsOutright) {
+  DecisionContext ctx;
+  Route local = make_route(100, 0, false, 1, 1);
+  local.locally_originated = true;
+  const Route ebgp = make_route(500, 1, true, 2, 2);
+  EXPECT_TRUE(prefer(local, ebgp, ctx));
+}
+
+TEST(Decision, SelectBestOverSpan) {
+  DecisionContext ctx;
+  std::vector<Route> routes{make_route(100, 3, false, 1, 1), make_route(200, 5, false, 2, 2),
+                            make_route(150, 1, true, 3, 3)};
+  EXPECT_EQ(select_best(routes, ctx), 1u);
+  EXPECT_EQ(select_best({}, ctx), static_cast<std::size_t>(-1));
+}
+
+TEST(Decision, PreferIsAsymmetric) {
+  // prefer(a,b) and prefer(b,a) must never both be true (strict preference).
+  DecisionContext ctx;
+  const Route a = make_route(100, 2, true, 1, 1);
+  const Route b = make_route(100, 2, true, 1, 1);
+  EXPECT_FALSE(prefer(a, b, ctx));
+  EXPECT_FALSE(prefer(b, a, ctx));
+}
+
+// ------------------------------------------------------------- fabric ------
+
+/// Builds a 3-border-router + 1-RR fabric, the minimal shape of Fig. 2.
+struct RrFixture {
+  Fabric fabric{65000};
+  RouterId a, b, c, rr;
+  NeighborId upstream_at_a, peer_at_b, upstream_at_c;
+
+  explicit RrFixture(bool best_external = true) {
+    a = fabric.add_router("A");
+    b = fabric.add_router("B");
+    c = fabric.add_router("C");
+    rr = fabric.add_router("RR");
+    fabric.add_rr_client_session(rr, a);
+    fabric.add_rr_client_session(rr, b);
+    fabric.add_rr_client_session(rr, c);
+    fabric.add_igp_link(a, b, 10);
+    fabric.add_igp_link(b, c, 10);
+    fabric.add_igp_link(a, c, 30);
+    fabric.add_igp_link(a, rr, 1);
+    if (best_external) {
+      for (RouterId r : {a, b, c}) fabric.router(r).set_advertise_best_external(true);
+    }
+    upstream_at_a = fabric.add_neighbor(a, 174, NeighborKind::kUpstream, "tier1-at-A");
+    peer_at_b = fabric.add_neighbor(b, 6939, NeighborKind::kPeer, "peer-at-B");
+    upstream_at_c = fabric.add_neighbor(c, 3356, NeighborKind::kUpstream, "tier1-at-C");
+  }
+};
+
+TEST(Fabric, SingleAnnouncementReachesAllRouters) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+
+  for (RouterId r : {fx.a, fx.b, fx.c, fx.rr}) {
+    const Route* best = fx.fabric.router(r).best_route(kPrefix);
+    ASSERT_NE(best, nullptr) << "router " << r;
+    EXPECT_EQ(best->egress, fx.a);
+  }
+  // A learned it over eBGP; the others over iBGP.
+  EXPECT_TRUE(fx.fabric.router(fx.a).best_route(kPrefix)->learned_via_ebgp);
+  EXPECT_FALSE(fx.fabric.router(fx.b).best_route(kPrefix)->learned_via_ebgp);
+}
+
+TEST(Fabric, EbgpPreferredLocallyIbgpElsewhere) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.announce(fx.upstream_at_c, kPrefix, attrs_with_path({3356, 400}));
+  fx.fabric.run_to_convergence();
+
+  // A and C each prefer their own eBGP route (eBGP > iBGP).
+  EXPECT_EQ(fx.fabric.router(fx.a).best_route(kPrefix)->egress, fx.a);
+  EXPECT_EQ(fx.fabric.router(fx.c).best_route(kPrefix)->egress, fx.c);
+  // B only sees what the RR reflects (its single best): one of the two.
+  const Route* at_b = fx.fabric.router(fx.b).best_route(kPrefix);
+  ASSERT_NE(at_b, nullptr);
+  EXPECT_TRUE(at_b->egress == fx.a || at_b->egress == fx.c);
+}
+
+TEST(Fabric, WithdrawFailsOverToAlternative) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.announce(fx.upstream_at_c, kPrefix, attrs_with_path({3356, 400}));
+  fx.fabric.run_to_convergence();
+
+  fx.fabric.withdraw(fx.upstream_at_a, kPrefix);
+  fx.fabric.run_to_convergence();
+  for (RouterId r : {fx.a, fx.b, fx.c, fx.rr}) {
+    const Route* best = fx.fabric.router(r).best_route(kPrefix);
+    ASSERT_NE(best, nullptr) << "router " << r;
+    EXPECT_EQ(best->egress, fx.c);
+  }
+}
+
+TEST(Fabric, FullWithdrawEmptiesLocRibs) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+  fx.fabric.withdraw(fx.upstream_at_a, kPrefix);
+  fx.fabric.run_to_convergence();
+  for (RouterId r : {fx.a, fx.b, fx.c, fx.rr}) {
+    EXPECT_EQ(fx.fabric.router(r).best_route(kPrefix), nullptr);
+  }
+}
+
+TEST(Fabric, ShorterAsPathWinsAcrossEgresses) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 300, 400}));
+  fx.fabric.announce(fx.upstream_at_c, kPrefix, attrs_with_path({3356, 400}));
+  fx.fabric.run_to_convergence();
+  // AS-path length outranks eBGP-over-iBGP, so even A prefers C's shorter
+  // path over its own eBGP route.
+  for (RouterId r : {fx.a, fx.b, fx.c, fx.rr}) {
+    EXPECT_EQ(fx.fabric.router(r).best_route(kPrefix)->egress, fx.c) << "router " << r;
+  }
+}
+
+TEST(Fabric, HiddenRouteWithoutBestExternal) {
+  // The §3.2 pathology: the RR raises local-pref of the first route it
+  // learns; border routers then prefer the reflected route over their own
+  // eBGP routes and never advertise them — hidden from the RR, which
+  // converges on the first egress it happened to hear.
+  RrFixture fx(/*best_external=*/false);
+  fx.fabric.router(fx.rr).set_import_policy([](const ImportContext& ctx, Route& route) {
+    if (ctx.session == SessionKind::kIbgp) route.attrs.local_pref = 500;
+    return true;
+  });
+  // C's announcement arrives first and is reflected at lp=500 to A and B.
+  fx.fabric.announce(fx.upstream_at_c, kPrefix, attrs_with_path({3356, 400}));
+  fx.fabric.run_to_convergence();
+  // A's own (possibly better) route now loses to the reflected lp=500
+  // route, so A never advertises it.
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+
+  const Route* at_rr = fx.fabric.router(fx.rr).best_route(kPrefix);
+  ASSERT_NE(at_rr, nullptr);
+  EXPECT_EQ(at_rr->egress, fx.c);  // RR never saw A's route
+  EXPECT_EQ(fx.fabric.router(fx.a).best_route(kPrefix)->egress, fx.c);
+  EXPECT_EQ(fx.fabric.router(fx.rr).rib_in_size(), 1u);
+}
+
+TEST(Fabric, BestExternalUnhidesRoutes) {
+  // Same scenario with best-external enabled: A keeps advertising its eBGP
+  // route to the RR even though its overall best is the reflected route.
+  RrFixture fx(/*best_external=*/true);
+  fx.fabric.router(fx.rr).set_import_policy([](const ImportContext& ctx, Route& route) {
+    if (ctx.session == SessionKind::kIbgp) route.attrs.local_pref = 500;
+    return true;
+  });
+  fx.fabric.announce(fx.upstream_at_c, kPrefix, attrs_with_path({3356, 400}));
+  fx.fabric.run_to_convergence();
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+
+  // The RR now has both candidates in its Adj-RIB-In: nothing is hidden.
+  EXPECT_EQ(fx.fabric.router(fx.rr).rib_in_size(), 2u);
+}
+
+TEST(Fabric, RefreshPoliciesReroutesEverything) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.announce(fx.upstream_at_c, kPrefix, attrs_with_path({3356, 400}));
+  fx.fabric.run_to_convergence();
+
+  // Install a geo-like policy on the RR that pins the egress to C.
+  fx.fabric.router(fx.rr).set_import_policy([&](const ImportContext& ctx, Route& route) {
+    if (ctx.session == SessionKind::kIbgp) {
+      route.attrs.local_pref = route.egress == fx.c ? 900 : 400;
+    }
+    return true;
+  });
+  fx.fabric.refresh_policies();
+  fx.fabric.run_to_convergence();
+
+  for (RouterId r : {fx.a, fx.b, fx.c, fx.rr}) {
+    EXPECT_EQ(fx.fabric.router(r).best_route(kPrefix)->egress, fx.c) << "router " << r;
+  }
+}
+
+TEST(Fabric, ImportPolicyCanReject) {
+  RrFixture fx;
+  fx.fabric.router(fx.a).set_import_policy([](const ImportContext& ctx, Route&) {
+    return ctx.session != SessionKind::kEbgp;  // drop all external routes at A
+  });
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+  EXPECT_EQ(fx.fabric.router(fx.a).best_route(kPrefix), nullptr);
+  EXPECT_EQ(fx.fabric.router(fx.rr).best_route(kPrefix), nullptr);
+}
+
+TEST(Fabric, OriginatedPrefixExportsToNeighbors) {
+  RrFixture fx;
+  Attributes attrs;
+  attrs.origin = Origin::kIgp;
+  fx.fabric.originate(fx.a, kPrefix2, attrs);
+  fx.fabric.run_to_convergence();
+
+  // Exported to the eBGP neighbor at A with our ASN prepended.
+  const auto& at_upstream = fx.fabric.exported_to(fx.upstream_at_a);
+  ASSERT_TRUE(at_upstream.contains(kPrefix2));
+  EXPECT_EQ(at_upstream.at(kPrefix2).attrs.as_path.first_hop(), 65000u);
+  // And reaches B over iBGP, which exports it to its peer too.
+  EXPECT_TRUE(fx.fabric.exported_to(fx.peer_at_b).contains(kPrefix2));
+}
+
+TEST(Fabric, NoExportCommunityStaysInsideAs) {
+  RrFixture fx;
+  Attributes attrs;
+  attrs.add_community(kNoExport);
+  fx.fabric.originate(fx.a, kPrefix2, attrs);
+  fx.fabric.run_to_convergence();
+
+  // Visible on every internal router...
+  EXPECT_NE(fx.fabric.router(fx.b).best_route(kPrefix2), nullptr);
+  EXPECT_NE(fx.fabric.router(fx.c).best_route(kPrefix2), nullptr);
+  // ...but never exported to any external neighbor (§3.2's static
+  // more-specifics "tagged with a no-export community").
+  EXPECT_FALSE(fx.fabric.exported_to(fx.upstream_at_a).contains(kPrefix2));
+  EXPECT_FALSE(fx.fabric.exported_to(fx.peer_at_b).contains(kPrefix2));
+  EXPECT_FALSE(fx.fabric.exported_to(fx.upstream_at_c).contains(kPrefix2));
+}
+
+TEST(Fabric, GaoRexfordExportPolicy) {
+  // peer/upstream-learned routes must not be exported to peers/upstreams.
+  RrFixture fx;
+  fx.fabric.announce(fx.peer_at_b, kPrefix, attrs_with_path({6939, 400}));
+  fx.fabric.run_to_convergence();
+  EXPECT_FALSE(fx.fabric.exported_to(fx.upstream_at_a).contains(kPrefix));
+  EXPECT_FALSE(fx.fabric.exported_to(fx.upstream_at_c).contains(kPrefix));
+
+  // Add a customer at C: peer-learned routes DO go to customers.
+  const auto customer = fx.fabric.add_neighbor(fx.c, 64512, NeighborKind::kCustomer, "cust");
+  fx.fabric.refresh_policies();
+  fx.fabric.run_to_convergence();
+  EXPECT_TRUE(fx.fabric.exported_to(customer).contains(kPrefix));
+}
+
+TEST(Fabric, CustomerRouteExportsEverywhere) {
+  RrFixture fx;
+  const auto customer = fx.fabric.add_neighbor(fx.b, 64512, NeighborKind::kCustomer, "cust");
+  fx.fabric.announce(customer, kPrefix, attrs_with_path({64512}));
+  fx.fabric.run_to_convergence();
+  EXPECT_TRUE(fx.fabric.exported_to(fx.upstream_at_a).contains(kPrefix));
+  EXPECT_TRUE(fx.fabric.exported_to(fx.upstream_at_c).contains(kPrefix));
+  // Never re-exported to the announcing neighbor itself.
+  EXPECT_FALSE(fx.fabric.exported_to(customer).contains(kPrefix));
+}
+
+TEST(Fabric, AsLoopPreventionDropsOwnAsn) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 65000, 400}));
+  fx.fabric.run_to_convergence();
+  EXPECT_EQ(fx.fabric.router(fx.a).best_route(kPrefix), nullptr);
+}
+
+TEST(Fabric, ConvergesWithManyPrefixes) {
+  RrFixture fx;
+  for (int i = 0; i < 200; ++i) {
+    const Ipv4Prefix prefix{net::Ipv4Address{static_cast<std::uint32_t>((i + 1) << 16)}, 24};
+    fx.fabric.announce(i % 2 ? fx.upstream_at_a : fx.upstream_at_c, prefix,
+                       attrs_with_path({174, static_cast<net::Asn>(1000 + i)}));
+  }
+  const auto processed = fx.fabric.run_to_convergence();
+  EXPECT_GT(processed, 0u);
+  EXPECT_TRUE(fx.fabric.converged());
+  EXPECT_EQ(fx.fabric.router(fx.b).loc_rib().size(), 200u);
+}
+
+TEST(Fabric, TwoReflectorsDoNotLoop) {
+  Fabric fabric{65000};
+  const auto a = fabric.add_router("A");
+  const auto b = fabric.add_router("B");
+  const auto rr1 = fabric.add_router("RR1");
+  const auto rr2 = fabric.add_router("RR2");
+  // Both RRs serve both clients (the paper's "multiple RRs are deployed for
+  // operation stability"), plus an RR-RR session.
+  fabric.add_rr_client_session(rr1, a);
+  fabric.add_rr_client_session(rr1, b);
+  fabric.add_rr_client_session(rr2, a);
+  fabric.add_rr_client_session(rr2, b);
+  fabric.add_ibgp_session(rr1, rr2);
+  fabric.add_igp_link(a, b, 10);
+  fabric.add_igp_link(a, rr1, 1);
+  fabric.add_igp_link(b, rr2, 1);
+
+  const auto up = fabric.add_neighbor(a, 174, NeighborKind::kUpstream, "up");
+  fabric.announce(up, kPrefix, attrs_with_path({174, 400}));
+  EXPECT_NO_THROW(fabric.run_to_convergence(100000));
+  ASSERT_NE(fabric.router(b).best_route(kPrefix), nullptr);
+  EXPECT_EQ(fabric.router(b).best_route(kPrefix)->egress, a);
+}
+
+TEST(Fabric, RedundantAnnouncementIsSuppressed) {
+  RrFixture fx;
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+  const auto delivered_before = fx.fabric.messages_delivered();
+  // Re-announcing the identical route must not trigger a network-wide wave.
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+  EXPECT_EQ(fx.fabric.messages_delivered(), delivered_before);
+}
+
+}  // namespace
+}  // namespace vns::bgp

@@ -1,0 +1,203 @@
+// Tests for the extension modules: loss repair (FEC / relay retransmission),
+// the call-quality (MOS) model, and the VNS economics model.
+#include <gtest/gtest.h>
+
+#include "core/economics.hpp"
+#include "media/quality.hpp"
+#include "media/repair.hpp"
+#include "measure/workbench.hpp"
+
+namespace vns {
+namespace {
+
+// ------------------------------------------------------------- repair ------
+
+TEST(Fec, RecoversRandomLoss) {
+  util::Rng rng{1};
+  // 1% random loss, (10, 1) FEC: most single losses per block recovered.
+  const auto stats = media::run_fec(0.01, 1.0, 200000, {10, 1}, rng);
+  EXPECT_NEAR(stats.raw_loss(), 0.01, 0.002);
+  EXPECT_LT(stats.residual_loss(), stats.raw_loss() * 0.2);
+  EXPECT_NEAR(stats.overhead(), 0.1, 0.01);  // r/k
+}
+
+TEST(Fec, FailsAgainstBurstyLoss) {
+  util::Rng rng{2};
+  // Same mean loss but bursts of ~8 packets: a burst exceeds r=1 parity.
+  const auto random_stats = media::run_fec(0.01, 1.0, 200000, {10, 1}, rng);
+  const auto bursty_stats = media::run_fec(0.01, 8.0, 200000, {10, 1}, rng);
+  EXPECT_GT(bursty_stats.residual_loss(), random_stats.residual_loss() * 3.0);
+}
+
+TEST(Fec, MoreParityRecoversMore) {
+  util::Rng rng{3};
+  const auto r1 = media::run_fec(0.02, 3.0, 200000, {10, 1}, rng);
+  const auto r3 = media::run_fec(0.02, 3.0, 200000, {10, 3}, rng);
+  EXPECT_LT(r3.residual_loss(), r1.residual_loss());
+  EXPECT_GT(r3.overhead(), r1.overhead());
+}
+
+TEST(Fec, ZeroLossIsFree) {
+  util::Rng rng{4};
+  const auto stats = media::run_fec(0.0, 1.0, 10000, {10, 2}, rng);
+  EXPECT_EQ(stats.unrecovered, 0u);
+  EXPECT_EQ(stats.lost_before_repair, 0u);
+}
+
+TEST(Retransmit, RecoversWhenRelayIsClose) {
+  util::Rng rng{5};
+  media::RetransmitConfig config;
+  config.relay_rtt_ms = 20.0;   // relay at a nearby PoP
+  config.deadline_ms = 150.0;   // generous playout buffer
+  const auto stats = media::run_retransmit(0.02, 1.0, 200000, config, rng);
+  EXPECT_LT(stats.residual_loss(), stats.raw_loss() * 0.1);
+}
+
+TEST(Retransmit, FailsWhenRelayIsFar) {
+  util::Rng rng{6};
+  media::RetransmitConfig near_config{.deadline_ms = 150.0, .relay_rtt_ms = 30.0};
+  media::RetransmitConfig far_config{.deadline_ms = 150.0, .relay_rtt_ms = 200.0};
+  const auto near_stats = media::run_retransmit(0.02, 1.0, 100000, near_config, rng);
+  const auto far_stats = media::run_retransmit(0.02, 1.0, 100000, far_config, rng);
+  // Far relay: no attempt fits the deadline; every loss stays unrecovered.
+  EXPECT_NEAR(far_stats.residual_loss(), far_stats.raw_loss(), 1e-9);
+  EXPECT_LT(near_stats.residual_loss(), far_stats.residual_loss() * 0.2);
+}
+
+TEST(Retransmit, BurstsDegradeRepair) {
+  util::Rng rng{7};
+  media::RetransmitConfig config{.deadline_ms = 150.0, .relay_rtt_ms = 40.0};
+  const auto random_stats = media::run_retransmit(0.02, 1.0, 200000, config, rng);
+  const auto bursty_stats = media::run_retransmit(0.02, 12.0, 200000, config, rng);
+  EXPECT_GT(bursty_stats.residual_loss(), random_stats.residual_loss() * 2.0);
+}
+
+TEST(Retransmit, OverheadTracksLossRate) {
+  util::Rng rng{8};
+  media::RetransmitConfig config{.deadline_ms = 150.0, .relay_rtt_ms = 30.0};
+  const auto stats = media::run_retransmit(0.05, 1.0, 100000, config, rng);
+  // Roughly one repair per loss (plus second attempts).
+  EXPECT_GT(stats.overhead(), 0.04);
+  EXPECT_LT(stats.overhead(), 0.12);
+}
+
+// -------------------------------------------------------------- quality ----
+
+TEST(Quality, PerfectPathScoresHigh) {
+  const double score = media::mos({0.0, 1.0, 20.0, 0.5});
+  EXPECT_GT(score, 4.2);
+}
+
+TEST(Quality, LossAnchorsMatchThePaper) {
+  // 0.15% loss (the complaint line) should cost a noticeable chunk of MOS;
+  // 1% should be clearly degraded; 5% should be bad.
+  const double clean = media::mos({0.0, 1.0, 40.0, 1.0});
+  const double complaint = media::mos({0.0015, 1.0, 40.0, 1.0});
+  const double degraded = media::mos({0.01, 1.0, 40.0, 1.0});
+  const double bad = media::mos({0.05, 1.0, 40.0, 1.0});
+  EXPECT_GT(clean - complaint, 0.15);
+  EXPECT_LT(clean - complaint, 0.8);
+  EXPECT_LT(degraded, complaint - 0.3);
+  EXPECT_LT(bad, 2.8);
+}
+
+TEST(Quality, BurstyLossHurtsMore) {
+  const double random_loss = media::mos({0.005, 1.0, 40.0, 1.0});
+  const double bursty_loss = media::mos({0.005, 10.0, 40.0, 1.0});
+  EXPECT_GT(random_loss, bursty_loss + 0.1);
+}
+
+TEST(Quality, DelayKneeAt150msOneWay) {
+  // Below the knee, delay barely matters; above, it falls off fast.
+  const double near_call = media::mos({0.0, 1.0, 50.0, 1.0});
+  const double at_knee = media::mos({0.0, 1.0, 170.0, 1.0});
+  const double beyond = media::mos({0.0, 1.0, 300.0, 1.0});
+  EXPECT_GT(near_call - at_knee, 0.0);
+  EXPECT_GT(at_knee - beyond, (near_call - at_knee) * 1.5);
+}
+
+TEST(Quality, MonotoneInLoss) {
+  double previous = 5.0;
+  for (double loss : {0.0, 0.001, 0.005, 0.02, 0.08, 0.3}) {
+    const double score = media::mos({loss, 2.0, 60.0, 1.0});
+    EXPECT_LT(score, previous + 1e-12);
+    EXPECT_GE(score, 1.0);
+    previous = score;
+  }
+}
+
+TEST(Quality, SessionConvenienceMatchesDirectCall) {
+  media::SessionStats stats;
+  stats.packets_sent = 10000;
+  stats.packets_lost = 50;
+  stats.jitter_ms = 2.0;
+  const double direct = media::mos({0.005, 1.0, 60.0, 2.0});
+  EXPECT_NEAR(media::mos_of_session(stats, 120.0), direct, 1e-12);
+}
+
+// ------------------------------------------------------------ economics ----
+
+class EconomicsFixture : public ::testing::Test {
+ protected:
+  static measure::Workbench& bench() {
+    static const auto instance = measure::Workbench::build([] {
+      auto config = measure::WorkbenchConfig::small(33);
+      config.feed_routes = false;  // economics needs topology only
+      return config;
+    }());
+    return *instance;
+  }
+};
+
+TEST_F(EconomicsFixture, L2LinksDominateCost) {
+  const core::EconomicsModel model{bench().vns()};
+  const auto breakdown = model.monthly_cost({});
+  EXPECT_GT(breakdown.total_usd_monthly, 0.0);
+  // §6: "the bulk of VNS overall cost lies in the use of the dedicated L2
+  // links".
+  EXPECT_GT(breakdown.l2_share(), 0.5);
+}
+
+TEST_F(EconomicsFixture, EconomiesOfScale) {
+  const core::EconomicsModel model{bench().vns()};
+  double previous = 1e18;
+  for (double mbps : {200.0, 1000.0, 5000.0, 20000.0}) {
+    core::TrafficProfile traffic;
+    traffic.serviced_mbps = mbps;
+    const double unit = model.monthly_cost(traffic).usd_per_mbps();
+    EXPECT_LT(unit, previous) << mbps;
+    previous = unit;
+  }
+}
+
+TEST_F(EconomicsFixture, ColdPotatoRaisesLongHaulUtilization) {
+  const core::EconomicsModel model{bench().vns()};
+  core::TrafficProfile cold;
+  cold.serviced_mbps = 4000.0;
+  core::TrafficProfile hot = cold;
+  hot.cold_potato = false;
+  EXPECT_GT(model.long_haul_utilization(cold), model.long_haul_utilization(hot));
+}
+
+TEST_F(EconomicsFixture, ColdPotatoIsCheaperAtScale) {
+  // Hot potato pays premium transit for the long haul; cold potato uses the
+  // sunk L2 commits.
+  const core::EconomicsModel model{bench().vns()};
+  core::TrafficProfile cold;
+  cold.serviced_mbps = 5000.0;
+  core::TrafficProfile hot = cold;
+  hot.cold_potato = false;
+  EXPECT_LT(model.monthly_cost(cold).total_usd_monthly,
+            model.monthly_cost(hot).total_usd_monthly);
+}
+
+TEST_F(EconomicsFixture, BreakdownSumsToTotal) {
+  const core::EconomicsModel model{bench().vns()};
+  const auto breakdown = model.monthly_cost({});
+  double sum = 0.0;
+  for (const auto& line : breakdown.lines) sum += line.usd_monthly;
+  EXPECT_NEAR(sum, breakdown.total_usd_monthly, 1e-6);
+}
+
+}  // namespace
+}  // namespace vns

@@ -1,0 +1,151 @@
+// Tests for vns::measure — workbench assembly, probe path extraction,
+// ping/train semantics, and hourly loss aggregation.
+#include <gtest/gtest.h>
+
+#include "measure/prober.hpp"
+#include "measure/workbench.hpp"
+#include "sim/time.hpp"
+
+namespace vns::measure {
+namespace {
+
+Workbench& bench() {
+  static const auto instance = Workbench::build(WorkbenchConfig::small(11));
+  return *instance;
+}
+
+TEST(Workbench, BuildsAndFeeds) {
+  auto& w = bench();
+  EXPECT_GT(w.internet().as_count(), 200u);
+  EXPECT_GT(w.geoip().size(), 400u);
+  EXPECT_EQ(w.vns().pops().size(), 11u);
+  // Routes are fed: a random prefix resolves at PoP 0.
+  EXPECT_NE(w.vns().route_at(0, w.internet().prefix(0).prefix.first_host()), nullptr);
+}
+
+TEST(Workbench, LocalExitAsPathStartsAtNeighbor) {
+  auto& w = bench();
+  const auto path = w.local_exit_as_path(0, 5);
+  ASSERT_FALSE(path.empty());
+  // First AS is a neighbor attached at PoP 0 (upstream or peer).
+  bool found = false;
+  for (const auto& attachment : w.vns().attachments()) {
+    if (attachment.pop == 0 && attachment.as == path.front()) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Last AS is the prefix's origin.
+  EXPECT_EQ(path.back(), w.internet().prefix(5).origin);
+}
+
+TEST(Workbench, ProbeSegmentsIncludeLastMileOnRequest) {
+  auto& w = bench();
+  const auto without = w.probe_segments(0, 5, false);
+  const auto with = w.probe_segments(0, 5, true);
+  // Host paths add the last mile, plus international gateways when the
+  // destination sits in a different region class than the vantage.
+  EXPECT_GE(with.size(), without.size() + 1);
+  EXPECT_LE(with.size(), without.size() + 3);
+  EXPECT_TRUE(with.back().label.starts_with("last-mile"));
+  for (const auto& seg : without) {
+    EXPECT_FALSE(seg.label.starts_with("last-mile"));
+    EXPECT_FALSE(seg.label.starts_with("gateway"));
+  }
+}
+
+TEST(Workbench, ProbeRttGrowsWithDistance) {
+  auto& w = bench();
+  const auto ams = *w.vns().find_pop("AMS");
+  const auto syd = *w.vns().find_pop("SYD");
+  // Pick a European prefix: RTT from AMS must be far below RTT from SYD.
+  std::size_t eu_prefix = ~std::size_t{0};
+  for (std::size_t i = 0; i < w.internet().prefixes().size(); ++i) {
+    const auto& info = w.internet().prefix(i);
+    if (w.internet().as_at(info.origin).region == geo::WorldRegion::kEurope &&
+        !info.geo_spread && !info.stale_geoip) {
+      eu_prefix = i;
+      break;
+    }
+  }
+  ASSERT_NE(eu_prefix, ~std::size_t{0});
+  const double from_ams = w.probe_base_rtt_ms(ams, eu_prefix);
+  const double from_syd = w.probe_base_rtt_ms(syd, eu_prefix);
+  EXPECT_GT(from_syd, from_ams + 100.0);
+}
+
+TEST(Prober, PingMeasuresMinRtt) {
+  sim::SegmentProfile seg;
+  seg.rtt_ms = 80.0;
+  seg.jitter_base_ms = 3.0;
+  seg.jitter_peak_ms = 3.0;
+  const sim::PathModel path{{seg}, 0.0, util::Rng{1}};
+  Prober prober{util::Rng{2}};
+  const auto result = prober.ping(path, 0.0, 5);
+  EXPECT_EQ(result.sent, 5);
+  ASSERT_TRUE(result.min_rtt_ms.has_value());
+  EXPECT_GE(*result.min_rtt_ms, 80.0);
+  EXPECT_LT(*result.min_rtt_ms, 95.0);
+}
+
+TEST(Prober, TotalLossYieldsNoRtt) {
+  sim::SegmentProfile seg;
+  seg.rtt_ms = 10.0;
+  seg.random_loss = 1.0;
+  const sim::PathModel path{{seg}, 0.0, util::Rng{1}};
+  Prober prober{util::Rng{3}};
+  const auto result = prober.ping(path, 0.0, 5);
+  EXPECT_EQ(result.lost, 5);
+  EXPECT_FALSE(result.min_rtt_ms.has_value());
+}
+
+TEST(Prober, PingLossIsRoundTrip) {
+  // One-way loss p: echo loss should approach 1-(1-p)^2, not p.
+  sim::SegmentProfile seg;
+  seg.rtt_ms = 10.0;
+  seg.random_loss = 0.2;
+  const sim::PathModel path{{seg}, 0.0, util::Rng{1}};
+  Prober prober{util::Rng{4}};
+  int lost = 0, sent = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto result = prober.ping(path, 0.0, 5);
+    lost += result.lost;
+    sent += result.sent;
+  }
+  EXPECT_NEAR(lost / double(sent), 0.36, 0.02);
+}
+
+TEST(Prober, TrainSamplesLoss) {
+  sim::SegmentProfile seg;
+  seg.rtt_ms = 10.0;
+  seg.random_loss = 0.03;
+  const sim::PathModel path{{seg}, 0.0, util::Rng{1}};
+  Prober prober{util::Rng{5}};
+  std::uint64_t lost = 0, sent = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto result = prober.train(path, 0.0, 100);
+    lost += static_cast<std::uint64_t>(result.lost);
+    sent += static_cast<std::uint64_t>(result.sent);
+  }
+  EXPECT_NEAR(lost / double(sent), 0.03, 0.005);
+}
+
+TEST(HourlyCounter, BucketsByLocalHour) {
+  HourlyLossCounter counter{sim::kTzCet};
+  // 00:30 UTC = 01:30 CET -> hour bucket 1.
+  counter.record(1800.0, true);
+  counter.record(1800.0, false);
+  EXPECT_EQ(counter.lossy_rounds(1), 1u);
+  EXPECT_EQ(counter.total_rounds(1), 2u);
+  EXPECT_EQ(counter.lossy_rounds(0), 0u);
+  EXPECT_EQ(counter.peak_lossy_rounds(), 1u);
+}
+
+TEST(HourlyCounter, WrapsDays) {
+  HourlyLossCounter counter{0.0};
+  for (int day = 0; day < 5; ++day) {
+    counter.record(day * sim::kSecondsPerDay + 13.0 * 3600.0, true);
+  }
+  EXPECT_EQ(counter.lossy_rounds(13), 5u);
+}
+
+}  // namespace
+}  // namespace vns::measure

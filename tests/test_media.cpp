@@ -1,0 +1,182 @@
+// Tests for vns::media — video profiles, packet schedules, RFC 3550 jitter
+// estimation, slot-level session execution, and agreement between the
+// slot-level shortcut and per-packet execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "media/session.hpp"
+#include "media/video.hpp"
+#include "sim/diurnal.hpp"
+#include "util/stats.hpp"
+
+namespace vns::media {
+namespace {
+
+sim::PathModel flat_loss_path(double loss, double rtt_ms = 50.0) {
+  sim::SegmentProfile seg;
+  seg.label = "test";
+  seg.rtt_ms = rtt_ms;
+  seg.random_loss = loss;
+  seg.jitter_base_ms = 0.5;
+  seg.jitter_peak_ms = 0.5;
+  return sim::PathModel{{seg}, 0.0, util::Rng{1}};
+}
+
+TEST(VideoProfile, PresetsDiffer) {
+  const auto hd720 = VideoProfile::hd720();
+  const auto hd1080 = VideoProfile::hd1080();
+  EXPECT_LT(hd720.packets_per_second(), hd1080.packets_per_second());
+  // 1080p at ~4.5 Mbps in 1200 B packets: several hundred pps.
+  EXPECT_GT(hd1080.packets_per_second(), 300.0);
+  EXPECT_LT(hd1080.packets_per_second(), 800.0);
+}
+
+TEST(VideoProfile, PacketsInScalesLinearly) {
+  const auto profile = VideoProfile::hd1080();
+  EXPECT_NEAR(profile.packets_in(10.0), profile.packets_in(5.0) * 2, 2);
+}
+
+TEST(Schedule, MatchesProfileRate) {
+  const auto profile = VideoProfile::hd1080();
+  util::Rng rng{3};
+  const auto schedule = build_schedule(profile, 30.0, rng);
+  const double rate = schedule.send_offsets_s.size() / 30.0;
+  EXPECT_NEAR(rate, profile.packets_per_second(), profile.packets_per_second() * 0.15);
+  // Sorted and within bounds.
+  for (std::size_t i = 1; i < schedule.send_offsets_s.size(); ++i) {
+    EXPECT_GE(schedule.send_offsets_s[i], schedule.send_offsets_s[i - 1]);
+  }
+  EXPECT_GE(schedule.send_offsets_s.front(), 0.0);
+  EXPECT_LT(schedule.send_offsets_s.back(), 30.0 + 0.1);
+}
+
+TEST(Schedule, KeyframesCreateBursts) {
+  const auto profile = VideoProfile::hd1080();
+  util::Rng rng{4};
+  const auto schedule = build_schedule(profile, 10.0, rng);
+  // Count packets in the first frame interval (a key frame) vs a mid-GOP one.
+  auto count_in = [&](double lo, double hi) {
+    int count = 0;
+    for (double t : schedule.send_offsets_s) count += (t >= lo && t < hi);
+    return count;
+  };
+  const double frame = 1.0 / profile.fps;
+  EXPECT_GT(count_in(0.0, frame), count_in(10 * frame, 11 * frame) * 2);
+}
+
+TEST(Jitter, Rfc3550Estimator) {
+  JitterEstimator estimator;
+  // Constant transit -> zero jitter.
+  for (int i = 0; i < 100; ++i) estimator.add_transit_ms(20.0);
+  EXPECT_DOUBLE_EQ(estimator.jitter_ms(), 0.0);
+  // Alternating +-2 ms -> jitter converges toward 4 ms delta estimate.
+  JitterEstimator wobble;
+  for (int i = 0; i < 2000; ++i) wobble.add_transit_ms(20.0 + (i % 2 ? 2.0 : -2.0));
+  EXPECT_NEAR(wobble.jitter_ms(), 4.0, 0.3);
+}
+
+TEST(Session, LossMatchesPathProbability) {
+  const auto path = flat_loss_path(0.01);
+  const auto profile = VideoProfile::hd1080();
+  util::Rng rng{5};
+  util::Summary loss;
+  for (int i = 0; i < 200; ++i) {
+    const auto stats = run_session(path, profile, 0.0, SessionConfig{}, rng);
+    loss.add(stats.loss_fraction());
+  }
+  EXPECT_NEAR(loss.mean(), 0.01, 0.002);
+}
+
+TEST(Session, SlotAccountingConsistent) {
+  const auto path = flat_loss_path(0.05);
+  const auto profile = VideoProfile::hd1080();
+  util::Rng rng{6};
+  const auto stats = run_session(path, profile, 0.0, SessionConfig{}, rng);
+  EXPECT_EQ(stats.slot_packets.size(), 24u);  // 120 s / 5 s
+  std::uint64_t sent = 0, lost = 0;
+  for (std::size_t i = 0; i < stats.slot_packets.size(); ++i) {
+    sent += stats.slot_packets[i];
+    lost += stats.slot_losses[i];
+    EXPECT_LE(stats.slot_losses[i], stats.slot_packets[i]);
+  }
+  EXPECT_EQ(sent, stats.packets_sent);
+  EXPECT_EQ(lost, stats.packets_lost);
+  EXPECT_EQ(stats.lossy_slots(), 24);  // 5% loss: every slot loses something
+}
+
+TEST(Session, CleanPathHasNoLossAndLowJitter) {
+  const auto path = flat_loss_path(0.0);
+  util::Rng rng{7};
+  const auto stats = run_session(path, VideoProfile::hd1080(), 0.0, SessionConfig{}, rng);
+  EXPECT_EQ(stats.packets_lost, 0u);
+  EXPECT_EQ(stats.lossy_slots(), 0);
+  EXPECT_LT(stats.jitter_ms, 10.0);
+}
+
+TEST(Session, RandomLossSpreadsAcrossSlots) {
+  // Small uniform loss: lossy-slot count grows with loss level — the linear
+  // baseline of Fig. 10.
+  const auto low = flat_loss_path(0.00005);
+  const auto high = flat_loss_path(0.0008);
+  util::Rng rng{8};
+  util::Summary low_slots, high_slots;
+  for (int i = 0; i < 100; ++i) {
+    low_slots.add(run_session(low, VideoProfile::hd1080(), 0, {}, rng).lossy_slots());
+    high_slots.add(run_session(high, VideoProfile::hd1080(), 0, {}, rng).lossy_slots());
+  }
+  EXPECT_GT(high_slots.mean(), low_slots.mean() * 2.0);
+}
+
+TEST(Session, BurstLossConcentratesInFewSlots) {
+  // A path whose only loss is a short burst: overall loss can be large but
+  // lossy slots must stay <= 2 (Fig. 10's upper-left outliers).
+  sim::SegmentProfile seg;
+  seg.label = "bursty";
+  seg.rtt_ms = 50.0;
+  seg.burst_rate_per_day = 800.0;
+  seg.burst_duration_mean_s = 6.0;
+  seg.burst_duration_sigma = 0.2;
+  seg.burst_loss = 0.8;
+  const sim::PathModel path{{seg}, 3600.0, util::Rng{11}};
+  // Find a burst and run a session over it.
+  ASSERT_FALSE(path.burst_timelines()[0].empty());
+  const auto& event = path.burst_timelines()[0].front();
+  util::Rng rng{9};
+  const auto stats =
+      run_session(path, VideoProfile::hd1080(), event.start_s - 2.0, SessionConfig{}, rng);
+  EXPECT_GT(stats.loss_percent(), 0.15);
+  EXPECT_LE(stats.lossy_slots(), 4);
+}
+
+TEST(Session, PacketLevelAgreesWithSlotLevel) {
+  const auto path = flat_loss_path(0.02);
+  const auto profile = VideoProfile::hd1080();
+  util::Rng rng{10};
+  util::Summary slot_loss, packet_loss;
+  for (int i = 0; i < 30; ++i) {
+    slot_loss.add(run_session(path, profile, 0.0, SessionConfig{}, rng).loss_fraction());
+    packet_loss.add(
+        run_packet_session(path, profile, 0.0, SessionConfig{}, 8.0, rng).loss_fraction());
+  }
+  EXPECT_NEAR(slot_loss.mean(), packet_loss.mean(), 0.005);
+}
+
+TEST(Session, PacketLevelLossIsBurstier) {
+  // Same mean loss, but the GE channel clusters it: the dispersion of
+  // per-slot losses must be higher than binomial.
+  const auto path = flat_loss_path(0.02);
+  const auto profile = VideoProfile::hd1080();
+  util::Rng rng{12};
+  util::Summary slot_level, packet_level;
+  for (int i = 0; i < 30; ++i) {
+    const auto a = run_session(path, profile, 0.0, SessionConfig{}, rng);
+    for (const auto l : a.slot_losses) slot_level.add(l);
+    const auto b = run_packet_session(path, profile, 0.0, SessionConfig{}, 16.0, rng);
+    for (const auto l : b.slot_losses) packet_level.add(l);
+  }
+  EXPECT_GT(packet_level.variance(), slot_level.variance() * 1.5);
+}
+
+}  // namespace
+}  // namespace vns::media

@@ -1,0 +1,215 @@
+// Unit and property tests for vns::net — address/prefix parsing, formatting,
+// canonicalization, containment, and the radix-trie LPM table.
+#include <gtest/gtest.h>
+
+#include "net/ip.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace vns::net {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormatRoundTrip) {
+  const auto addr = Ipv4Address::parse("192.168.1.42");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "192.168.1.42");
+  EXPECT_EQ(addr->value(), 0xC0A8012Au);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4Address, OctetConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1), Ipv4Address::parse("10.0.0.1").value());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix prefix{Ipv4Address(10, 1, 2, 3), 16};
+  EXPECT_EQ(prefix.address(), Ipv4Address(10, 1, 0, 0));
+  EXPECT_EQ(prefix.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  const auto prefix = Ipv4Prefix::parse("203.0.113.0/24");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->length(), 24);
+  EXPECT_EQ(prefix->to_string(), "203.0.113.0/24");
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/24").has_value());
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const auto prefix = Ipv4Prefix::parse("10.1.0.0/16").value();
+  EXPECT_TRUE(prefix.contains(Ipv4Address(10, 1, 255, 255)));
+  EXPECT_FALSE(prefix.contains(Ipv4Address(10, 2, 0, 0)));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const auto wide = Ipv4Prefix::parse("10.0.0.0/8").value();
+  const auto narrow = Ipv4Prefix::parse("10.1.0.0/16").value();
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+}
+
+TEST(Ipv4Prefix, DefaultRouteContainsEverything) {
+  const Ipv4Prefix all{Ipv4Address{0}, 0};
+  EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Address(0, 0, 0, 0)));
+}
+
+TEST(Ipv4Prefix, FirstHostAndSize) {
+  const auto p24 = Ipv4Prefix::parse("192.0.2.0/24").value();
+  EXPECT_EQ(p24.first_host().to_string(), "192.0.2.1");
+  EXPECT_EQ(p24.size(), 256u);
+  const auto p32 = Ipv4Prefix::parse("192.0.2.7/32").value();
+  EXPECT_EQ(p32.first_host().to_string(), "192.0.2.7");
+}
+
+TEST(Ipv4Prefix, MaskForEdges) {
+  EXPECT_EQ(Ipv4Prefix::mask_for(0), 0u);
+  EXPECT_EQ(Ipv4Prefix::mask_for(32), ~0u);
+  EXPECT_EQ(Ipv4Prefix::mask_for(24), 0xFFFFFF00u);
+}
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  const auto prefix = Ipv4Prefix::parse("10.0.0.0/8").value();
+  EXPECT_TRUE(trie.insert(prefix, 7));
+  EXPECT_FALSE(trie.insert(prefix, 8));  // overwrite, not new
+  ASSERT_NE(trie.find(prefix), nullptr);
+  EXPECT_EQ(*trie.find(prefix), 8);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.erase(prefix));
+  EXPECT_FALSE(trie.erase(prefix));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, LongestMatchPrefersMoreSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16").value(), 2);
+  trie.insert(Ipv4Prefix::parse("10.1.2.0/24").value(), 3);
+
+  const auto hit = trie.longest_match(Ipv4Address(10, 1, 2, 200));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 3);
+  EXPECT_EQ(hit->first.to_string(), "10.1.2.0/24");
+
+  const auto mid = trie.longest_match(Ipv4Address(10, 1, 9, 9));
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(*mid->second, 2);
+
+  const auto wide = trie.longest_match(Ipv4Address(10, 200, 0, 1));
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_EQ(*wide->second, 1);
+
+  EXPECT_FALSE(trie.longest_match(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesWhenNothingElseDoes) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix{Ipv4Address{0}, 0}, 99);
+  const auto hit = trie.longest_match(Ipv4Address(203, 0, 113, 5));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 99);
+  EXPECT_EQ(hit->first.length(), 0);
+}
+
+TEST(PrefixTrie, HostRouteMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("192.0.2.7/32").value(), 5);
+  EXPECT_TRUE(trie.longest_match(Ipv4Address(192, 0, 2, 7)).has_value());
+  EXPECT_FALSE(trie.longest_match(Ipv4Address(192, 0, 2, 8)).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.insert(Ipv4Prefix::parse("9.0.0.0/8").value(), 2);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16").value(), 3);
+  std::vector<std::string> visited;
+  trie.for_each([&](const Ipv4Prefix& p, const int&) { visited.push_back(p.to_string()); });
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], "9.0.0.0/8");
+  EXPECT_EQ(visited[1], "10.0.0.0/8");
+  EXPECT_EQ(visited[2], "10.1.0.0/16");
+}
+
+TEST(PrefixTrie, CoveredByEnumeratesSubtree) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16").value(), 2);
+  trie.insert(Ipv4Prefix::parse("10.1.2.0/24").value(), 3);
+  trie.insert(Ipv4Prefix::parse("11.0.0.0/8").value(), 4);
+  const auto covered = trie.covered_by(Ipv4Prefix::parse("10.1.0.0/16").value());
+  EXPECT_EQ(covered.size(), 2u);
+}
+
+TEST(PrefixTrie, ClearResets) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.longest_match(Ipv4Address(10, 0, 0, 1)).has_value());
+}
+
+// Property test: LPM result always equals brute-force scan over inserted
+// prefixes, across random tables and random query addresses.
+TEST(PrefixTrieProperty, LongestMatchAgreesWithBruteForce) {
+  util::Rng rng{12345};
+  for (int round = 0; round < 20; ++round) {
+    PrefixTrie<int> trie;
+    std::vector<Ipv4Prefix> prefixes;
+    for (int i = 0; i < 200; ++i) {
+      const auto addr = Ipv4Address{static_cast<std::uint32_t>(rng())};
+      const auto length = static_cast<std::uint8_t>(rng.uniform_int(4, 28));
+      const Ipv4Prefix prefix{addr, length};
+      if (trie.insert(prefix, i)) prefixes.push_back(prefix);
+    }
+    for (int q = 0; q < 500; ++q) {
+      // Bias half the queries into inserted prefixes so matches are common.
+      Ipv4Address query{static_cast<std::uint32_t>(rng())};
+      if (q % 2 == 0 && !prefixes.empty()) {
+        const auto& base = prefixes[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(prefixes.size()) - 1))];
+        query = Ipv4Address{base.address().value() |
+                            (static_cast<std::uint32_t>(rng()) & ~Ipv4Prefix::mask_for(base.length()))};
+      }
+      const Ipv4Prefix* best = nullptr;
+      for (const auto& prefix : prefixes) {
+        if (prefix.contains(query) && (best == nullptr || prefix.length() > best->length())) {
+          best = &prefix;
+        }
+      }
+      const auto hit = trie.longest_match(query);
+      if (best == nullptr) {
+        EXPECT_FALSE(hit.has_value());
+      } else {
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(hit->first, *best) << "query " << query.to_string();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vns::net

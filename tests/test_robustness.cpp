@@ -1,0 +1,257 @@
+// Robustness and churn tests: BGP under announce/withdraw storms, flap
+// sequences, policy toggling, overlay invariants under repeated
+// reconfiguration, and trie/session stress.
+#include <gtest/gtest.h>
+
+#include "bgp/fabric.hpp"
+#include "measure/workbench.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace vns {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+bgp::Attributes path_attrs(std::initializer_list<net::Asn> asns) {
+  bgp::Attributes attrs;
+  attrs.as_path = bgp::AsPath{std::vector<net::Asn>{asns}};
+  return attrs;
+}
+
+// ------------------------------------------------------------ BGP churn ----
+
+struct ChurnFixture {
+  bgp::Fabric fabric{65000};
+  bgp::RouterId a, b, rr;
+  bgp::NeighborId up_a, up_b;
+
+  ChurnFixture() {
+    a = fabric.add_router("A");
+    b = fabric.add_router("B");
+    rr = fabric.add_router("RR");
+    fabric.add_rr_client_session(rr, a);
+    fabric.add_rr_client_session(rr, b);
+    fabric.router(a).set_advertise_best_external(true);
+    fabric.router(b).set_advertise_best_external(true);
+    fabric.add_igp_link(a, b, 10);
+    fabric.add_igp_link(a, rr, 1);
+    up_a = fabric.add_neighbor(a, 174, bgp::NeighborKind::kUpstream, "upA");
+    up_b = fabric.add_neighbor(b, 3356, bgp::NeighborKind::kUpstream, "upB");
+  }
+};
+
+TEST(BgpChurn, RandomAnnounceWithdrawStormConverges) {
+  ChurnFixture fx;
+  util::Rng rng{404};
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 50; ++i) {
+    prefixes.push_back(Ipv4Prefix{Ipv4Address{static_cast<std::uint32_t>((i + 1) << 20)}, 16});
+  }
+  // 1000 random operations, converging after each batch of 50.
+  for (int batch = 0; batch < 20; ++batch) {
+    for (int op = 0; op < 50; ++op) {
+      const auto& prefix = prefixes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(prefixes.size()) - 1))];
+      const auto neighbor = rng.bernoulli(0.5) ? fx.up_a : fx.up_b;
+      if (rng.bernoulli(0.65)) {
+        fx.fabric.announce(neighbor, prefix,
+                           path_attrs({rng.bernoulli(0.5) ? 174u : 3356u,
+                                       static_cast<net::Asn>(rng.uniform_int(400, 500))}));
+      } else {
+        fx.fabric.withdraw(neighbor, prefix);
+      }
+    }
+    EXPECT_NO_THROW(fx.fabric.run_to_convergence(2'000'000)) << "batch " << batch;
+    EXPECT_TRUE(fx.fabric.converged());
+  }
+}
+
+TEST(BgpChurn, FinalStateIndependentOfFlapHistory) {
+  // Two fabrics receive the same final announcements; one suffers a long
+  // flap history first.  Loc-RIBs must agree (path-vector determinism with
+  // full visibility via best-external).
+  ChurnFixture clean, flapped;
+  const Ipv4Prefix prefix{Ipv4Address{0x0B000000}, 16};
+
+  util::Rng rng{405};
+  for (int i = 0; i < 100; ++i) {
+    if (rng.bernoulli(0.5)) {
+      flapped.fabric.announce(flapped.up_a, prefix, path_attrs({174, 400}));
+    } else {
+      flapped.fabric.withdraw(flapped.up_a, prefix);
+    }
+    flapped.fabric.run_to_convergence();
+  }
+  // Final state: both neighbors announce.
+  for (auto* fx : {&clean, &flapped}) {
+    fx->fabric.announce(fx->up_a, prefix, path_attrs({174, 400}));
+    fx->fabric.announce(fx->up_b, prefix, path_attrs({3356, 400}));
+    fx->fabric.run_to_convergence();
+  }
+  for (const auto router : {clean.a, clean.b, clean.rr}) {
+    const auto* lhs = clean.fabric.router(router).best_route(prefix);
+    const auto* rhs = flapped.fabric.router(router).best_route(prefix);
+    ASSERT_NE(lhs, nullptr);
+    ASSERT_NE(rhs, nullptr);
+    EXPECT_EQ(lhs->egress, rhs->egress) << "router " << router;
+    EXPECT_EQ(lhs->attrs.as_path.to_string(), rhs->attrs.as_path.to_string());
+  }
+}
+
+TEST(BgpChurn, PolicyToggleStormIsStable) {
+  ChurnFixture fx;
+  const Ipv4Prefix prefix{Ipv4Address{0x0C000000}, 16};
+  fx.fabric.announce(fx.up_a, prefix, path_attrs({174, 400}));
+  fx.fabric.announce(fx.up_b, prefix, path_attrs({3356, 401}));
+  fx.fabric.run_to_convergence();
+
+  for (int round = 0; round < 30; ++round) {
+    const bool prefer_b = round % 2;
+    fx.fabric.router(fx.rr).set_import_policy(
+        [prefer_b, &fx](const bgp::ImportContext& ctx, bgp::Route& route) {
+          if (ctx.session == bgp::SessionKind::kIbgp) {
+            route.attrs.local_pref = (route.egress == fx.b) == prefer_b ? 900 : 400;
+          }
+          return true;
+        });
+    fx.fabric.refresh_policies();
+    fx.fabric.run_to_convergence();
+    const auto* at_a = fx.fabric.router(fx.a).best_route(prefix);
+    ASSERT_NE(at_a, nullptr);
+    EXPECT_EQ(at_a->egress, prefer_b ? fx.b : fx.a) << "round " << round;
+  }
+}
+
+TEST(BgpChurn, WithdrawDuringPolicyChangeDoesNotLeaveStaleState) {
+  ChurnFixture fx;
+  const Ipv4Prefix prefix{Ipv4Address{0x0D000000}, 16};
+  fx.fabric.announce(fx.up_a, prefix, path_attrs({174, 400}));
+  fx.fabric.run_to_convergence();
+  // Interleave (no convergence in between): policy change + withdrawal.
+  fx.fabric.router(fx.rr).set_import_policy(
+      [](const bgp::ImportContext& ctx, bgp::Route& route) {
+        if (ctx.session == bgp::SessionKind::kIbgp) route.attrs.local_pref = 777;
+        return true;
+      });
+  fx.fabric.refresh_policies();
+  fx.fabric.withdraw(fx.up_a, prefix);
+  fx.fabric.run_to_convergence();
+  for (const auto router : {fx.a, fx.b, fx.rr}) {
+    EXPECT_EQ(fx.fabric.router(router).best_route(prefix), nullptr) << router;
+  }
+}
+
+// --------------------------------------------------- overlay invariants ----
+
+TEST(OverlayChurn, RepeatedOverrideCyclesReturnToBaseline) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(55));
+  auto& w = *world;
+  w.vns().set_geo_routing(true);
+  const auto& info = w.internet().prefix(33);
+  const auto addr = info.prefix.first_host();
+  const auto baseline = w.vns().egress_pop(0, addr);
+  ASSERT_TRUE(baseline.has_value());
+
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const auto forced = static_cast<core::PopId>(cycle % 11);
+    w.vns().force_exit(info.prefix, forced);
+    EXPECT_EQ(w.vns().egress_pop(0, addr), forced) << "cycle " << cycle;
+    w.vns().clear_overrides();
+    EXPECT_EQ(w.vns().egress_pop(0, addr), baseline) << "cycle " << cycle;
+  }
+}
+
+TEST(OverlayChurn, GeoToggleManyTimesStaysConsistent) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(56));
+  auto& w = *world;
+  std::vector<std::optional<core::PopId>> cold_state, hot_state;
+  for (std::size_t id = 0; id < 120; id += 3) {
+    hot_state.push_back(w.vns().egress_pop(5, w.internet().prefix(id).prefix.first_host()));
+  }
+  w.vns().set_geo_routing(true);
+  for (std::size_t id = 0; id < 120; id += 3) {
+    cold_state.push_back(w.vns().egress_pop(5, w.internet().prefix(id).prefix.first_host()));
+  }
+  for (int toggle = 0; toggle < 4; ++toggle) {
+    w.vns().set_geo_routing(toggle % 2 == 0);
+    std::size_t index = 0;
+    const auto& expect = toggle % 2 == 0 ? cold_state : hot_state;
+    for (std::size_t id = 0; id < 120; id += 3, ++index) {
+      EXPECT_EQ(w.vns().egress_pop(5, w.internet().prefix(id).prefix.first_host()),
+                expect[index])
+          << "toggle " << toggle << " prefix " << id;
+    }
+  }
+}
+
+TEST(OverlayChurn, StaticMoreSpecificsStackAndCoexist) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(57));
+  auto& w = *world;
+  w.vns().set_geo_routing(true);
+  const auto& info = w.internet().prefix(12);
+  // Pin four /24s of the same /16 to four different PoPs.
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    const Ipv4Prefix more{Ipv4Address{info.prefix.address().value() + (k << 8)}, 24};
+    w.vns().add_static_more_specific(more, static_cast<core::PopId>(k * 2));
+  }
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    const Ipv4Address inside{info.prefix.address().value() + (k << 8) + 9};
+    const auto egress = w.vns().egress_pop(0, inside);
+    ASSERT_TRUE(egress.has_value()) << k;
+    EXPECT_EQ(*egress, static_cast<core::PopId>(k * 2)) << k;
+  }
+  // An address outside all four /24s still follows the covering route.
+  const Ipv4Address outside{info.prefix.address().value() + (9u << 8) + 1};
+  EXPECT_TRUE(w.vns().egress_pop(0, outside).has_value());
+}
+
+// ------------------------------------------------------------ trie churn ---
+
+TEST(TrieChurn, InterleavedInsertEraseKeepsLpmCorrect) {
+  net::PrefixTrie<int> trie;
+  util::Rng rng{606};
+  std::vector<std::pair<Ipv4Prefix, int>> live;
+  for (int op = 0; op < 5000; ++op) {
+    if (live.empty() || rng.bernoulli(0.6)) {
+      const Ipv4Prefix prefix{Ipv4Address{static_cast<std::uint32_t>(rng())},
+                              static_cast<std::uint8_t>(rng.uniform_int(8, 28))};
+      if (trie.insert(prefix, op)) {
+        live.emplace_back(prefix, op);
+      } else {
+        for (auto& [p, v] : live) {
+          if (p == prefix) v = op;
+        }
+      }
+    } else {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      EXPECT_TRUE(trie.erase(live[victim].first));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    EXPECT_EQ(trie.size(), live.size());
+  }
+  // Final LPM spot-check against brute force.
+  for (int q = 0; q < 500; ++q) {
+    const Ipv4Address query{static_cast<std::uint32_t>(rng())};
+    const Ipv4Prefix* best = nullptr;
+    int best_value = 0;
+    for (const auto& [p, v] : live) {
+      if (p.contains(query) && (best == nullptr || p.length() > best->length())) {
+        best = &p;
+        best_value = v;
+      }
+    }
+    const auto hit = trie.longest_match(query);
+    if (best == nullptr) {
+      EXPECT_FALSE(hit.has_value());
+    } else {
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(*hit->second, best_value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vns

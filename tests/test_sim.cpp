@@ -1,0 +1,309 @@
+// Tests for vns::sim — time conversions, event-queue ordering,
+// Gilbert–Elliott stationary behaviour and burstiness, diurnal profile
+// shapes, and the composed path model's loss/RTT/jitter semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/diurnal.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/gilbert_elliott.hpp"
+#include "sim/path_model.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace vns::sim {
+namespace {
+
+// ----------------------------------------------------------------- time ----
+
+TEST(SimTime, HourOfDayWraps) {
+  EXPECT_DOUBLE_EQ(hour_of_day_utc(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hour_of_day_utc(3600.0 * 25), 1.0);
+  EXPECT_DOUBLE_EQ(hour_of_day_utc(kSecondsPerDay * 3 + 3600.0 * 7.5), 7.5);
+}
+
+TEST(SimTime, LocalHourAppliesOffset) {
+  EXPECT_DOUBLE_EQ(local_hour(0.0, kTzCet), 1.0);
+  EXPECT_DOUBLE_EQ(local_hour(0.0, kTzUsWest), 16.0);  // wraps to previous day
+  EXPECT_DOUBLE_EQ(local_hour(3600.0 * 20, kTzSingapore), 4.0);
+}
+
+TEST(SimTime, DayIndex) {
+  EXPECT_EQ(day_index(0.0), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay), 1);
+  EXPECT_EQ(day_index(kSecondsPerDay * 13.5), 13);
+}
+
+TEST(SimTime, TzFromLongitude) {
+  EXPECT_DOUBLE_EQ(tz_from_longitude(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tz_from_longitude(103.8), 7.0);    // Singapore ~UTC+7 by sun
+  EXPECT_DOUBLE_EQ(tz_from_longitude(-122.0), -8.0);  // US west coast
+  EXPECT_DOUBLE_EQ(tz_from_longitude(151.2), 10.0);   // Sydney
+}
+
+// ---------------------------------------------------------- event queue ----
+
+TEST(EventQueue, RunsInTimestampOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimestampsAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) queue.schedule(5.0, [&order, i] { order.push_back(i); });
+  queue.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(2.0, [&] { ++fired; });
+  queue.schedule(10.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, ActionsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 5) queue.schedule_in(1.0, tick);
+  };
+  queue.schedule(0.0, tick);
+  queue.run_all();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule(5.0, [&] {
+    queue.schedule(1.0, [&] { fired_at = queue.now(); });  // in the past
+  });
+  queue.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+// ------------------------------------------------------- Gilbert-Elliott ---
+
+TEST(GilbertElliott, StationaryLossMatchesParameterization) {
+  for (double target : {0.001, 0.01, 0.05, 0.2}) {
+    const auto channel = GilbertElliott::from_mean_loss(target, 5.0);
+    EXPECT_NEAR(channel.stationary_loss(), target, 1e-12) << target;
+  }
+}
+
+TEST(GilbertElliott, EmpiricalLossMatchesStationary) {
+  auto channel = GilbertElliott::from_mean_loss(0.02, 8.0);
+  util::Rng rng{99};
+  int lost = 0;
+  const int packets = 400000;
+  for (int i = 0; i < packets; ++i) lost += channel.lose_packet(rng);
+  EXPECT_NEAR(lost / double(packets), 0.02, 0.004);
+}
+
+TEST(GilbertElliott, LossIsBursty) {
+  // P(loss | previous loss) must far exceed the marginal loss rate.
+  auto channel = GilbertElliott::from_mean_loss(0.02, 10.0);
+  util::Rng rng{7};
+  int pairs = 0, loss_after_loss = 0, losses = 0;
+  const int packets = 400000;
+  bool prev = false;
+  for (int i = 0; i < packets; ++i) {
+    const bool lost = channel.lose_packet(rng);
+    losses += lost;
+    if (prev) {
+      ++pairs;
+      loss_after_loss += lost;
+    }
+    prev = lost;
+  }
+  const double conditional = loss_after_loss / double(pairs);
+  const double marginal = losses / double(packets);
+  EXPECT_GT(conditional, marginal * 10.0);
+}
+
+TEST(GilbertElliott, ZeroLossChannelNeverLoses) {
+  auto channel = GilbertElliott::from_mean_loss(0.0, 5.0);
+  util::Rng rng{1};
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(channel.lose_packet(rng));
+}
+
+TEST(GilbertElliott, ResetRestoresGoodState) {
+  auto channel = GilbertElliott{1.0, 0.0, 0.0, 1.0};  // jumps to Bad and stays
+  util::Rng rng{2};
+  (void)channel.lose_packet(rng);
+  EXPECT_TRUE(channel.in_bad_state());
+  channel.reset();
+  EXPECT_FALSE(channel.in_bad_state());
+}
+
+// ---------------------------------------------------------------- diurnal --
+
+TEST(Diurnal, FlatProfileIsConstant) {
+  const auto profile = DiurnalProfile::flat(0.3);
+  for (double h = 0; h < 24; h += 0.5) EXPECT_DOUBLE_EQ(profile.level(h), 0.3);
+}
+
+TEST(Diurnal, BusinessProfilePeaksMidDay) {
+  const auto profile = DiurnalProfile::business(0.05, 0.6);
+  EXPECT_GT(profile.level(13.0), profile.level(3.0) * 3.0);
+  EXPECT_GT(profile.level(13.0), profile.level(20.5));
+}
+
+TEST(Diurnal, ResidentialProfilePeaksEvening) {
+  const auto profile = DiurnalProfile::residential(0.05, 0.6);
+  EXPECT_GT(profile.level(20.5), profile.level(13.0));
+  EXPECT_GT(profile.level(20.5), profile.level(4.0) * 3.0);
+}
+
+TEST(Diurnal, LevelsAreClampedToUnit) {
+  const DiurnalProfile profile{0.9, 0.9, 0.9};
+  for (double h = 0; h < 24; h += 0.25) {
+    EXPECT_LE(profile.level(h), 1.0);
+    EXPECT_GE(profile.level(h), 0.0);
+  }
+}
+
+TEST(Diurnal, WrapsAroundMidnight) {
+  const auto profile = DiurnalProfile::residential(0.0, 1.0);
+  // 23:30 and 00:30 should be nearly symmetric around the 20.5h peak tail.
+  EXPECT_NEAR(profile.level(23.75), profile.level(23.75 - 24.0), 1e-12);
+  EXPECT_GT(profile.level(23.0), profile.level(8.0));
+}
+
+TEST(Diurnal, DailyMeanBetweenBaseAndPeak) {
+  const auto profile = DiurnalProfile::business(0.1, 0.5);
+  const double mean = profile.daily_mean();
+  EXPECT_GT(mean, 0.1);
+  EXPECT_LT(mean, profile.level(13.0));
+}
+
+// -------------------------------------------------------------- path model -
+
+SegmentProfile lossless_segment(double rtt) {
+  SegmentProfile seg;
+  seg.label = "clean";
+  seg.rtt_ms = rtt;
+  seg.jitter_base_ms = 0.0;
+  seg.jitter_peak_ms = 0.0;
+  return seg;
+}
+
+TEST(PathModel, BaseRttIsSumOfSegments) {
+  const PathModel path{{lossless_segment(10), lossless_segment(25), lossless_segment(5)},
+                       0.0, util::Rng{1}};
+  EXPECT_DOUBLE_EQ(path.base_rtt_ms(), 40.0);
+  util::Rng rng{2};
+  EXPECT_DOUBLE_EQ(path.sample_rtt_ms(0.0, rng), 40.0);  // no jitter configured
+}
+
+TEST(PathModel, LossComposesAcrossSegments) {
+  SegmentProfile a = lossless_segment(1);
+  a.random_loss = 0.1;
+  SegmentProfile b = lossless_segment(1);
+  b.random_loss = 0.2;
+  const PathModel path{{a, b}, 0.0, util::Rng{1}};
+  EXPECT_NEAR(path.loss_probability(0.0), 1.0 - 0.9 * 0.8, 1e-12);
+}
+
+TEST(PathModel, CongestionLossFollowsLocalClock) {
+  SegmentProfile seg = lossless_segment(1);
+  seg.congestion_loss = 0.05;
+  seg.diurnal = DiurnalProfile::business(0.0, 1.0);
+  seg.tz_offset_hours = 8.0;  // AP-like
+  const PathModel path{{seg}, 0.0, util::Rng{1}};
+  // Peak at 13:00 local = 05:00 UTC.
+  const double peak = path.loss_probability(5.0 * 3600);
+  const double trough = path.loss_probability(19.0 * 3600);
+  EXPECT_GT(peak, trough * 5.0);
+}
+
+TEST(PathModel, BurstEventsRaiseLossDuringWindow) {
+  SegmentProfile seg = lossless_segment(1);
+  seg.burst_rate_per_day = 500.0;  // make events dense enough to find one
+  seg.burst_duration_mean_s = 10.0;
+  seg.burst_duration_sigma = 0.3;
+  seg.burst_loss = 0.9;
+  const double horizon = kSecondsPerDay;
+  const PathModel path{{seg}, horizon, util::Rng{42}};
+  ASSERT_FALSE(path.burst_timelines()[0].empty());
+  const auto& event = path.burst_timelines()[0].front();
+  const double mid = (event.start_s + event.end_s) / 2.0;
+  EXPECT_TRUE(path.burst_active(mid));
+  EXPECT_NEAR(path.loss_probability(mid), 0.9, 1e-9);
+}
+
+TEST(PathModel, BurstTimelineIsDeterministicPerSeed) {
+  SegmentProfile seg = lossless_segment(1);
+  seg.burst_rate_per_day = 20.0;
+  const PathModel p1{{seg}, kSecondsPerDay, util::Rng{7}};
+  const PathModel p2{{seg}, kSecondsPerDay, util::Rng{7}};
+  ASSERT_EQ(p1.burst_timelines()[0].size(), p2.burst_timelines()[0].size());
+  for (std::size_t i = 0; i < p1.burst_timelines()[0].size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.burst_timelines()[0][i].start_s, p2.burst_timelines()[0][i].start_s);
+  }
+}
+
+TEST(PathModel, SampleLossesMatchesProbability) {
+  SegmentProfile seg = lossless_segment(1);
+  seg.random_loss = 0.01;
+  const PathModel path{{seg}, 0.0, util::Rng{1}};
+  util::Rng rng{3};
+  std::uint64_t lost = 0, sent = 0;
+  for (int i = 0; i < 2000; ++i) {
+    lost += path.sample_losses(0.0, 1000, rng);
+    sent += 1000;
+  }
+  EXPECT_NEAR(lost / double(sent), 0.01, 0.001);
+}
+
+TEST(PathModel, MinRttConvergesTowardBase) {
+  SegmentProfile seg = lossless_segment(50);
+  seg.jitter_base_ms = 5.0;
+  seg.jitter_peak_ms = 5.0;
+  const PathModel path{{seg}, 0.0, util::Rng{1}};
+  util::Rng rng{4};
+  util::Summary one, five;
+  for (int i = 0; i < 2000; ++i) {
+    one.add(path.sample_rtt_ms(0.0, rng));
+    five.add(path.min_rtt_ms(0.0, 5, rng));
+  }
+  EXPECT_GT(one.mean(), five.mean());
+  EXPECT_NEAR(five.mean(), 50.0 + 5.0 / 5.0, 0.3);  // min of 5 exponentials
+  EXPECT_GE(five.min(), 50.0);
+}
+
+TEST(PathModel, ExpectedJitterTracksCongestion) {
+  SegmentProfile seg = lossless_segment(10);
+  seg.jitter_base_ms = 0.5;
+  seg.jitter_peak_ms = 8.0;
+  seg.diurnal = DiurnalProfile::business(0.0, 1.0);
+  seg.tz_offset_hours = 0.0;
+  const PathModel path{{seg}, 0.0, util::Rng{1}};
+  EXPECT_GT(path.expected_jitter_ms(13.0 * 3600), path.expected_jitter_ms(3.0 * 3600) * 3);
+}
+
+TEST(PathModel, EmptyPathIsPerfect) {
+  const PathModel path{{}, 0.0, util::Rng{1}};
+  util::Rng rng{5};
+  EXPECT_DOUBLE_EQ(path.loss_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(path.base_rtt_ms(), 0.0);
+  EXPECT_EQ(path.sample_losses(0.0, 100, rng), 0u);
+}
+
+}  // namespace
+}  // namespace vns::sim

@@ -1,0 +1,180 @@
+// Focused unit tests for the small value types and helpers that the larger
+// suites exercise only indirectly: AS paths, attributes/communities, route
+// formatting, Gilbert–Elliott edge parameterizations, diurnal means, and
+// quality-model edge conditions.
+#include <gtest/gtest.h>
+
+#include "bgp/router.hpp"
+#include "bgp/types.hpp"
+#include "media/quality.hpp"
+#include "sim/diurnal.hpp"
+#include "sim/gilbert_elliott.hpp"
+
+namespace vns {
+namespace {
+
+// ----------------------------------------------------------------- AsPath --
+
+TEST(AsPath, EmptyPathBasics) {
+  const bgp::AsPath path;
+  EXPECT_EQ(path.length(), 0u);
+  EXPECT_EQ(path.first_hop(), 0u);
+  EXPECT_EQ(path.origin_as(), 0u);
+  EXPECT_FALSE(path.contains(100));
+  EXPECT_EQ(path.to_string(), "");
+}
+
+TEST(AsPath, HopsAndEndpoints) {
+  const bgp::AsPath path{{174, 3356, 64512}};
+  EXPECT_EQ(path.length(), 3u);
+  EXPECT_EQ(path.first_hop(), 174u);
+  EXPECT_EQ(path.origin_as(), 64512u);
+  EXPECT_TRUE(path.contains(3356));
+  EXPECT_FALSE(path.contains(1));
+  EXPECT_EQ(path.to_string(), "174 3356 64512");
+}
+
+TEST(AsPath, PrependedDoesNotMutateOriginal) {
+  const bgp::AsPath path{{3356, 64512}};
+  const auto longer = path.prepended(65000);
+  EXPECT_EQ(path.length(), 2u);
+  EXPECT_EQ(longer.length(), 3u);
+  EXPECT_EQ(longer.first_hop(), 65000u);
+  EXPECT_EQ(longer.origin_as(), 64512u);
+}
+
+TEST(AsPath, EqualityIsStructural) {
+  EXPECT_EQ((bgp::AsPath{{1, 2}}), (bgp::AsPath{{1, 2}}));
+  EXPECT_NE((bgp::AsPath{{1, 2}}), (bgp::AsPath{{2, 1}}));
+}
+
+// -------------------------------------------------------------- Attributes -
+
+TEST(Attributes, CommunityAddIsIdempotent) {
+  bgp::Attributes attrs;
+  attrs.add_community(bgp::kNoExport);
+  attrs.add_community(bgp::kNoExport);
+  EXPECT_EQ(attrs.communities.size(), 1u);
+  EXPECT_TRUE(attrs.has_community(bgp::kNoExport));
+  EXPECT_FALSE(attrs.has_community(bgp::kNoAdvertise));
+}
+
+TEST(Attributes, EqualityCoversEveryField) {
+  bgp::Attributes a, b;
+  EXPECT_EQ(a, b);
+  b.local_pref = 200;
+  EXPECT_NE(a, b);
+  b = a;
+  b.med = 5;
+  EXPECT_NE(a, b);
+  b = a;
+  b.origin = bgp::Origin::kIncomplete;
+  EXPECT_NE(a, b);
+  b = a;
+  b.add_community(bgp::kNoExport);
+  EXPECT_NE(a, b);
+}
+
+TEST(Route, ToStringMentionsKeyFields) {
+  bgp::Route route;
+  route.prefix = net::Ipv4Prefix::parse("10.0.0.0/8").value();
+  route.attrs.local_pref = 777;
+  route.attrs.as_path = bgp::AsPath{{174, 3356}};
+  route.egress = 4;
+  route.learned_via_ebgp = true;
+  const auto text = route.to_string();
+  EXPECT_NE(text.find("10.0.0.0/8"), std::string::npos);
+  EXPECT_NE(text.find("777"), std::string::npos);
+  EXPECT_NE(text.find("174 3356"), std::string::npos);
+  EXPECT_NE(text.find("eBGP"), std::string::npos);
+}
+
+TEST(SessionKey, PackingIsInjectivePerKind) {
+  const bgp::SessionKey ibgp{bgp::SessionKind::kIbgp, 7};
+  const bgp::SessionKey ebgp{bgp::SessionKind::kEbgp, 7};
+  EXPECT_NE(ibgp.packed(), ebgp.packed());
+  EXPECT_EQ(ibgp.packed(),
+            (bgp::SessionKey{bgp::SessionKind::kIbgp, 7}.packed()));
+}
+
+TEST(NeighborKind, Names) {
+  EXPECT_STREQ(to_string(bgp::NeighborKind::kUpstream), "upstream");
+  EXPECT_STREQ(to_string(bgp::NeighborKind::kPeer), "peer");
+  EXPECT_STREQ(to_string(bgp::NeighborKind::kCustomer), "customer");
+}
+
+TEST(SameAdvertisement, DistinguishesForwardingContext) {
+  bgp::Route a;
+  a.prefix = net::Ipv4Prefix::parse("10.0.0.0/8").value();
+  bgp::Route b = a;
+  EXPECT_TRUE(bgp::same_advertisement(a, b));
+  b.egress = 3;
+  EXPECT_FALSE(bgp::same_advertisement(a, b));
+  b = a;
+  b.attrs.local_pref = 900;
+  EXPECT_FALSE(bgp::same_advertisement(a, b));
+  b = a;
+  b.advertiser = 9;  // bookkeeping only: still the same advertisement
+  EXPECT_TRUE(bgp::same_advertisement(a, b));
+}
+
+// -------------------------------------------------------- Gilbert-Elliott --
+
+TEST(GilbertElliottUnits, RawParametersAreClamped) {
+  const sim::GilbertElliott channel{2.0, -1.0, 1.5, -0.5};
+  // p_gb -> 1, p_bg -> 0 (absorbing Bad), loss_good -> 1, loss_bad -> 0:
+  // stationary = pi_bad*0 + pi_good*1 with pi_bad = 1/(1+0) = 1 -> 0.
+  EXPECT_GE(channel.stationary_loss(), 0.0);
+  EXPECT_LE(channel.stationary_loss(), 1.0);
+}
+
+TEST(GilbertElliottUnits, ExtremeMeanLossSaturates) {
+  const auto channel = sim::GilbertElliott::from_mean_loss(0.9999, 4.0);
+  EXPECT_LE(channel.stationary_loss(), 1.0);
+  EXPECT_GT(channel.stationary_loss(), 0.75);  // p_gb saturates at 1, bounding pi_bad
+}
+
+TEST(GilbertElliottUnits, MeanBurstBelowOneIsClamped) {
+  const auto channel = sim::GilbertElliott::from_mean_loss(0.05, 0.1);
+  EXPECT_NEAR(channel.stationary_loss(), 0.05, 1e-12);
+}
+
+// ------------------------------------------------------------------ diurnal -
+
+TEST(DiurnalUnits, DailyMeanScalesWithWeights) {
+  const auto light = sim::DiurnalProfile::business(0.05, 0.2);
+  const auto heavy = sim::DiurnalProfile::business(0.05, 0.8);
+  EXPECT_GT(heavy.daily_mean(), light.daily_mean());
+  EXPECT_GE(light.daily_mean(), 0.05);
+}
+
+TEST(DiurnalUnits, FlatMeanEqualsLevel) {
+  EXPECT_NEAR(sim::DiurnalProfile::flat(0.37).daily_mean(), 0.37, 1e-9);
+}
+
+// ------------------------------------------------------------------ quality -
+
+TEST(QualityUnits, RFactorBounds) {
+  EXPECT_LE(media::r_factor({0.0, 1.0, 0.0, 0.0}), 93.2);
+  EXPECT_GE(media::r_factor({1.0, 50.0, 1000.0, 100.0}), 0.0);
+  EXPECT_EQ(media::mos({1.0, 50.0, 1000.0, 100.0}), 1.0);
+}
+
+TEST(QualityUnits, MosIsBounded) {
+  for (double loss : {0.0, 0.01, 0.2, 0.9}) {
+    for (double delay : {0.0, 100.0, 400.0}) {
+      const double score = media::mos({loss, 3.0, delay, 2.0});
+      EXPECT_GE(score, 1.0);
+      EXPECT_LE(score, 4.5);
+    }
+  }
+}
+
+TEST(QualityUnits, JitterActsAsDelay) {
+  const double calm = media::mos({0.0, 1.0, 150.0, 0.0});
+  const double jittery = media::mos({0.0, 1.0, 150.0, 30.0});
+  EXPECT_GT(calm, jittery);
+}
+
+}  // namespace
+}  // namespace vns
