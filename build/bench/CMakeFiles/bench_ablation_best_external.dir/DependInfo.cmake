@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_best_external.cpp" "bench/CMakeFiles/bench_ablation_best_external.dir/bench_ablation_best_external.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_best_external.dir/bench_ablation_best_external.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/vns_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vns_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/vns_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/vns_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

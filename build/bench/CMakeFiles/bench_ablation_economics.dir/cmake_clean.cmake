@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_economics.dir/bench_ablation_economics.cpp.o"
+  "CMakeFiles/bench_ablation_economics.dir/bench_ablation_economics.cpp.o.d"
+  "bench_ablation_economics"
+  "bench_ablation_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overrides.dir/bench_ablation_overrides.cpp.o"
+  "CMakeFiles/bench_ablation_overrides.dir/bench_ablation_overrides.cpp.o.d"
+  "bench_ablation_overrides"
+  "bench_ablation_overrides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overrides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

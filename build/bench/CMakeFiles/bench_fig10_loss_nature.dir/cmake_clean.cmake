@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_loss_nature.dir/bench_fig10_loss_nature.cpp.o"
+  "CMakeFiles/bench_fig10_loss_nature.dir/bench_fig10_loss_nature.cpp.o.d"
+  "bench_fig10_loss_nature"
+  "bench_fig10_loss_nature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_loss_nature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_delay_difference.dir/bench_fig6_delay_difference.cpp.o"
+  "CMakeFiles/bench_fig6_delay_difference.dir/bench_fig6_delay_difference.cpp.o.d"
+  "bench_fig6_delay_difference"
+  "bench_fig6_delay_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_delay_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

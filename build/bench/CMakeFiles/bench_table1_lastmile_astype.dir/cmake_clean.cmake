@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lastmile_astype.dir/bench_table1_lastmile_astype.cpp.o"
+  "CMakeFiles/bench_table1_lastmile_astype.dir/bench_table1_lastmile_astype.cpp.o.d"
+  "bench_table1_lastmile_astype"
+  "bench_table1_lastmile_astype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lastmile_astype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

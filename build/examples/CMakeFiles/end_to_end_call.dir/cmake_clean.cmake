@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_call.dir/end_to_end_call.cpp.o"
+  "CMakeFiles/end_to_end_call.dir/end_to_end_call.cpp.o.d"
+  "end_to_end_call"
+  "end_to_end_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

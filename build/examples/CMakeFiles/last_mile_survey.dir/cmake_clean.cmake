@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/last_mile_survey.dir/last_mile_survey.cpp.o"
+  "CMakeFiles/last_mile_survey.dir/last_mile_survey.cpp.o.d"
+  "last_mile_survey"
+  "last_mile_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/last_mile_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for last_mile_survey.
+# This may be replaced when dependencies are built.

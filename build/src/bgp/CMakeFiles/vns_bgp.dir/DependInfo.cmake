@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/decision.cpp" "src/bgp/CMakeFiles/vns_bgp.dir/decision.cpp.o" "gcc" "src/bgp/CMakeFiles/vns_bgp.dir/decision.cpp.o.d"
+  "/root/repo/src/bgp/fabric.cpp" "src/bgp/CMakeFiles/vns_bgp.dir/fabric.cpp.o" "gcc" "src/bgp/CMakeFiles/vns_bgp.dir/fabric.cpp.o.d"
+  "/root/repo/src/bgp/igp.cpp" "src/bgp/CMakeFiles/vns_bgp.dir/igp.cpp.o" "gcc" "src/bgp/CMakeFiles/vns_bgp.dir/igp.cpp.o.d"
+  "/root/repo/src/bgp/router.cpp" "src/bgp/CMakeFiles/vns_bgp.dir/router.cpp.o" "gcc" "src/bgp/CMakeFiles/vns_bgp.dir/router.cpp.o.d"
+  "/root/repo/src/bgp/types.cpp" "src/bgp/CMakeFiles/vns_bgp.dir/types.cpp.o" "gcc" "src/bgp/CMakeFiles/vns_bgp.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

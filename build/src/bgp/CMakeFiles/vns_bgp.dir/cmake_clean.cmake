@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_bgp.dir/decision.cpp.o"
+  "CMakeFiles/vns_bgp.dir/decision.cpp.o.d"
+  "CMakeFiles/vns_bgp.dir/fabric.cpp.o"
+  "CMakeFiles/vns_bgp.dir/fabric.cpp.o.d"
+  "CMakeFiles/vns_bgp.dir/igp.cpp.o"
+  "CMakeFiles/vns_bgp.dir/igp.cpp.o.d"
+  "CMakeFiles/vns_bgp.dir/router.cpp.o"
+  "CMakeFiles/vns_bgp.dir/router.cpp.o.d"
+  "CMakeFiles/vns_bgp.dir/types.cpp.o"
+  "CMakeFiles/vns_bgp.dir/types.cpp.o.d"
+  "libvns_bgp.a"
+  "libvns_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_core.dir/economics.cpp.o"
+  "CMakeFiles/vns_core.dir/economics.cpp.o.d"
+  "CMakeFiles/vns_core.dir/vns_network.cpp.o"
+  "CMakeFiles/vns_core.dir/vns_network.cpp.o.d"
+  "libvns_core.a"
+  "libvns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

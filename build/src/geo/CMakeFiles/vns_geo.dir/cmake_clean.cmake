@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_geo.dir/cities.cpp.o"
+  "CMakeFiles/vns_geo.dir/cities.cpp.o.d"
+  "CMakeFiles/vns_geo.dir/geo.cpp.o"
+  "CMakeFiles/vns_geo.dir/geo.cpp.o.d"
+  "CMakeFiles/vns_geo.dir/geoip.cpp.o"
+  "CMakeFiles/vns_geo.dir/geoip.cpp.o.d"
+  "libvns_geo.a"
+  "libvns_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_measure.dir/prober.cpp.o"
+  "CMakeFiles/vns_measure.dir/prober.cpp.o.d"
+  "CMakeFiles/vns_measure.dir/workbench.cpp.o"
+  "CMakeFiles/vns_measure.dir/workbench.cpp.o.d"
+  "libvns_measure.a"
+  "libvns_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

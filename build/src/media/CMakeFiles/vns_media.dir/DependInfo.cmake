@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/quality.cpp" "src/media/CMakeFiles/vns_media.dir/quality.cpp.o" "gcc" "src/media/CMakeFiles/vns_media.dir/quality.cpp.o.d"
+  "/root/repo/src/media/repair.cpp" "src/media/CMakeFiles/vns_media.dir/repair.cpp.o" "gcc" "src/media/CMakeFiles/vns_media.dir/repair.cpp.o.d"
+  "/root/repo/src/media/session.cpp" "src/media/CMakeFiles/vns_media.dir/session.cpp.o" "gcc" "src/media/CMakeFiles/vns_media.dir/session.cpp.o.d"
+  "/root/repo/src/media/video.cpp" "src/media/CMakeFiles/vns_media.dir/video.cpp.o" "gcc" "src/media/CMakeFiles/vns_media.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_media.dir/quality.cpp.o"
+  "CMakeFiles/vns_media.dir/quality.cpp.o.d"
+  "CMakeFiles/vns_media.dir/repair.cpp.o"
+  "CMakeFiles/vns_media.dir/repair.cpp.o.d"
+  "CMakeFiles/vns_media.dir/session.cpp.o"
+  "CMakeFiles/vns_media.dir/session.cpp.o.d"
+  "CMakeFiles/vns_media.dir/video.cpp.o"
+  "CMakeFiles/vns_media.dir/video.cpp.o.d"
+  "libvns_media.a"
+  "libvns_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_net.dir/ip.cpp.o"
+  "CMakeFiles/vns_net.dir/ip.cpp.o.d"
+  "libvns_net.a"
+  "libvns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_sim.dir/diurnal.cpp.o"
+  "CMakeFiles/vns_sim.dir/diurnal.cpp.o.d"
+  "CMakeFiles/vns_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vns_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vns_sim.dir/gilbert_elliott.cpp.o"
+  "CMakeFiles/vns_sim.dir/gilbert_elliott.cpp.o.d"
+  "CMakeFiles/vns_sim.dir/path_model.cpp.o"
+  "CMakeFiles/vns_sim.dir/path_model.cpp.o.d"
+  "CMakeFiles/vns_sim.dir/time.cpp.o"
+  "CMakeFiles/vns_sim.dir/time.cpp.o.d"
+  "libvns_sim.a"
+  "libvns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

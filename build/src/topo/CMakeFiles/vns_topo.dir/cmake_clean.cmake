@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_topo.dir/delay.cpp.o"
+  "CMakeFiles/vns_topo.dir/delay.cpp.o.d"
+  "CMakeFiles/vns_topo.dir/internet.cpp.o"
+  "CMakeFiles/vns_topo.dir/internet.cpp.o.d"
+  "CMakeFiles/vns_topo.dir/segments.cpp.o"
+  "CMakeFiles/vns_topo.dir/segments.cpp.o.d"
+  "libvns_topo.a"
+  "libvns_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vns_util.dir/rng.cpp.o"
+  "CMakeFiles/vns_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vns_util.dir/stats.cpp.o"
+  "CMakeFiles/vns_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vns_util.dir/table.cpp.o"
+  "CMakeFiles/vns_util.dir/table.cpp.o.d"
+  "libvns_util.a"
+  "libvns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_measure.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_measure.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_measure.cpp.o.d"
+  "/root/repo/tests/test_media.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_media.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_media.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/vnskit_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/vnskit_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/vns_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/vns_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vns_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/vns_measure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnskit_tests.dir/test_bgp.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_bgp.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_core.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_geo.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_geo.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_measure.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_measure.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_media.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_media.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_net.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_net.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_robustness.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_robustness.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_topo.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_topo.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_units.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_units.cpp.o.d"
+  "CMakeFiles/vnskit_tests.dir/test_util.cpp.o"
+  "CMakeFiles/vnskit_tests.dir/test_util.cpp.o.d"
+  "vnskit_tests"
+  "vnskit_tests.pdb"
+  "vnskit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnskit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
