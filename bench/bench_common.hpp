@@ -5,6 +5,8 @@
 //   --small        tiny topology (CI smoke runs)
 //   --seed N       world seed (default 1)
 //   --days D       campaign length where applicable (scaled-down defaults)
+//   --threads N    campaign worker count (default: VNS_THREADS, then
+//                  hardware; results are bit-identical for any N)
 // and print deterministic, diff-able text tables.
 #pragma once
 
@@ -18,7 +20,9 @@
 #include <vector>
 
 #include "measure/workbench.hpp"
+#include "util/counters.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vns::bench {
 
@@ -26,6 +30,7 @@ struct BenchArgs {
   bool small = false;
   std::uint64_t seed = 1;
   double days = 0.0;  ///< 0: bench-specific default
+  int threads = 0;    ///< 0: VNS_THREADS env, then hardware concurrency
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -37,8 +42,10 @@ struct BenchArgs {
         args.seed = std::strtoull(argv[++i], nullptr, 10);
       } else if (arg == "--days" && i + 1 < argc) {
         args.days = std::strtod(argv[++i], nullptr);
+      } else if (arg == "--threads" && i + 1 < argc) {
+        args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       } else if (arg == "--help") {
-        std::cout << "flags: --small --seed N --days D\n";
+        std::cout << "flags: --small --seed N --days D --threads N\n";
         std::exit(0);
       }
     }
@@ -46,8 +53,10 @@ struct BenchArgs {
   }
 
   [[nodiscard]] measure::WorkbenchConfig workbench_config() const {
-    return small ? measure::WorkbenchConfig::small(seed)
-                 : measure::WorkbenchConfig::paper_scale(seed);
+    auto config = small ? measure::WorkbenchConfig::small(seed)
+                        : measure::WorkbenchConfig::paper_scale(seed);
+    config.threads = threads;
+    return config;
   }
 };
 
@@ -64,7 +73,18 @@ inline std::unique_ptr<measure::Workbench> build_world(const BenchArgs& args,
             << world->internet().prefixes().size() << " prefixes, "
             << world->vns().fabric().neighbor_count() << " eBGP sessions (built in "
             << util::format_double(elapsed, 1) << " s)\n\n";
+  util::Counters::global().set("bgp.messages_delivered",
+                               world->vns().fabric().messages_delivered());
   return world;
+}
+
+/// Prints the work-counter snapshot and campaign wall-clock, the trailing
+/// block every bench emits so the engine's perf trajectory stays observable.
+inline void print_run_counters(std::ostream& out, const BenchArgs& args,
+                               double campaign_seconds) {
+  out << "\nthreads: " << util::resolve_thread_count(args.threads)
+      << ", campaign wall-clock: " << util::format_double(campaign_seconds, 2) << " s\n";
+  util::Counters::global().print(out);
 }
 
 }  // namespace vns::bench

@@ -77,17 +77,18 @@ int main(int argc, char** argv) {
   auto& w = *world;
   const double days = args.days > 0 ? args.days : (args.small ? 3.0 : 14.0);
   const double horizon = days * sim::kSecondsPerDay;
-  util::Rng rng{args.seed ^ 0xf16'10ULL};
+  const util::Rng rng{args.seed ^ 0xf16'10ULL};
 
   const auto client = *w.vns().find_pop("AMS");
   const char* servers[] = {"FRA", "HKG", "SIN", "ASH", "NYC"};
   const auto profile = media::VideoProfile::hd1080();
   media::SessionConfig session_config;
 
-  ScatterStats through_vns, through_transit;
+  // One streaming shard per (server, route); VNS tasks at even indices.
+  std::vector<measure::StreamTask> tasks;
   for (std::size_t s = 0; s < std::size(servers); ++s) {
     const auto server = *w.vns().find_pop(servers[s]);
-    auto vns_segments = w.vns().internal_segments(client, server, w.catalog());
+    const auto vns_segments = w.vns().internal_segments(client, server, w.catalog());
     std::vector<topo::AsIndex> transit_as_path;
     for (const auto& attachment : w.vns().attachments()) {
       if (attachment.pop == client && attachment.upstream) {
@@ -95,17 +96,32 @@ int main(int argc, char** argv) {
         break;
       }
     }
-    auto transit_segments = topo::transit_path_segments(
+    const auto transit_segments = topo::transit_path_segments(
         w.internet(), w.vns().pop(client).city.location, w.vns().pop(client).city.region,
         transit_as_path, w.vns().pop(server).city.location, topo::AsType::kLTP,
         w.vns().pop(server).city.region, w.catalog(), w.delay(), false);
 
-    const sim::PathModel vns_path{std::move(vns_segments), horizon, rng.fork(s * 2)};
-    const sim::PathModel transit_path{std::move(transit_segments), horizon, rng.fork(s * 2 + 1)};
-    for (double t = s * 150.0; t < horizon - 150.0; t += 1800.0) {
-      through_vns.add(media::run_session(vns_path, profile, t, session_config, rng));
-      through_transit.add(media::run_session(transit_path, profile, t, session_config, rng));
+    for (const bool via_vns : {true, false}) {
+      measure::StreamTask task;
+      task.segments = via_vns ? vns_segments : transit_segments;
+      task.horizon_s = horizon;
+      task.start_s = s * 150.0;
+      task.end_s = horizon - 150.0;
+      task.interval_s = 1800.0;
+      task.profile = profile;
+      task.session = session_config;
+      tasks.push_back(std::move(task));
     }
+  }
+
+  const auto campaign_t0 = std::chrono::steady_clock::now();
+  const auto results = measure::run_stream_campaign(tasks, rng, args.threads);
+  const double campaign_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_t0).count();
+  ScatterStats through_vns, through_transit;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto& scatter = (i % 2 == 0) ? through_vns : through_transit;
+    for (const auto& stats : results[i].sessions) scatter.add(stats);
   }
 
   util::TextTable table{{"metric", "through upstreams", "through VNS"}};
@@ -135,5 +151,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "paper: transit shows a linear random-loss baseline plus both outlier\n"
                "families; VNS eliminates the outliers and the multi-slot baseline\n";
+  bench::print_run_counters(std::cout, args, campaign_s);
   return 0;
 }

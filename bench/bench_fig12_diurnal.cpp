@@ -29,8 +29,7 @@ int main(int argc, char** argv) {
   const double days = args.days > 0 ? args.days : (args.small ? 2.0 : 6.0);
   const double horizon = days * sim::kSecondsPerDay;
   const int per_cell = args.small ? 12 : 50;
-  util::Rng rng{args.seed ^ 0xf16'12ULL};
-  measure::Prober prober{rng.fork("trains")};
+  const util::Rng rng{args.seed ^ 0xf16'12ULL};
 
   const auto hosts = w.select_last_mile_hosts(per_cell, args.seed ^ 0x605);
   const auto sjs = *w.vns().find_pop("SJS");
@@ -40,13 +39,25 @@ int main(int argc, char** argv) {
   for (const auto& host : hosts) {
     counters[host.type].try_emplace(host.region, sim::kTzCet);
   }
+  // One probing shard per host, each drawing from its own RNG substream;
+  // per-round outcomes come back in host order and are binned serially.
+  std::vector<measure::TrainTask> tasks;
+  tasks.reserve(hosts.size());
   for (const auto& host : hosts) {
-    const sim::PathModel path{w.probe_segments(sjs, host.prefix_id, true), horizon,
-                              util::Rng{args.seed ^ (host.prefix_id * 19 + 7)}};
-    auto& counter = counters[host.type].at(host.region);
-    for (double t = 0.0; t < horizon; t += 600.0) {
-      counter.record(t, prober.train(path, t, 100).lost > 0);
-    }
+    measure::TrainTask task;
+    task.segments = w.probe_segments(sjs, host.prefix_id, true);
+    task.horizon_s = horizon;
+    task.interval_s = 600.0;
+    task.packets = 100;
+    tasks.push_back(std::move(task));
+  }
+  const auto campaign_t0 = std::chrono::steady_clock::now();
+  const auto results = measure::run_train_campaign(tasks, rng, args.threads);
+  const double campaign_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_t0).count();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    auto& counter = counters[hosts[i].type].at(hosts[i].region);
+    for (const auto& round : results[i].rounds) counter.record(round.t, round.lost > 0);
   }
 
   const std::pair<const char*, geo::WorldRegion> regions[] = {
@@ -122,5 +133,6 @@ int main(int argc, char** argv) {
   std::cout << "\nAP CAHP busiest vs quietest 3h window: "
             << util::format_double(quietest > 0 ? busiest / quietest : busiest, 1)
             << "x (paper: ~8x more during busy hours)\n";
+  bench::print_run_counters(std::cout, args, campaign_s);
   return 0;
 }

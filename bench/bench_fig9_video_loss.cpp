@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   auto& w = *world;
   const double days = args.days > 0 ? args.days : (args.small ? 2.0 : 7.0);
   const double horizon = days * sim::kSecondsPerDay;
-  util::Rng rng{args.seed ^ 0xf16'9ULL};
+  const util::Rng rng{args.seed ^ 0xf16'9ULL};
 
   const char* clients[] = {"AMS", "SJS", "SYD"};
   const std::pair<const char*, geo::PopRegion> servers[] = {
@@ -64,6 +64,16 @@ int main(int argc, char** argv) {
   const auto profile_720 = media::VideoProfile::hd720();
   media::SessionConfig session_config;
 
+  // One streaming shard per (client, server, route, definition); the paper
+  // streams both definitions on both routes simultaneously.
+  struct TaskKey {
+    const char* client;
+    std::size_t server;
+    bool via_vns;
+    bool hd720;
+  };
+  std::vector<TaskKey> keys;
+  std::vector<measure::StreamTask> tasks;
   for (const char* client_name : clients) {
     const auto client = *w.vns().find_pop(client_name);
     for (std::size_t s = 0; s < std::size(servers); ++s) {
@@ -72,7 +82,7 @@ int main(int argc, char** argv) {
 
       // The two simultaneous paths of §5.1: VNS's dedicated links, and a
       // ride on the client PoP's primary upstream between the two cities.
-      auto vns_segments = w.vns().internal_segments(client, server, w.catalog());
+      const auto vns_segments = w.vns().internal_segments(client, server, w.catalog());
       std::vector<topo::AsIndex> transit_as_path;
       for (const auto& attachment : w.vns().attachments()) {
         if (attachment.pop == client && attachment.upstream) {
@@ -80,31 +90,45 @@ int main(int argc, char** argv) {
           break;
         }
       }
-      auto transit_segments = topo::transit_path_segments(
+      const auto transit_segments = topo::transit_path_segments(
           w.internet(), w.vns().pop(client).city.location, w.vns().pop(client).city.region,
           transit_as_path, w.vns().pop(server).city.location, topo::AsType::kLTP,
           w.vns().pop(server).city.region, w.catalog(), w.delay(),
           /*include_last_mile=*/false);
 
-      const sim::PathModel vns_path{std::move(vns_segments), horizon,
-                                    rng.fork(client * 100 + s * 2)};
-      const sim::PathModel transit_path{std::move(transit_segments), horizon,
-                                        rng.fork(client * 100 + s * 2 + 1)};
-
-      // Two sessions per hour for `days`, staggered per server.
-      for (double t = s * 150.0; t < horizon - 150.0; t += 1800.0) {
-        for (const bool via_vns : {true, false}) {
-          const auto& path = via_vns ? vns_path : transit_path;
-          const auto stats = media::run_session(path, profile_1080, t, session_config, rng);
-          loss_series[{client_name, servers[s].second, via_vns}].push_back(
-              stats.loss_percent());
-          jitter_1080.push_back(stats.jitter_ms);
-          loss_by_profile[false].add(stats.loss_fraction());
-          // 720p alongside (the paper streams both definitions).
-          const auto stats720 = media::run_session(path, profile_720, t, session_config, rng);
-          jitter_720.push_back(stats720.jitter_ms);
-          loss_by_profile[true].add(stats720.loss_fraction());
+      for (const bool via_vns : {true, false}) {
+        for (const bool hd720 : {false, true}) {
+          measure::StreamTask task;
+          task.segments = via_vns ? vns_segments : transit_segments;
+          task.horizon_s = horizon;
+          // Two sessions per hour for `days`, staggered per server.
+          task.start_s = s * 150.0;
+          task.end_s = horizon - 150.0;
+          task.interval_s = 1800.0;
+          task.profile = hd720 ? profile_720 : profile_1080;
+          task.session = session_config;
+          keys.push_back({client_name, s, via_vns, hd720});
+          tasks.push_back(std::move(task));
         }
+      }
+    }
+  }
+
+  const auto campaign_t0 = std::chrono::steady_clock::now();
+  const auto results = measure::run_stream_campaign(tasks, rng, args.threads);
+  const double campaign_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_t0).count();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& key = keys[i];
+    for (const auto& stats : results[i].sessions) {
+      if (key.hd720) {
+        jitter_720.push_back(stats.jitter_ms);
+        loss_by_profile[true].add(stats.loss_fraction());
+      } else {
+        loss_series[{key.client, servers[key.server].second, key.via_vns}].push_back(
+            stats.loss_percent());
+        jitter_1080.push_back(stats.jitter_ms);
+        loss_by_profile[false].add(stats.loss_fraction());
       }
     }
   }
@@ -145,5 +169,6 @@ int main(int argc, char** argv) {
   std::cout << "720p vs 1080p mean loss: " << util::format_percent(loss_by_profile[true].mean(), 4)
             << " vs " << util::format_percent(loss_by_profile[false].mean(), 4)
             << " (paper: no qualitative difference)\n";
+  bench::print_run_counters(std::cout, args, campaign_s);
   return 0;
 }

@@ -58,16 +58,20 @@ void IgpTopology::run_dijkstra(RouterId source) const {
   while (!frontier.empty()) {
     const auto [d, u] = frontier.top();
     frontier.pop();
-    if (d > dist[u]) continue;
+    if (d > dist[u]) continue;  // stale entry, already settled closer
+    ++expansions_;
     for (const auto& edge : adjacency_[u]) {
       const IgpMetric candidate = d + edge.metric;
-      // Strict improvement, or equal-cost tie broken toward the lower
-      // predecessor id, keeps paths deterministic.
-      if (candidate < dist[edge.to] ||
-          (candidate == dist[edge.to] && u < pred[edge.to])) {
+      if (candidate < dist[edge.to]) {
         dist[edge.to] = candidate;
         pred[edge.to] = u;
         frontier.push({candidate, edge.to});
+      } else if (candidate == dist[edge.to] && u < pred[edge.to]) {
+        // Equal-cost tie broken toward the lower predecessor id.  Only the
+        // predecessor changes — the distance is already settled — so the
+        // node must not be re-queued (re-queueing re-expanded entire
+        // equal-distance subtrees for no routing effect).
+        pred[edge.to] = u;
       }
     }
   }

@@ -42,6 +42,12 @@ class IgpTopology {
 
   [[nodiscard]] bool has_link(RouterId a, RouterId b) const noexcept;
 
+  /// Total Dijkstra node expansions across all runs since construction.
+  /// With non-negative metrics every node settles exactly once, so one run
+  /// expands at most router_count() nodes — regression guard against the
+  /// equal-cost re-queueing bug that re-expanded settled subtrees.
+  [[nodiscard]] std::uint64_t dijkstra_expansions() const noexcept { return expansions_; }
+
  private:
   struct Edge {
     RouterId to;
@@ -55,6 +61,7 @@ class IgpTopology {
   mutable std::vector<std::vector<IgpMetric>> distance_;
   mutable std::vector<std::vector<RouterId>> predecessor_;
   mutable std::vector<bool> computed_;
+  mutable std::uint64_t expansions_ = 0;
 };
 
 }  // namespace vns::bgp

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/time.hpp"
+#include "util/counters.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vns::measure {
 
@@ -28,6 +30,43 @@ TrainResult Prober::train(const sim::PathModel& path, double t, int count) {
   result.sent = count;
   result.lost = static_cast<int>(path.sample_losses(t, static_cast<std::uint32_t>(count), rng_));
   return result;
+}
+
+std::vector<TrainTaskResult> run_train_campaign(std::span<const TrainTask> tasks,
+                                                const util::Rng& base, int threads) {
+  std::vector<TrainTaskResult> results(tasks.size());
+  // Lay the shard substreams out once, serially: substream i sits i+1 jumps
+  // past `base`, independent of how shards later map onto workers.
+  std::vector<util::Rng> streams;
+  streams.reserve(tasks.size());
+  util::Rng cursor = base;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    cursor.jump();
+    streams.push_back(cursor);
+  }
+  util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    const TrainTask& task = tasks[i];
+    util::Rng shard_rng = streams[i];
+    const sim::PathModel path{task.segments, task.horizon_s, shard_rng.fork("path")};
+    Prober prober{shard_rng.fork("trains")};
+    TrainTaskResult& result = results[i];
+    const double end = task.end_s > 0.0 ? task.end_s : task.horizon_s;
+    std::uint64_t sent = 0;
+    for (double t = task.start_s; t < end; t += task.interval_s) {
+      const auto train = prober.train(path, t, task.packets);
+      result.rounds.push_back({t, train.lost});
+      result.loss_fraction.add(train.loss_fraction());
+      sent += static_cast<std::uint64_t>(train.sent);
+    }
+    util::Counters::global().add("measure.probes_sent", sent);
+  });
+  return results;
+}
+
+util::Summary merged_loss_fraction(std::span<const TrainTaskResult> results) {
+  util::Summary merged;
+  for (const auto& result : results) merged.merge(result.loss_fraction);
+  return merged;
 }
 
 void HourlyLossCounter::record(double t_seconds, bool had_loss) noexcept {

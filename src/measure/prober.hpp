@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/path_model.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace vns::measure {
 
@@ -45,6 +47,42 @@ class Prober {
  private:
   util::Rng rng_;
 };
+
+/// One shard of a §5.2-style probing campaign: a path, realized from the
+/// shard's own RNG substream, probed with `packets`-packet trains on a
+/// fixed schedule.
+struct TrainTask {
+  std::vector<sim::SegmentProfile> segments;
+  double horizon_s = 0.0;     ///< burst timelines drawn over [0, horizon)
+  double start_s = 0.0;
+  double end_s = 0.0;         ///< 0: probe until horizon_s
+  double interval_s = 600.0;  ///< the paper's every-ten-minutes cadence
+  int packets = 100;
+};
+
+/// Outcome of one probing round, kept per round (not pre-aggregated) so
+/// callers can bin by hour / AS type / region after the parallel phase.
+struct TrainRound {
+  double t = 0.0;
+  int lost = 0;
+};
+
+struct TrainTaskResult {
+  std::vector<TrainRound> rounds;
+  util::Summary loss_fraction;  ///< per-round lost/packets
+};
+
+/// Runs every task, sharded across `threads` workers (<= 0 resolves via
+/// VNS_THREADS, then hardware concurrency).  Task i draws exclusively from
+/// `base.substream(i)` — both its path's burst timelines and its probe
+/// draws — and results land in task-indexed slots, so the output is
+/// bit-identical for any thread count, including 1.  Bumps the
+/// "measure.probes_sent" counter.
+[[nodiscard]] std::vector<TrainTaskResult> run_train_campaign(
+    std::span<const TrainTask> tasks, const util::Rng& base, int threads);
+
+/// Merges per-task summaries in task order (deterministic FP result).
+[[nodiscard]] util::Summary merged_loss_fraction(std::span<const TrainTaskResult> results);
 
 /// Accumulates, per hour of day in a reporting timezone, how many
 /// measurement rounds experienced loss (Fig. 12's y-axis).

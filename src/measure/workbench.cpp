@@ -3,9 +3,45 @@
 #include <algorithm>
 #include <map>
 
+#include "sim/path_model.hpp"
 #include "sim/time.hpp"
+#include "util/counters.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vns::measure {
+
+std::vector<StreamTaskResult> run_stream_campaign(std::span<const StreamTask> tasks,
+                                                  const util::Rng& base, int threads) {
+  std::vector<StreamTaskResult> results(tasks.size());
+  // Substream i is i+1 jumps past `base`, laid out serially up front so the
+  // draw sequence of a shard never depends on worker scheduling.
+  std::vector<util::Rng> streams;
+  streams.reserve(tasks.size());
+  util::Rng cursor = base;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    cursor.jump();
+    streams.push_back(cursor);
+  }
+  util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    const StreamTask& task = tasks[i];
+    util::Rng shard_rng = streams[i];
+    const sim::PathModel path{task.segments, task.horizon_s, shard_rng.fork("path")};
+    util::Rng session_rng = shard_rng.fork("sessions");
+    StreamTaskResult& result = results[i];
+    const double end = task.end_s > 0.0 ? task.end_s : task.horizon_s;
+    std::uint64_t slots = 0;
+    for (double t = task.start_s; t < end; t += task.interval_s) {
+      auto stats = media::run_session(path, task.profile, t, task.session, session_rng);
+      result.loss_percent.add(stats.loss_percent());
+      result.jitter_ms.add(stats.jitter_ms);
+      slots += stats.slot_packets.size();
+      result.sessions.push_back(std::move(stats));
+    }
+    util::Counters::global().add("measure.sessions_streamed", result.sessions.size());
+    util::Counters::global().add("measure.slots_analyzed", slots);
+  });
+  return results;
+}
 
 WorkbenchConfig WorkbenchConfig::small(std::uint64_t seed) {
   WorkbenchConfig config;

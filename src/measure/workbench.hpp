@@ -9,11 +9,14 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/vns_network.hpp"
 #include "geo/geoip.hpp"
+#include "media/session.hpp"
 #include "topo/internet.hpp"
 #include "topo/segments.hpp"
+#include "util/stats.hpp"
 
 namespace vns::measure {
 
@@ -27,10 +30,41 @@ struct WorkbenchConfig {
   /// US-centred Tier-1 carries Europe-to-Europe traffic across its home
   /// backbone (over the Atlantic and back) instead of handing it off locally.
   bool model_us_backbone_detour = true;
+  /// Worker count for sharded campaigns (run_stream_campaign,
+  /// run_train_campaign); <= 0 resolves VNS_THREADS, then hardware.
+  int threads = 0;
 
   [[nodiscard]] static WorkbenchConfig small(std::uint64_t seed = 1);
   [[nodiscard]] static WorkbenchConfig paper_scale(std::uint64_t seed = 1);
 };
+
+/// One shard of a §5.1-style streaming campaign: a path, realized from the
+/// shard's own RNG substream, streaming `profile` sessions on a fixed
+/// schedule (the paper's two sessions per hour).
+struct StreamTask {
+  std::vector<sim::SegmentProfile> segments;
+  double horizon_s = 0.0;      ///< burst timelines drawn over [0, horizon)
+  double start_s = 0.0;
+  double end_s = 0.0;          ///< 0: stream until horizon_s
+  double interval_s = 1800.0;  ///< session cadence
+  media::VideoProfile profile;
+  media::SessionConfig session;
+};
+
+struct StreamTaskResult {
+  std::vector<media::SessionStats> sessions;  ///< in schedule order
+  util::Summary loss_percent;
+  util::Summary jitter_ms;
+};
+
+/// Runs every streaming task, sharded across `threads` workers (<= 0
+/// resolves VNS_THREADS, then hardware concurrency).  Task i draws
+/// exclusively from `base.substream(i)`, and results land in task-indexed
+/// slots, so the output is bit-identical for any thread count, including 1.
+/// Bumps the "measure.sessions_streamed" and "measure.slots_analyzed"
+/// counters.
+[[nodiscard]] std::vector<StreamTaskResult> run_stream_campaign(
+    std::span<const StreamTask> tasks, const util::Rng& base, int threads);
 
 class Workbench {
  public:

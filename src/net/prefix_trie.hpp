@@ -32,12 +32,35 @@ class PrefixTrie {
     return inserted;
   }
 
-  /// Removes an exact prefix; returns true when present.
+  /// Removes an exact prefix; returns true when present.  Node chains left
+  /// childless and valueless by the removal are pruned, so the trie's
+  /// footprint tracks its live contents under announce/withdraw churn
+  /// instead of growing monotonically.
   bool erase(const Ipv4Prefix& prefix) {
-    Node* node = descend(prefix);
-    if (node == nullptr || !node->value.has_value()) return false;
+    // Record the descent so the prune can walk back toward the root.
+    Node* path[33];
+    std::uint8_t branches[33];
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.address().value();
+    std::uint8_t depth = 0;
+    for (; depth < prefix.length(); ++depth) {
+      const std::uint8_t branch = static_cast<std::uint8_t>((bits >> 31) & 1u);
+      bits <<= 1;
+      path[depth] = node;
+      branches[depth] = branch;
+      node = node->children[branch].get();
+      if (node == nullptr) return false;
+    }
+    if (!node->value.has_value()) return false;
     node->value.reset();
     --size_;
+    // Prune childless valueless nodes bottom-up (never the root).
+    while (depth > 0 && !node->value.has_value() && !node->children[0] &&
+           !node->children[1]) {
+      --depth;
+      path[depth]->children[branches[depth]].reset();
+      node = path[depth];
+    }
     return true;
   }
 
@@ -91,6 +114,12 @@ class PrefixTrie {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
+  /// Number of allocated nodes, including the root — the trie's memory
+  /// footprint, observable by churn regression tests.
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return count_nodes(root_.get());
+  }
+
   void clear() {
     root_ = std::make_unique<Node>();
     size_ = 0;
@@ -124,6 +153,14 @@ class PrefixTrie {
       node = node->children[branch].get();
     }
     return node;
+  }
+
+  static std::size_t count_nodes(const Node* node) noexcept {
+    std::size_t total = 1;
+    for (const auto& child : node->children) {
+      if (child) total += count_nodes(child.get());
+    }
+    return total;
   }
 
   static void walk(const Node* node, std::uint32_t bits, std::uint8_t depth,

@@ -1,0 +1,55 @@
+#include "util/counters.hpp"
+
+namespace vns::util {
+
+Counters& Counters::global() noexcept {
+  static Counters instance;
+  return instance;
+}
+
+void Counters::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_.emplace(std::string{name}, delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Counters::set(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_.emplace(std::string{name}, value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::uint64_t Counters::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Counters::snapshot() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return {values_.begin(), values_.end()};
+}
+
+void Counters::reset() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  values_.clear();
+}
+
+void Counters::print(std::ostream& out) const {
+  const auto entries = snapshot();
+  if (entries.empty()) return;
+  out << "counters:\n";
+  for (const auto& [name, value] : entries) {
+    out << "  " << name << " = " << value << '\n';
+  }
+}
+
+}  // namespace vns::util

@@ -1,0 +1,47 @@
+// A lightweight named-counter registry for observing how much work an
+// experiment actually did: probes sent, media slots analyzed, BGP messages
+// delivered, Dijkstra expansions.  Benches print a snapshot next to their
+// tables so the perf trajectory of the engine stays visible from run to run.
+//
+// Counters are process-global and thread-safe; hot loops should accumulate
+// locally and `add` once per shard, not once per sample.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vns::util {
+
+class Counters {
+ public:
+  /// The process-wide registry.
+  [[nodiscard]] static Counters& global() noexcept;
+
+  void add(std::string_view name, std::uint64_t delta);
+  /// Overwrites (used for gauges sampled from elsewhere, e.g. a fabric's
+  /// delivered-message total).
+  void set(std::string_view name, std::uint64_t value);
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  /// All counters, sorted by name (deterministic print order).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  /// Clears every counter (tests; benches start fresh per process anyway).
+  void reset();
+
+  /// Prints `name = value` lines under a "counters:" heading; prints
+  /// nothing when the registry is empty.
+  void print(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> values_;
+};
+
+}  // namespace vns::util

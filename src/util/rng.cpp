@@ -5,6 +5,32 @@
 
 namespace vns::util {
 
+void Rng::jump() noexcept {
+  // Jump polynomial from Blackman & Vigna's reference xoshiro256**
+  // implementation: composes 2^128 calls to next() into one state update.
+  static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (void)next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  // The Box–Muller cache belongs to the pre-jump stream.
+  have_cached_normal_ = false;
+  cached_normal_ = 0.0;
+}
+
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   assert(lo <= hi);
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;

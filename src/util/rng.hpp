@@ -72,6 +72,22 @@ class Rng {
     return Rng{splitmix64(s)};
   }
 
+  /// Advances this generator by 2^128 draws (the xoshiro256** jump
+  /// polynomial): consecutive jump points delimit non-overlapping
+  /// 2^128-draw windows of the same underlying sequence.
+  void jump() noexcept;
+
+  /// Copy of this generator jumped `index + 1` times: substream(0),
+  /// substream(1), ... are guaranteed-disjoint shard streams, the per-shard
+  /// seeding discipline of the parallel campaign engine.  Cost is
+  /// O(index) jumps — campaign drivers iterate jump() once per shard
+  /// instead of calling this in a loop.
+  [[nodiscard]] Rng substream(std::uint64_t index) const noexcept {
+    Rng child = *this;
+    for (std::uint64_t i = 0; i <= index; ++i) child.jump();
+    return child;
+  }
+
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform() noexcept {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;

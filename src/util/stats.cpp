@@ -107,9 +107,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double value, double weight) noexcept {
-  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(bin)] += weight;
+  if (std::isnan(value)) return;
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>(std::floor((value - lo_) / width_));
+  if (bin >= counts_.size()) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[bin] += weight;
 }
 
 double Histogram::bin_lo(std::size_t bin) const noexcept {

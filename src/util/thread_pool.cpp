@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace vns::util {
+
+unsigned resolve_thread_count(int requested) noexcept {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  if (const char* env = std::getenv("VNS_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1u;
+}
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  std::vector<std::thread> workers;
+
+  // Current batch; generation increments per batch so sleeping workers can
+  // tell a new batch from a spurious wake.
+  std::uint64_t generation = 0;
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t in_flight = 0;  ///< workers still draining the current batch
+  std::exception_ptr first_error;
+  bool shutdown = false;
+
+  /// Claims and runs indices until the batch is exhausted.
+  void drain() {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      try {
+        (*fn)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock{mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock{mutex};
+        work_ready.wait(lock, [&] { return shutdown || generation != seen_generation; });
+        if (shutdown) return;
+        seen_generation = generation;
+        ++in_flight;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lock{mutex};
+        if (--in_flight == 0) batch_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : state_(std::make_unique<State>()) {
+  // One of the `threads` lanes is the caller itself (parallel_for
+  // participates), so spawn threads-1 workers.
+  const unsigned workers = threads > 1 ? threads - 1 : 0;
+  state_->workers.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    state_->workers.emplace_back([state = state_.get()] { state->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{state_->mutex};
+    state_->shutdown = true;
+  }
+  state_->work_ready.notify_all();
+  for (auto& worker : state_->workers) worker.join();
+}
+
+unsigned ThreadPool::size() const noexcept {
+  return static_cast<unsigned>(state_->workers.size());
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock{state_->mutex};
+    state_->count = count;
+    state_->fn = &fn;
+    state_->next.store(0, std::memory_order_relaxed);
+    state_->first_error = nullptr;
+    ++state_->generation;
+  }
+  state_->work_ready.notify_all();
+  state_->drain();  // the caller is a lane too
+  std::unique_lock<std::mutex> lock{state_->mutex};
+  state_->batch_done.wait(lock, [&] { return state_->in_flight == 0; });
+  state_->fn = nullptr;
+  if (state_->first_error) std::rethrow_exception(state_->first_error);
+}
+
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool{resolve_thread_count(threads)};
+  pool.parallel_for(count, fn);
+}
+
+}  // namespace vns::util

@@ -1,0 +1,51 @@
+// A small fixed-size worker pool for sharding measurement campaigns.
+//
+// The pool executes *indexed batches*: `parallel_for(count, fn)` runs
+// fn(0) .. fn(count-1) exactly once each, claiming indices dynamically so
+// uneven shards balance, and blocks until the batch drains.  Determinism is
+// the caller's contract: every shard must depend only on its own index (its
+// own RNG substream, its own output slot), never on claim order — then the
+// result is bit-identical for any worker count, including zero workers
+// (inline execution on the calling thread).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace vns::util {
+
+/// Resolves a thread-count knob to an actual worker count: `requested > 0`
+/// is taken as-is; `requested <= 0` falls back to the `VNS_THREADS`
+/// environment variable, then to the hardware concurrency (at least 1).
+[[nodiscard]] unsigned resolve_thread_count(int requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 or 1 means no workers (inline execution).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 when batches run inline on the caller).
+  [[nodiscard]] unsigned size() const noexcept;
+
+  /// Runs fn(index) for every index in [0, count), participating from the
+  /// calling thread, and returns when all indices have completed.  The first
+  /// exception thrown by any shard is rethrown here (remaining indices are
+  /// still claimed, so the pool stays reusable).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// One-shot convenience: runs the batch on a transient pool of
+/// `resolve_thread_count(threads)` workers.
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace vns::util

@@ -475,5 +475,78 @@ TEST(Fabric, RedundantAnnouncementIsSuppressed) {
   EXPECT_EQ(fx.fabric.messages_delivered(), delivered_before);
 }
 
+TEST(Igp, EqualCostGraphExpandsEachNodeOnce) {
+  // Regression: the equal-cost tie-break used to re-push already-settled
+  // nodes, re-expanding whole subtrees.  A ladder graph where every rung
+  // ties is the worst case; one run must expand at most router_count nodes.
+  constexpr std::size_t kRungs = 16;
+  IgpTopology igp{2 * kRungs};
+  for (std::size_t r = 0; r + 1 < kRungs; ++r) {
+    const RouterId left = 2 * r, right = 2 * r + 1;
+    igp.add_link(left, left + 2, 10);
+    igp.add_link(left, right + 2, 10);
+    igp.add_link(right, left + 2, 10);
+    igp.add_link(right, right + 2, 10);
+  }
+  igp.add_link(0, 1, 20);
+  (void)igp.metric(0, 2 * kRungs - 1);  // forces one Dijkstra run from 0
+  EXPECT_LE(igp.dijkstra_expansions(), igp.router_count());
+  // And the tie-break still lands on the lowest-id predecessor chain.
+  const auto path = igp.shortest_path(0, 2 * kRungs - 1);
+  ASSERT_GE(path.size(), 2u);
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    EXPECT_EQ(path[i] % 2, 0u) << "hop " << i;  // even = lower-id side
+  }
+}
+
+TEST(Fabric, ReAnnounceAfterWithdrawMatchesFreshFabric) {
+  // Announce -> withdraw -> re-announce must land the fabric in exactly the
+  // state a fresh fabric reaches from a single announcement: same best
+  // routes everywhere and same exports to every external neighbor.
+  RrFixture churned;
+  churned.fabric.announce(churned.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  churned.fabric.announce(churned.upstream_at_c, kPrefix2, attrs_with_path({3356, 500}));
+  churned.fabric.run_to_convergence();
+  churned.fabric.withdraw(churned.upstream_at_a, kPrefix);
+  churned.fabric.withdraw(churned.upstream_at_c, kPrefix2);
+  churned.fabric.run_to_convergence();
+  churned.fabric.announce(churned.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  churned.fabric.announce(churned.upstream_at_c, kPrefix2, attrs_with_path({3356, 500}));
+  churned.fabric.run_to_convergence();
+
+  RrFixture fresh;
+  fresh.fabric.announce(fresh.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fresh.fabric.announce(fresh.upstream_at_c, kPrefix2, attrs_with_path({3356, 500}));
+  fresh.fabric.run_to_convergence();
+
+  const RouterId routers[] = {churned.a, churned.b, churned.c, churned.rr};
+  for (const Ipv4Prefix& prefix : {kPrefix, kPrefix2}) {
+    for (RouterId r : routers) {
+      const Route* after_churn = churned.fabric.router(r).best_route(prefix);
+      const Route* baseline = fresh.fabric.router(r).best_route(prefix);
+      ASSERT_NE(after_churn, nullptr) << "router " << r;
+      ASSERT_NE(baseline, nullptr) << "router " << r;
+      EXPECT_EQ(after_churn->egress, baseline->egress) << "router " << r;
+      EXPECT_EQ(after_churn->attrs, baseline->attrs) << "router " << r;
+    }
+  }
+  const std::pair<NeighborId, NeighborId> sinks[] = {
+      {churned.upstream_at_a, fresh.upstream_at_a},
+      {churned.peer_at_b, fresh.peer_at_b},
+      {churned.upstream_at_c, fresh.upstream_at_c},
+  };
+  for (const auto& [churned_id, fresh_id] : sinks) {
+    const auto& after_churn = churned.fabric.exported_to(churned_id);
+    const auto& baseline = fresh.fabric.exported_to(fresh_id);
+    EXPECT_EQ(after_churn.size(), baseline.size()) << "neighbor " << churned_id;
+    for (const auto& [prefix, route] : baseline) {
+      const auto it = after_churn.find(prefix);
+      ASSERT_NE(it, after_churn.end()) << prefix.to_string();
+      EXPECT_EQ(it->second.egress, route.egress) << prefix.to_string();
+      EXPECT_EQ(it->second.attrs, route.attrs) << prefix.to_string();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace vns::bgp

@@ -211,5 +211,57 @@ TEST(PrefixTrieProperty, LongestMatchAgreesWithBruteForce) {
   }
 }
 
+TEST(PrefixTrie, ErasePrunesEmptyChains) {
+  PrefixTrie<int> trie;
+  const std::size_t empty_nodes = trie.node_count();
+  trie.insert(Ipv4Prefix::parse("10.1.2.0/24").value(), 1);
+  const std::size_t populated_nodes = trie.node_count();
+  EXPECT_GT(populated_nodes, empty_nodes);
+  EXPECT_TRUE(trie.erase(Ipv4Prefix::parse("10.1.2.0/24").value()));
+  // The whole 24-deep spine must be reclaimed, not just the value.
+  EXPECT_EQ(trie.node_count(), empty_nodes);
+}
+
+TEST(PrefixTrie, ErasePreservesCoveringAndCoveredEntries) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16").value(), 2);
+  trie.insert(Ipv4Prefix::parse("10.1.2.0/24").value(), 3);
+  // Removing the middle entry prunes nothing (its node still has a child)
+  // and keeps both neighbors reachable.
+  EXPECT_TRUE(trie.erase(Ipv4Prefix::parse("10.1.0.0/16").value()));
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_TRUE(trie.find(Ipv4Prefix::parse("10.0.0.0/8").value()));
+  EXPECT_TRUE(trie.find(Ipv4Prefix::parse("10.1.2.0/24").value()));
+  const std::size_t nodes_with_leaf = trie.node_count();
+  // Removing the /24 leaf reclaims the chain down from the /8's node.
+  EXPECT_TRUE(trie.erase(Ipv4Prefix::parse("10.1.2.0/24").value()));
+  EXPECT_LT(trie.node_count(), nodes_with_leaf);
+  EXPECT_TRUE(trie.find(Ipv4Prefix::parse("10.0.0.0/8").value()));
+}
+
+TEST(PrefixTrie, ChurnDoesNotAccumulateNodes) {
+  // Regression: erase() used to leave the empty node chain allocated, so
+  // announce/withdraw churn grew the trie without bound.
+  PrefixTrie<int> trie;
+  util::Rng rng{2024};
+  std::vector<Ipv4Prefix> prefixes;
+  for (int i = 0; i < 400; ++i) {
+    const auto length = static_cast<std::uint8_t>(rng.uniform_int(8, 28));
+    const Ipv4Prefix prefix{Ipv4Address{static_cast<std::uint32_t>(rng())}, length};
+    if (trie.insert(prefix, i)) prefixes.push_back(prefix);
+  }
+  const std::size_t steady_nodes = trie.node_count();
+  const std::size_t steady_size = trie.size();
+  for (int round = 0; round < 20; ++round) {
+    for (const auto& prefix : prefixes) EXPECT_TRUE(trie.erase(prefix));
+    EXPECT_EQ(trie.size(), 0u);
+    EXPECT_EQ(trie.node_count(), 1u);  // only the root survives a full drain
+    for (std::size_t i = 0; i < prefixes.size(); ++i) trie.insert(prefixes[i], int(i));
+  }
+  EXPECT_EQ(trie.size(), steady_size);
+  EXPECT_EQ(trie.node_count(), steady_nodes);
+}
+
 }  // namespace
 }  // namespace vns::net

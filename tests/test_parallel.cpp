@@ -1,0 +1,220 @@
+// Tests for the parallel measurement engine: the thread pool, RNG
+// jump/substream sharding, the counters registry, and — the core contract —
+// bit-identical campaign results regardless of thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "measure/prober.hpp"
+#include "measure/workbench.hpp"
+#include "util/counters.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vns {
+namespace {
+
+// ------------------------------------------------------------ thread pool --
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 3u);  // the caller is the fourth lane
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  util::ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 0u);
+  int sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  util::ThreadPool pool{3};
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  util::ThreadPool pool{2};
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [&](std::size_t i) {
+                                   if (i == 17) throw std::runtime_error("shard failed");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(util::resolve_thread_count(5), 5u);
+  ::setenv("VNS_THREADS", "3", 1);
+  EXPECT_EQ(util::resolve_thread_count(0), 3u);
+  EXPECT_EQ(util::resolve_thread_count(2), 2u);  // explicit beats env
+  ::unsetenv("VNS_THREADS");
+  EXPECT_GE(util::resolve_thread_count(0), 1u);
+}
+
+// -------------------------------------------------------- jump/substream ---
+
+TEST(Rng, JumpIsDeterministicAndDiverges) {
+  util::Rng a{123};
+  util::Rng b{123};
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+
+  util::Rng parent{123};
+  util::Rng jumped = parent;
+  jumped.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (parent() == jumped());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SubstreamMatchesIteratedJumps) {
+  const util::Rng base{7};
+  util::Rng manual = base;
+  manual.jump();
+  manual.jump();
+  manual.jump();
+  util::Rng sub = base.substream(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(manual(), sub());
+}
+
+TEST(Rng, SubstreamsAreMutuallyDisjoint) {
+  const util::Rng base{99};
+  util::Rng s0 = base.substream(0);
+  util::Rng s1 = base.substream(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (s0() == s1());
+  EXPECT_LT(equal, 5);
+}
+
+// --------------------------------------------------------------- counters --
+
+TEST(Counters, AddSetSnapshotReset) {
+  util::Counters counters;
+  counters.add("b.second", 2);
+  counters.add("a.first", 1);
+  counters.add("b.second", 3);
+  counters.set("c.gauge", 42);
+  EXPECT_EQ(counters.value("b.second"), 5u);
+  EXPECT_EQ(counters.value("missing"), 0u);
+  const auto snapshot = counters.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "a.first");  // sorted by name
+  EXPECT_EQ(snapshot[2].second, 42u);
+  counters.reset();
+  EXPECT_TRUE(counters.snapshot().empty());
+}
+
+TEST(Counters, ConcurrentAddsAreLossless) {
+  util::Counters counters;
+  util::ThreadPool pool{4};
+  pool.parallel_for(1000, [&](std::size_t) { counters.add("hits", 1); });
+  EXPECT_EQ(counters.value("hits"), 1000u);
+}
+
+// --------------------------------------- campaign thread-count invariance --
+
+sim::SegmentProfile lossy_segment(int i) {
+  sim::SegmentProfile seg;
+  seg.label = "seg";
+  seg.rtt_ms = 40.0 + i;
+  seg.random_loss = 0.005 + 0.001 * i;
+  seg.congestion_loss = 0.03;
+  seg.diurnal = sim::DiurnalProfile{0.1, 0.5, 0.4};
+  seg.burst_rate_per_day = 6.0;
+  return seg;
+}
+
+TEST(Campaign, TrainResultsBitIdenticalAcrossThreadCounts) {
+  std::vector<measure::TrainTask> tasks;
+  for (int i = 0; i < 9; ++i) {
+    measure::TrainTask task;
+    task.segments = {lossy_segment(i)};
+    task.horizon_s = 6 * 3600.0;
+    task.interval_s = 600.0;
+    task.packets = 100;
+    tasks.push_back(std::move(task));
+  }
+  const util::Rng base{4242};
+  const auto serial = measure::run_train_campaign(tasks, base, 1);
+  const auto parallel = measure::run_train_campaign(tasks, base, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].rounds.size(), parallel[i].rounds.size());
+    for (std::size_t r = 0; r < serial[i].rounds.size(); ++r) {
+      EXPECT_EQ(serial[i].rounds[r].t, parallel[i].rounds[r].t);
+      EXPECT_EQ(serial[i].rounds[r].lost, parallel[i].rounds[r].lost);
+    }
+    // Per-shard summaries must match to the last bit, and so must the
+    // deterministic task-order merge.
+    EXPECT_EQ(serial[i].loss_fraction.count(), parallel[i].loss_fraction.count());
+    EXPECT_EQ(serial[i].loss_fraction.mean(), parallel[i].loss_fraction.mean());
+    EXPECT_EQ(serial[i].loss_fraction.variance(), parallel[i].loss_fraction.variance());
+  }
+  const auto merged_serial = measure::merged_loss_fraction(serial);
+  const auto merged_parallel = measure::merged_loss_fraction(parallel);
+  EXPECT_EQ(merged_serial.count(), merged_parallel.count());
+  EXPECT_EQ(merged_serial.mean(), merged_parallel.mean());
+  EXPECT_EQ(merged_serial.variance(), merged_parallel.variance());
+}
+
+TEST(Campaign, StreamResultsBitIdenticalAcrossThreadCounts) {
+  std::vector<measure::StreamTask> tasks;
+  for (int i = 0; i < 6; ++i) {
+    measure::StreamTask task;
+    task.segments = {lossy_segment(i)};
+    task.horizon_s = 2 * 3600.0;
+    task.interval_s = 1800.0;
+    task.profile = media::VideoProfile::hd720();
+    tasks.push_back(std::move(task));
+  }
+  const util::Rng base{171};
+  const auto serial = measure::run_stream_campaign(tasks, base, 1);
+  const auto parallel = measure::run_stream_campaign(tasks, base, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].sessions.size(), parallel[i].sessions.size());
+    for (std::size_t s = 0; s < serial[i].sessions.size(); ++s) {
+      const auto& a = serial[i].sessions[s];
+      const auto& b = parallel[i].sessions[s];
+      EXPECT_EQ(a.packets_sent, b.packets_sent);
+      EXPECT_EQ(a.packets_lost, b.packets_lost);
+      EXPECT_EQ(a.slot_losses, b.slot_losses);
+      EXPECT_EQ(a.jitter_ms, b.jitter_ms);
+    }
+    EXPECT_EQ(serial[i].loss_percent.mean(), parallel[i].loss_percent.mean());
+    EXPECT_EQ(serial[i].jitter_ms.mean(), parallel[i].jitter_ms.mean());
+  }
+}
+
+TEST(Campaign, CountsProbesSent) {
+  util::Counters::global().reset();
+  std::vector<measure::TrainTask> tasks;
+  measure::TrainTask task;
+  task.segments = {lossy_segment(0)};
+  task.horizon_s = 3600.0;
+  task.interval_s = 600.0;
+  task.packets = 50;
+  tasks.push_back(std::move(task));
+  (void)measure::run_train_campaign(tasks, util::Rng{1}, 2);
+  EXPECT_EQ(util::Counters::global().value("measure.probes_sent"), 6u * 50u);
+  util::Counters::global().reset();
+}
+
+}  // namespace
+}  // namespace vns
