@@ -46,9 +46,8 @@ Outcome run(const bench::BenchArgs& args, bool best_external) {
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  util::print_bench_header(std::cout, "bench_ablation_best_external",
-                           "ablation: hidden routes without `best external` (S3.2)",
-                           args.seed);
+  bench::begin_bench(args, "bench_ablation_best_external",
+                     "ablation: hidden routes without `best external` (S3.2)");
 
   const auto with = run(args, true);
   const auto without = run(args, false);
@@ -61,5 +60,10 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "takeaway: without best-external the RR loses visibility of routes\n"
                "hidden behind its own high-LOCAL_PREF reflections and geo accuracy drops\n";
+  bench::metric("geo_agreement_with_best_external", with.geo_agreement);
+  bench::metric("geo_agreement_without_best_external", without.geo_agreement);
+  bench::metric("rr_candidates_with", with.rr_candidates);
+  bench::metric("rr_candidates_without", without.rr_candidates);
+  bench::finish_run(args, 0.0);
   return 0;
 }

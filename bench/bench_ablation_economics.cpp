@@ -16,9 +16,8 @@ using namespace vns;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  util::print_bench_header(std::cout, "bench_ablation_economics",
-                           "ablation: VNS cost structure and economies of scale (S6)",
-                           args.seed);
+  bench::begin_bench(args, "bench_ablation_economics",
+                     "ablation: VNS cost structure and economies of scale (S6)");
   auto config = args.workbench_config();
   config.feed_routes = false;  // topology is enough for the cost model
   auto world = measure::Workbench::build(config);
@@ -56,5 +55,8 @@ int main(int argc, char** argv) {
   scale.print(std::cout);
   std::cout << "paper: economies of scale via rising L2 utilization; cold potato keeps\n"
                "traffic on the committed circuits instead of buying premium transit\n";
+  bench::metric("total_usd_monthly_at_2000mbps", breakdown.total_usd_monthly);
+  bench::metric("l2_share", breakdown.l2_share());
+  bench::finish_run(args, 0.0);
   return 0;
 }

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
     if (!centroid) model.centroid_probability = 0.0;
     const auto db = w.internet().build_geoip(model, args.seed ^ 0x9e0);
     const auto precision = measure_precision(w, db);
+    bench::metric(std::string{label} + " within_20ms", precision.within_20ms);
     table.add_row({label, util::format_percent(precision.within_10ms, 1),
                    util::format_percent(precision.within_20ms, 1)});
   };
@@ -66,5 +67,6 @@ int main(int argc, char** argv) {
   std::cout << "paper context: ~90% within 20 ms with a commercial database; the\n"
                "plateau shows why one database was 'in practice sufficient' (S6) -\n"
                "PoPs are continent-scale apart, so only continent-scale errors hurt\n";
+  bench::finish_run(args, 0.0);
   return 0;
 }

@@ -79,5 +79,9 @@ int main(int argc, char** argv) {
                "clusters entirely (the paper's India-in-Canada and spread blocks)\n";
   w.vns().clear_overrides();
   w.vns().set_geo_routing(false);
+  bench::metric("problem_prefixes", problem_ids.size());
+  bench::metric("within_10ms_before", p_before.fraction_at_most(10.0));
+  bench::metric("within_10ms_after", p_after.fraction_at_most(10.0));
+  bench::finish_run(args, 0.0);
   return 0;
 }

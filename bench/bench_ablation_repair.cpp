@@ -15,8 +15,8 @@ using namespace vns;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  util::print_bench_header(std::cout, "bench_ablation_repair",
-                           "ablation: FEC vs relay retransmission (S2 discussion)", args.seed);
+  bench::begin_bench(args, "bench_ablation_repair",
+                     "ablation: FEC vs relay retransmission (S2 discussion)");
   util::Rng rng{args.seed ^ 0xf1c5ULL};
   const std::uint64_t packets = args.small ? 100000 : 400000;
 
@@ -55,5 +55,7 @@ int main(int argc, char** argv) {
   std::cout << "paper (S2): FEC mitigates random loss but 'performs poorly when loss is\n"
                "very high or bursty'; retransmission needs 'a video relay server close\n"
                "to end users' - which is what VNS's PoP relays provide\n";
+  bench::metric("packets_per_cell", packets);
+  bench::finish_run(args, 0.0);
   return 0;
 }

@@ -66,5 +66,10 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "takeaway: GeoIP gets most of the oracle's benefit with none of the\n"
                "active-probing control-plane overhead (the design argument of S3.2)\n";
+  bench::metric("prefixes", std::uint64_t(counted));
+  bench::metric("hot_potato_mean_rtt_ms", counted ? hot_rtt_sum / counted : 0.0);
+  bench::metric("geo_mean_rtt_ms", counted ? geo_rtt_sum / counted : 0.0);
+  bench::metric("oracle_mean_rtt_ms", counted ? oracle_rtt_sum / counted : 0.0);
+  bench::finish_run(args, 0.0);
   return 0;
 }

@@ -7,16 +7,23 @@
 //   --days D       campaign length where applicable (scaled-down defaults)
 //   --threads N    campaign worker count (default: VNS_THREADS, then
 //                  hardware; results are bit-identical for any N)
+//   --json         additionally write BENCH_<name>.json with the run's
+//                  config, key metrics, wall-clock and work counters
 // and print deterministic, diff-able text tables.
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "measure/workbench.hpp"
@@ -28,6 +35,7 @@ namespace vns::bench {
 
 struct BenchArgs {
   bool small = false;
+  bool json = false;  ///< also emit BENCH_<name>.json
   std::uint64_t seed = 1;
   double days = 0.0;  ///< 0: bench-specific default
   int threads = 0;    ///< 0: VNS_THREADS env, then hardware concurrency
@@ -38,6 +46,8 @@ struct BenchArgs {
       const std::string_view arg = argv[i];
       if (arg == "--small") {
         args.small = true;
+      } else if (arg == "--json") {
+        args.json = true;
       } else if (arg == "--seed" && i + 1 < argc) {
         args.seed = std::strtoull(argv[++i], nullptr, 10);
       } else if (arg == "--days" && i + 1 < argc) {
@@ -45,7 +55,7 @@ struct BenchArgs {
       } else if (arg == "--threads" && i + 1 < argc) {
         args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       } else if (arg == "--help") {
-        std::cout << "flags: --small --seed N --days D --threads N\n";
+        std::cout << "flags: --small --seed N --days D --threads N --json\n";
         std::exit(0);
       }
     }
@@ -60,11 +70,144 @@ struct BenchArgs {
   }
 };
 
+// ---- machine-readable run record (--json) ----------------------------------
+
+[[nodiscard]] inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] inline std::string json_value(bool value) { return value ? "true" : "false"; }
+template <typename T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+[[nodiscard]] std::string json_value(T value) {
+  return std::to_string(value);
+}
+[[nodiscard]] inline std::string json_value(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return buf;
+}
+[[nodiscard]] inline std::string json_value(std::string_view value) {
+  return '"' + json_escape(value) + '"';
+}
+[[nodiscard]] inline std::string json_value(const char* value) {
+  return json_value(std::string_view{value});
+}
+[[nodiscard]] inline std::string json_value(const std::string& value) {
+  return json_value(std::string_view{value});
+}
+
+/// Per-process record of one bench run: the name, the resolved config and
+/// whichever key metrics the bench registers.  `finish_run` serializes it to
+/// `BENCH_<name>.json` when the bench ran with --json.
+class BenchRecord {
+ public:
+  [[nodiscard]] static BenchRecord& global() {
+    static BenchRecord record;
+    return record;
+  }
+
+  void begin(std::string name, std::string paper_ref) {
+    name_ = std::move(name);
+    paper_ref_ = std::move(paper_ref);
+  }
+
+  template <typename T>
+  void config(std::string key, const T& value) {
+    config_.emplace_back(std::move(key), json_value(value));
+  }
+
+  template <typename T>
+  void metric(std::string key, const T& value) {
+    metrics_.emplace_back(std::move(key), json_value(value));
+  }
+
+  void set_build_seconds(double seconds) { build_seconds_ = seconds; }
+
+  /// `BENCH_fig9_video_loss.json` for `bench_fig9_video_loss`.
+  [[nodiscard]] std::string output_path() const {
+    std::string_view stem = name_;
+    if (stem.starts_with("bench_")) stem.remove_prefix(6);
+    return "BENCH_" + std::string{stem} + ".json";
+  }
+
+  void write_json(std::ostream& out, double campaign_seconds, int threads) const {
+    auto object = [&out](std::string_view key,
+                         const std::vector<std::pair<std::string, std::string>>& fields) {
+      out << "  \"" << key << "\": {";
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        out << (i ? ", " : "") << '"' << json_escape(fields[i].first)
+            << "\": " << fields[i].second;
+      }
+      out << "}";
+    };
+    out << "{\n";
+    out << "  \"name\": " << json_value(name_) << ",\n";
+    out << "  \"paper_ref\": " << json_value(paper_ref_) << ",\n";
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"build_seconds\": " << json_value(build_seconds_) << ",\n";
+    out << "  \"campaign_seconds\": " << json_value(campaign_seconds) << ",\n";
+    object("config", config_);
+    out << ",\n";
+    object("metrics", metrics_);
+    out << ",\n";
+    std::vector<std::pair<std::string, std::string>> counters;
+    for (const auto& [name, value] : util::Counters::global().snapshot()) {
+      counters.emplace_back(name, json_value(value));
+    }
+    object("counters", counters);
+    out << "\n}\n";
+  }
+
+ private:
+  std::string name_, paper_ref_;
+  std::vector<std::pair<std::string, std::string>> config_, metrics_;
+  double build_seconds_ = 0.0;
+};
+
+/// Shorthand the benches use to register a key metric for the JSON record.
+template <typename T>
+inline void metric(std::string key, const T& value) {
+  BenchRecord::global().metric(std::move(key), value);
+}
+
+/// Prints the standard bench header and opens the run record (every bench
+/// calls this, directly or through `build_world`).
+inline void begin_bench(const BenchArgs& args, const std::string& bench_name,
+                        const std::string& paper_ref) {
+  util::print_bench_header(std::cout, bench_name, paper_ref, args.seed);
+  auto& record = BenchRecord::global();
+  record.begin(bench_name, paper_ref);
+  record.config("small", args.small);
+  record.config("seed", args.seed);
+  record.config("days", args.days);
+  record.config("threads", util::resolve_thread_count(args.threads));
+}
+
 /// Builds the workbench, timing and reporting construction.
 inline std::unique_ptr<measure::Workbench> build_world(const BenchArgs& args,
                                                        const std::string& bench_name,
                                                        const std::string& paper_ref) {
-  util::print_bench_header(std::cout, bench_name, paper_ref, args.seed);
+  begin_bench(args, bench_name, paper_ref);
   const auto t0 = std::chrono::steady_clock::now();
   auto world = measure::Workbench::build(args.workbench_config());
   const auto elapsed =
@@ -75,6 +218,11 @@ inline std::unique_ptr<measure::Workbench> build_world(const BenchArgs& args,
             << util::format_double(elapsed, 1) << " s)\n\n";
   util::Counters::global().set("bgp.messages_delivered",
                                world->vns().fabric().messages_delivered());
+  auto& record = BenchRecord::global();
+  record.set_build_seconds(elapsed);
+  record.config("ases", world->internet().as_count());
+  record.config("prefixes", world->internet().prefixes().size());
+  record.config("ebgp_sessions", world->vns().fabric().neighbor_count());
   return world;
 }
 
@@ -85,6 +233,18 @@ inline void print_run_counters(std::ostream& out, const BenchArgs& args,
   out << "\nthreads: " << util::resolve_thread_count(args.threads)
       << ", campaign wall-clock: " << util::format_double(campaign_seconds, 2) << " s\n";
   util::Counters::global().print(out);
+}
+
+/// The standard bench epilogue: counter snapshot on stdout, plus the
+/// machine-readable BENCH_<name>.json when the bench ran with --json.
+inline void finish_run(const BenchArgs& args, double campaign_seconds) {
+  print_run_counters(std::cout, args, campaign_seconds);
+  if (!args.json) return;
+  const auto path = BenchRecord::global().output_path();
+  std::ofstream out{path};
+  BenchRecord::global().write_json(out, campaign_seconds,
+                                   util::resolve_thread_count(args.threads));
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace vns::bench

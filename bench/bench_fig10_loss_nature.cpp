@@ -151,6 +151,12 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "paper: transit shows a linear random-loss baseline plus both outlier\n"
                "families; VNS eliminates the outliers and the multi-slot baseline\n";
-  bench::print_run_counters(std::cout, args, campaign_s);
+  bench::metric("transit_sessions", std::uint64_t(through_transit.sessions));
+  bench::metric("vns_sessions", std::uint64_t(through_vns.sessions));
+  bench::metric("transit_burst_outliers", std::uint64_t(through_transit.burst_outliers));
+  bench::metric("transit_sustained_outliers", std::uint64_t(through_transit.sustained_outliers));
+  bench::metric("vns_burst_outliers", std::uint64_t(through_vns.burst_outliers));
+  bench::metric("vns_sustained_outliers", std::uint64_t(through_vns.sustained_outliers));
+  bench::finish_run(args, campaign_s);
   return 0;
 }

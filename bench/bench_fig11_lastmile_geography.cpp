@@ -92,5 +92,10 @@ int main(int argc, char** argv) {
                   util::format_double(sjs_to_ap / ap_to_ap, 2) + "x", "~1x"});
   std::cout << "\ndistance/anomaly checks:\n";
   ratios.print(std::cout);
+  bench::metric("hosts", hosts.size());
+  bench::metric("eu_to_ap_vs_ap_to_ap", ap_to_ap > 0 ? eu_to_ap / ap_to_ap : 0.0);
+  bench::metric("london_vs_other_eu",
+                eu_to_eu_sans_london > 0 ? london_to_eu / eu_to_eu_sans_london : 0.0);
+  bench::finish_run(args, 0.0);
   return 0;
 }

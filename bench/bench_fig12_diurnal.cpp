@@ -133,6 +133,8 @@ int main(int argc, char** argv) {
   std::cout << "\nAP CAHP busiest vs quietest 3h window: "
             << util::format_double(quietest > 0 ? busiest / quietest : busiest, 1)
             << "x (paper: ~8x more during busy hours)\n";
-  bench::print_run_counters(std::cout, args, campaign_s);
+  bench::metric("ap_cahp_busy_vs_quiet_3h",
+                quietest > 0 ? busiest / quietest : busiest);
+  bench::finish_run(args, campaign_s);
   return 0;
 }

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   outcomes.reserve(prefixes.size());
   std::size_t unresolved = 0;
 
+  const auto campaign_t0 = std::chrono::steady_clock::now();
   for (std::size_t id = 0; id < prefixes.size(); ++id) {
     const auto& info = prefixes[id];
     const auto reported = w.geoip().lookup(info.prefix);
@@ -80,6 +81,8 @@ int main(int argc, char** argv) {
     if (outcome.best_pop == core::kNoPop || outcome.geo_rtt_ms == 0.0) continue;
     outcomes.push_back(outcome);
   }
+  const double campaign_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_t0).count();
 
   std::cout << "probed " << outcomes.size() << " prefixes ("
             << outcomes.size() * w.vns().pops().size() * 5 << " pings); " << unresolved
@@ -184,5 +187,12 @@ int main(int argc, char** argv) {
                       "60%"});
   std::cout << "S4.1 - AS congruence of the delay-closest PoP:\n";
   congruence.print(std::cout);
+
+  util::Percentiles overall{std::move(all)};
+  bench::metric("prefixes_probed", outcomes.size());
+  bench::metric("within_10ms", overall.fraction_at_most(10.0));
+  bench::metric("within_20ms", overall.fraction_at_most(20.0));
+  bench::metric("outliers_over_100ms", std::uint64_t(outliers));
+  bench::finish_run(args, campaign_s);
   return 0;
 }

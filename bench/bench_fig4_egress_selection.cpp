@@ -59,5 +59,10 @@ int main(int argc, char** argv) {
             << "% -> after " << util::format_double(spread_after, 1) << "%\n";
   std::cout << "paper: before ~70% local hot-potato exit; after, routes spread far more "
                "evenly across egresses\n";
+  bench::metric("local_exit_share_before", before[london]);
+  bench::metric("local_exit_share_after", after[london]);
+  bench::metric("max_pop_share_before", spread_before);
+  bench::metric("max_pop_share_after", spread_after);
+  bench::finish_run(args, 0.0);
   return 0;
 }

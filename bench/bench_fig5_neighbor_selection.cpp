@@ -90,5 +90,9 @@ int main(int argc, char** argv) {
             << util::format_double(best_gain, 1) << " points); US-centred upstream is AS"
             << us_asn << "\n"
             << "paper: upstream 1 (strong NA presence) emerges as more preferred\n";
+  bench::metric("upstream_share_before", upstream_share[0]);
+  bench::metric("upstream_share_after", upstream_share[1]);
+  bench::metric("largest_upstream_gain_points", best_gain);
+  bench::finish_run(args, 0.0);
   return 0;
 }

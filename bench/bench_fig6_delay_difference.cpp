@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
     }
 
     util::Percentiles p{std::vector<double>(differences)};
+    bench::metric(std::string{name} + "_vns_not_worse", p.fraction_at_most(0.0));
+    bench::metric(std::string{name} + "_median_diff_ms", p.median());
     table.add_row({name, std::to_string(differences.size()),
                    util::format_percent(p.fraction_at_most(0.0), 1),
                    util::format_percent(p.fraction_at_most(20.0), 1),
@@ -77,5 +79,6 @@ int main(int argc, char** argv) {
   std::cout << "paper: VNS <= transit in 10-65% of cases (Singapore ~65%); "
                "87-93% within +50 ms\n";
   w.vns().set_geo_routing(false);
+  bench::finish_run(args, 0.0);
   return 0;
 }

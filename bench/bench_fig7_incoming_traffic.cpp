@@ -64,5 +64,8 @@ int main(int argc, char** argv) {
   std::cout << "\ngeography-following share (origin region -> its expected PoP region): "
             << util::format_percent(double(diagonal) / requests, 1) << '\n'
             << "paper: incoming traffic follows geography to a large extent\n";
+  bench::metric("requests", std::uint64_t(requests));
+  bench::metric("geography_following_share", double(diagonal) / requests);
+  bench::finish_run(args, 0.0);
   return 0;
 }

@@ -169,6 +169,12 @@ int main(int argc, char** argv) {
   std::cout << "720p vs 1080p mean loss: " << util::format_percent(loss_by_profile[true].mean(), 4)
             << " vs " << util::format_percent(loss_by_profile[false].mean(), 4)
             << " (paper: no qualitative difference)\n";
-  bench::print_run_counters(std::cout, args, campaign_s);
+  bench::metric("streams_1080p", j1080.count());
+  bench::metric("streams_720p", j720.count());
+  bench::metric("jitter_1080p_sub10ms", j1080.fraction_at_most(10.0));
+  bench::metric("jitter_720p_sub10ms", j720.fraction_at_most(10.0));
+  bench::metric("mean_loss_720p", loss_by_profile[true].mean());
+  bench::metric("mean_loss_1080p", loss_by_profile[false].mean());
+  bench::finish_run(args, campaign_s);
   return 0;
 }

@@ -94,5 +94,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "  NA: types blurred (max/min " << util::format_double(na_max / na_min, 2)
             << "x, paper ~1.2x)\n";
+  bench::metric("ap_cahp_mean_loss", mean(geo::WorldRegion::kAsiaPacific, topo::AsType::kCAHP));
+  bench::metric("ap_ltp_mean_loss", mean(geo::WorldRegion::kAsiaPacific, topo::AsType::kLTP));
+  bench::metric("na_type_spread", na_min > 0 ? na_max / na_min : 0.0);
+  bench::finish_run(args, 0.0);
   return 0;
 }

@@ -68,11 +68,20 @@ bool prefer(const Route& a, const Route& b, const DecisionContext& ctx,
   return decided(DecisionRung::kEqual, false);
 }
 
-std::size_t select_best(std::span<const Route> candidates, const DecisionContext& ctx) {
+std::size_t select_best(std::span<const Route> candidates, const DecisionContext& ctx,
+                        bool* igp_sensitive_out) {
+  if (igp_sensitive_out != nullptr) *igp_sensitive_out = false;
   if (candidates.empty()) return static_cast<std::size_t>(-1);
   std::size_t best = 0;
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    if (prefer(candidates[i], candidates[best], ctx)) best = i;
+    DecisionRung rung = DecisionRung::kEqual;
+    if (prefer(candidates[i], candidates[best], ctx, &rung)) best = i;
+    // The router-id rung is reached only when IGP metrics tied (or were not
+    // comparable), so a metric change can still reorder those candidates.
+    if (igp_sensitive_out != nullptr &&
+        (rung == DecisionRung::kIgpMetric || rung == DecisionRung::kRouterId)) {
+      *igp_sensitive_out = true;
+    }
   }
   return best;
 }

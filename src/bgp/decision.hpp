@@ -49,7 +49,12 @@ struct DecisionContext {
                           DecisionRung* rung_out = nullptr);
 
 /// Index of the best route among candidates (empty span -> SIZE_MAX).
+/// `igp_sensitive_out`, when non-null, is set true iff some pairwise
+/// comparison along the scan was decided at the IGP-metric rung or below —
+/// i.e. a change in IGP costs could flip the outcome, so the deciding
+/// router must re-run this prefix after topology churn.
 [[nodiscard]] std::size_t select_best(std::span<const Route> candidates,
-                                      const DecisionContext& ctx);
+                                      const DecisionContext& ctx,
+                                      bool* igp_sensitive_out = nullptr);
 
 }  // namespace vns::bgp

@@ -1,14 +1,28 @@
 #include "bgp/fabric.hpp"
 
+#include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace vns::bgp {
+
+namespace {
+
+bool has_ibgp_session(const Router& r, RouterId peer) {
+  for (const auto& session : r.ibgp_sessions()) {
+    if (session.peer == peer) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 RouterId Fabric::add_router(std::string name) {
   const auto id = static_cast<RouterId>(routers_.size());
   routers_.push_back(std::make_unique<Router>(id, std::move(name), local_asn_));
   igp_.ensure_size(routers_.size());
   routers_.back()->set_igp(&igp_);
+  router_down_.push_back(false);
   return id;
 }
 
@@ -39,6 +53,9 @@ NeighborId Fabric::add_neighbor(RouterId attached_to, net::Asn asn, NeighborKind
 
 void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes attrs) {
   const NeighborInfo& info = neighbor(from);
+  if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, from)) {
+    throw std::logic_error("announce on downed eBGP session " + info.name);
+  }
   Route route;
   route.prefix = prefix;
   route.attrs = std::move(attrs);
@@ -47,6 +64,9 @@ void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes
 
 void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
   const NeighborInfo& info = neighbor(from);
+  if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, from)) {
+    throw std::logic_error("withdraw on downed eBGP session " + info.name);
+  }
   Route route;
   route.prefix = prefix;
   enqueue(router(info.attached_to).handle_ebgp_update(info, /*withdraw=*/true, std::move(route)));
@@ -60,20 +80,138 @@ void Fabric::refresh_policies() {
   for (auto& r : routers_) enqueue(r->refresh_all());
 }
 
+void Fabric::notify_igp_change() {
+  for (auto& r : routers_) {
+    if (!router_down_.at(r->id())) enqueue(r->handle_igp_change());
+  }
+}
+
+bool Fabric::fail_link(RouterId a, RouterId b) {
+  if (!igp_.remove_link(a, b)) return false;
+  notify_igp_change();
+  return true;
+}
+
+bool Fabric::restore_link(RouterId a, RouterId b) {
+  if (!igp_.restore_link(a, b)) return false;
+  notify_igp_change();
+  return true;
+}
+
+bool Fabric::fail_session(RouterId a, RouterId b) {
+  Router& ra = router(a);
+  Router& rb = router(b);
+  if (!ra.session_is_up(SessionKind::kIbgp, b)) return false;
+  // Both sides flush synchronously; whatever was in flight between them is
+  // dropped at delivery time because the receiving side is already down.
+  enqueue(ra.handle_session_down({SessionKind::kIbgp, b}));
+  enqueue(rb.handle_session_down({SessionKind::kIbgp, a}));
+  return true;
+}
+
+bool Fabric::restore_session(RouterId a, RouterId b) {
+  Router& ra = router(a);
+  Router& rb = router(b);
+  if (!has_ibgp_session(ra, b) || ra.session_is_up(SessionKind::kIbgp, b)) return false;
+  enqueue(ra.handle_session_up({SessionKind::kIbgp, b}));
+  enqueue(rb.handle_session_up({SessionKind::kIbgp, a}));
+  return true;
+}
+
+bool Fabric::fail_session(NeighborId neighbor_id) {
+  const NeighborInfo& info = neighbor(neighbor_id);
+  Router& r = router(info.attached_to);
+  if (!r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
+  enqueue(r.handle_session_down({SessionKind::kEbgp, neighbor_id}));
+  // The neighbor's view of us dies with the TCP session.
+  neighbor_exports_.at(neighbor_id).clear();
+  return true;
+}
+
+bool Fabric::restore_session(NeighborId neighbor_id) {
+  const NeighborInfo& info = neighbor(neighbor_id);
+  Router& r = router(info.attached_to);
+  if (r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
+  enqueue(r.handle_session_up({SessionKind::kEbgp, neighbor_id}));
+  return true;
+}
+
+void Fabric::fail_router(RouterId id) {
+  if (router_down_.at(id)) return;
+  DownedRouter record;
+  for (const auto& session : router(id).ibgp_sessions()) {
+    if (session.up) record.ibgp_peers.push_back(session.peer);
+  }
+  for (const auto& session : router(id).ebgp_sessions()) {
+    if (session.up) record.ebgp_neighbors.push_back(session.info.id);
+  }
+  router_down_.at(id) = true;
+  for (RouterId peer : record.ibgp_peers) fail_session(id, peer);
+  for (NeighborId n : record.ebgp_neighbors) fail_session(n);
+  bool igp_changed = false;
+  for (RouterId peer : igp_.up_neighbors(id)) {
+    if (igp_.remove_link(id, peer)) {
+      record.links.emplace_back(id, peer);
+      igp_changed = true;
+    }
+  }
+  if (igp_changed) notify_igp_change();
+  downed_routers_[id] = std::move(record);
+}
+
+void Fabric::restore_router(RouterId id) {
+  const auto it = downed_routers_.find(id);
+  if (it == downed_routers_.end()) return;
+  DownedRouter record = std::move(it->second);
+  downed_routers_.erase(it);
+  router_down_.at(id) = false;
+  bool igp_changed = false;
+  for (const auto& [a, b] : record.links) igp_changed |= igp_.restore_link(a, b);
+  if (igp_changed) notify_igp_change();
+  for (RouterId peer : record.ibgp_peers) restore_session(id, peer);
+  for (NeighborId n : record.ebgp_neighbors) restore_session(n);
+}
+
 void Fabric::enqueue(std::vector<Emission> emissions) {
   for (auto& emission : emissions) queue_.push_back(std::move(emission));
+}
+
+std::string Fabric::convergence_diagnostics(std::size_t processed) const {
+  std::unordered_map<net::Ipv4Prefix, std::size_t> per_prefix;
+  for (const auto& emission : queue_) ++per_prefix[emission.route.prefix];
+  std::vector<std::pair<net::Ipv4Prefix, std::size_t>> hottest(per_prefix.begin(),
+                                                               per_prefix.end());
+  std::sort(hottest.begin(), hottest.end(), [](const auto& x, const auto& y) {
+    return x.second != y.second ? x.second > y.second : x.first < y.first;
+  });
+  std::ostringstream msg;
+  msg << "BGP fabric failed to converge within message budget: " << processed
+      << " messages this run, " << delivered_ << " delivered in total, queue depth "
+      << queue_.size() << " across " << routers_.size() << " routers";
+  if (!hottest.empty()) {
+    msg << "; hottest queued prefixes:";
+    for (std::size_t i = 0; i < hottest.size() && i < 3; ++i) {
+      msg << ' ' << hottest[i].first.to_string() << " x" << hottest[i].second;
+    }
+  }
+  return msg.str();
 }
 
 std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
   std::size_t processed = 0;
   while (!queue_.empty()) {
     if (++processed > max_messages) {
-      throw std::runtime_error("BGP fabric failed to converge within message budget");
+      throw std::runtime_error(convergence_diagnostics(processed));
     }
     const Emission emission = std::move(queue_.front());
     queue_.pop_front();
-    ++delivered_;
     if (emission.to_neighbor != kNoNeighbor) {
+      const NeighborInfo& info = neighbor(emission.to_neighbor);
+      if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, emission.to_neighbor)) {
+        ++dropped_;  // session went down with the update in flight
+        continue;
+      }
+      ++delivered_;
       // External neighbors are passive sinks: record the export.
       auto& sink = neighbor_exports_.at(emission.to_neighbor);
       if (emission.withdraw) {
@@ -82,8 +220,13 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
         sink[emission.route.prefix] = emission.route;
       }
     } else {
-      enqueue(router(emission.to_router)
-                  .handle_ibgp_update(emission.from, emission.withdraw, emission.route));
+      Router& target = router(emission.to_router);
+      if (!target.session_is_up(SessionKind::kIbgp, emission.from)) {
+        ++dropped_;  // receiving side tore the session down first
+        continue;
+      }
+      ++delivered_;
+      enqueue(target.handle_ibgp_update(emission.from, emission.withdraw, emission.route));
     }
   }
   return processed;

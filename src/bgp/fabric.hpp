@@ -6,12 +6,22 @@
 // providers and settlement-free peers attached at each PoP) are modelled as
 // announcement sources and export sinks: the topo module decides what they
 // announce, and the fabric records what VNS would announce back to them.
+//
+// The fabric is event-driven: after initial convergence, links, sessions and
+// whole routers can fail and be restored (`fail_link` / `fail_session` /
+// `fail_router` and their `restore_*` counterparts).  Each fault injects the
+// resulting withdraw/update storm into the same FIFO; the caller decides
+// when to `run_to_convergence`, so a schedule of faults replayed in the same
+// order always produces the same message sequence and the same final state.
+// Messages in flight toward a session that went down are dropped at delivery
+// time, exactly as a TCP session teardown discards undelivered updates.
 #pragma once
 
 #include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/igp.hpp"
@@ -52,6 +62,7 @@ class Fabric {
 
   // --- driving the control plane -------------------------------------------
   /// External neighbor announces a prefix to the router it attaches to.
+  /// Throws std::logic_error when the session is down.
   void announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes attrs);
   void withdraw(NeighborId from, const net::Ipv4Prefix& prefix);
   /// A router originates a prefix locally (VNS anycast/service prefixes).
@@ -61,13 +72,43 @@ class Fabric {
   /// installing the geo policy on the RR; caller then runs convergence.
   void refresh_policies();
 
+  // --- failure injection ----------------------------------------------------
+  /// Fails the IGP link a–b and triggers the IGP-change hook on every live
+  /// router (hot-potato re-tie-break + next-hop reachability re-check).
+  /// Returns false when no such link is up.
+  bool fail_link(RouterId a, RouterId b);
+  /// Brings a failed IGP link back with its original metric.
+  bool restore_link(RouterId a, RouterId b);
+  /// Tears down the iBGP session a<->b: both sides flush the session's RIBs
+  /// and re-decide the prefixes it contributed.  In-flight messages on the
+  /// session are discarded.  Returns false when the session is unknown or
+  /// already down.
+  bool fail_session(RouterId a, RouterId b);
+  bool restore_session(RouterId a, RouterId b);
+  /// Tears down an eBGP session: the border router flushes the neighbor's
+  /// routes, and everything exported to the neighbor dies with the session.
+  bool fail_session(NeighborId neighbor_id);
+  /// Re-opens an eBGP session: VNS re-advertises its exports; the *caller*
+  /// replays the neighbor's announcements (a restored peer re-sends its
+  /// table — the fabric does not remember it on the neighbor's behalf).
+  bool restore_session(NeighborId neighbor_id);
+  /// Whole-router outage: every session and IGP link of the router goes
+  /// down.  restore_router brings back exactly what fail_router took down,
+  /// so independently failed links/sessions stay down.
+  void fail_router(RouterId id);
+  void restore_router(RouterId id);
+  [[nodiscard]] bool router_is_down(RouterId id) const { return router_down_.at(id); }
+
   /// Processes queued updates until quiescent.  Returns the number of
-  /// messages delivered; throws std::runtime_error if `max_messages` is
-  /// exceeded (a non-converging configuration).
+  /// messages delivered; throws std::runtime_error (with diagnostics:
+  /// messages delivered, queue depth, hottest queued prefixes) if
+  /// `max_messages` is exceeded (a non-converging configuration).
   std::size_t run_to_convergence(std::size_t max_messages = 20'000'000);
 
   [[nodiscard]] bool converged() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
+  /// Messages discarded in flight because their target session was down.
+  [[nodiscard]] std::size_t messages_dropped() const noexcept { return dropped_; }
 
   // --- inspection -----------------------------------------------------------
   /// Everything VNS currently exports to an external neighbor.
@@ -75,7 +116,17 @@ class Fabric {
       NeighborId id) const;
 
  private:
+  /// Links/sessions a fail_router took down, for exact restoration.
+  struct DownedRouter {
+    std::vector<std::pair<RouterId, RouterId>> links;
+    std::vector<RouterId> ibgp_peers;
+    std::vector<NeighborId> ebgp_neighbors;
+  };
+
   void enqueue(std::vector<Emission> emissions);
+  /// Queues the IGP-change hook of every live router, in router-id order.
+  void notify_igp_change();
+  [[nodiscard]] std::string convergence_diagnostics(std::size_t processed) const;
 
   net::Asn local_asn_;
   std::vector<std::unique_ptr<Router>> routers_;
@@ -83,8 +134,11 @@ class Fabric {
   IgpTopology igp_;
   std::deque<Emission> queue_;
   std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
   /// Export sink per neighbor (what the neighbor has been sent).
   std::vector<std::unordered_map<net::Ipv4Prefix, Route>> neighbor_exports_;
+  std::vector<bool> router_down_;
+  std::unordered_map<RouterId, DownedRouter> downed_routers_;
 };
 
 }  // namespace vns::bgp

@@ -16,12 +16,44 @@ Router::Router(RouterId id, std::string name, net::Asn local_asn)
 
 void Router::add_ibgp_session(RouterId peer, bool peer_is_client) {
   assert(peer != id_);
-  ibgp_sessions_.push_back({peer, peer_is_client});
+  ibgp_sessions_.push_back({peer, peer_is_client, true});
 }
 
 void Router::add_ebgp_session(const NeighborInfo& neighbor) {
   assert(neighbor.attached_to == id_);
-  ebgp_sessions_.push_back(neighbor);
+  ebgp_sessions_.push_back({neighbor, true});
+}
+
+bool Router::session_is_up(SessionKind kind, std::uint32_t id) const noexcept {
+  if (kind == SessionKind::kIbgp) {
+    for (const auto& session : ibgp_sessions_) {
+      if (session.peer == id) return session.up;
+    }
+  } else if (kind == SessionKind::kEbgp) {
+    for (const auto& session : ebgp_sessions_) {
+      if (session.info.id == id) return session.up;
+    }
+  }
+  return false;
+}
+
+bool Router::mark_session(const SessionKey& key, bool up) noexcept {
+  if (key.kind == SessionKind::kIbgp) {
+    for (auto& session : ibgp_sessions_) {
+      if (session.peer == key.id && session.up != up) {
+        session.up = up;
+        return true;
+      }
+    }
+  } else if (key.kind == SessionKind::kEbgp) {
+    for (auto& session : ebgp_sessions_) {
+      if (session.info.id == key.id && session.up != up) {
+        session.up = up;
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 ImportContext Router::make_context(const SessionKey& key) const {
@@ -31,8 +63,8 @@ ImportContext Router::make_context(const SessionKey& key) const {
   if (key.kind == SessionKind::kEbgp) {
     ctx.neighbor = key.id;
     for (const auto& session : ebgp_sessions_) {
-      if (session.id == key.id) {
-        ctx.neighbor_kind = session.kind;
+      if (session.info.id == key.id) {
+        ctx.neighbor_kind = session.info.kind;
         break;
       }
     }
@@ -57,14 +89,27 @@ std::optional<Route> Router::import(const SessionKey& key, const Route& raw) con
   return route;
 }
 
-std::vector<Route> Router::candidates(const net::Ipv4Prefix& prefix) const {
+std::vector<Route> Router::candidates(const net::Ipv4Prefix& prefix,
+                                      bool* dropped_unreachable_out) const {
+  if (dropped_unreachable_out != nullptr) *dropped_unreachable_out = false;
   std::vector<Route> result;
   for (const auto& [packed, table] : adj_rib_in_) {
     const auto it = table.find(prefix);
     if (it == table.end()) continue;
     const SessionKey key{static_cast<SessionKind>(packed >> 32),
                          static_cast<std::uint32_t>(packed & 0xffffffffu)};
-    if (auto route = import(key, it->second)) result.push_back(std::move(*route));
+    auto route = import(key, it->second);
+    if (!route) continue;
+    // RFC 4271 §9.1.2: a route whose NEXT_HOP is unresolvable is unusable.
+    // With the IGP carrying next-hop reachability, an iBGP route through an
+    // egress the IGP cannot reach must be excluded — this is what makes
+    // link/router failures actually divert traffic.
+    if (igp_ != nullptr && route->egress != id_ && route->egress != kInvalidRouter &&
+        igp_->metric(id_, route->egress) == kUnreachable) {
+      if (dropped_unreachable_out != nullptr) *dropped_unreachable_out = true;
+      continue;
+    }
+    result.push_back(std::move(*route));
   }
   if (const auto it = originated_.find(prefix); it != originated_.end()) {
     result.push_back(it->second);
@@ -184,14 +229,100 @@ std::vector<Emission> Router::refresh_all() {
   return out;
 }
 
+std::vector<Emission> Router::handle_session_down(const SessionKey& key) {
+  std::vector<Emission> out;
+  if (!mark_session(key, false)) return out;
+  // The per-session prefix index is the session's Adj-RIB-In itself: exactly
+  // the prefixes it contributed candidates for.
+  std::vector<net::Ipv4Prefix> affected;
+  if (const auto it = adj_rib_in_.find(key.packed()); it != adj_rib_in_.end()) {
+    affected.reserve(it->second.size());
+    for (const auto& [prefix, route] : it->second) {
+      (void)route;
+      affected.push_back(prefix);
+    }
+    adj_rib_in_.erase(it);
+  }
+  // What we had advertised over the session dies with it; no withdraws are
+  // sent (the peer flushes symmetrically).
+  adj_rib_out_.erase(key.packed());
+  std::sort(affected.begin(), affected.end());
+  for (const auto& prefix : affected) decide_and_advertise(prefix, out);
+  return out;
+}
+
+std::vector<Emission> Router::handle_session_up(const SessionKey& key) {
+  std::vector<Emission> out;
+  if (!mark_session(key, true)) return out;
+  // The peer lost all state with the session: advertise our current view,
+  // prefix by prefix in deterministic order.  Everything this router can
+  // advertise derives from its Loc-RIB (best-external routes exist only for
+  // prefixes whose decision ran, which leaves a Loc-RIB entry whenever any
+  // acceptable candidate exists).
+  std::vector<net::Ipv4Prefix> prefixes;
+  prefixes.reserve(loc_rib_.size());
+  for (const auto& [prefix, route] : loc_rib_) {
+    (void)route;
+    prefixes.push_back(prefix);
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  for (const auto& prefix : prefixes) {
+    if (key.kind == SessionKind::kIbgp) {
+      for (const auto& session : ibgp_sessions_) {
+        if (session.peer == key.id) {
+          sync_session(prefix, session, out);
+          break;
+        }
+      }
+    } else if (key.kind == SessionKind::kEbgp) {
+      for (const auto& session : ebgp_sessions_) {
+        if (session.info.id == key.id) {
+          sync_session(prefix, session, out);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Emission> Router::handle_igp_change() {
+  // Revisit (a) prefixes whose last decision was IGP-sensitive and (b)
+  // prefixes whose installed best egress the IGP can no longer reach.  All
+  // other loc-RIB entries are provably unaffected: their outcome was decided
+  // strictly above the IGP rung with every candidate still resolvable.
+  std::vector<net::Ipv4Prefix> affected(igp_dependent_.begin(), igp_dependent_.end());
+  for (const auto& [prefix, route] : loc_rib_) {
+    if (igp_dependent_.contains(prefix)) continue;
+    if (igp_ != nullptr && route.egress != id_ && route.egress != kInvalidRouter &&
+        igp_->metric(id_, route.egress) == kUnreachable) {
+      affected.push_back(prefix);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  std::vector<Emission> out;
+  for (const auto& prefix : affected) decide_and_advertise(prefix, out);
+  return out;
+}
+
 void Router::decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out) {
-  const auto routes = candidates(prefix);
+  bool dropped_unreachable = false;
+  const auto routes = candidates(prefix, &dropped_unreachable);
   const DecisionContext ctx{id_, igp_};
-  const std::size_t best = select_best(routes, ctx);
+  bool igp_sensitive = false;
+  const std::size_t best = select_best(routes, ctx, &igp_sensitive);
   if (best == static_cast<std::size_t>(-1)) {
     loc_rib_.erase(prefix);
   } else {
     loc_rib_[prefix] = routes[best];
+  }
+  // A prefix stays on the IGP watchlist while its outcome could change with
+  // IGP costs: a tie fell through to the IGP rung or below, or a candidate
+  // was suppressed for unreachability (and would return on repair).
+  if (igp_sensitive || dropped_unreachable) {
+    igp_dependent_.insert(prefix);
+  } else {
+    igp_dependent_.erase(prefix);
   }
   sync_adj_rib_out(prefix, out);
 }
@@ -270,30 +401,48 @@ std::optional<Route> Router::route_for_neighbor(const net::Ipv4Prefix& prefix,
   return exported;
 }
 
-void Router::sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out) {
-  auto sync_one = [&](const SessionKey& key, std::optional<Route> desired, RouterId to_router,
-                      NeighborId to_neighbor) {
-    auto& sent = adj_rib_out_[key.packed()];
-    const auto it = sent.find(prefix);
-    if (desired) {
-      if (it != sent.end() && same_advertisement(it->second, *desired)) return;
-      sent[prefix] = *desired;
-      out.push_back({id_, to_router, to_neighbor, false, std::move(*desired)});
-    } else if (it != sent.end()) {
-      sent.erase(it);
-      Route withdraw_route;
-      withdraw_route.prefix = prefix;
-      out.push_back({id_, to_router, to_neighbor, true, std::move(withdraw_route)});
-    }
-  };
+void Router::sync_session(const net::Ipv4Prefix& prefix, const IbgpSession& session,
+                          std::vector<Emission>& out) {
+  const SessionKey key{SessionKind::kIbgp, session.peer};
+  auto desired = route_for_ibgp_peer(prefix, session);
+  auto& sent = adj_rib_out_[key.packed()];
+  const auto it = sent.find(prefix);
+  if (desired) {
+    if (it != sent.end() && same_advertisement(it->second, *desired)) return;
+    sent[prefix] = *desired;
+    out.push_back({id_, session.peer, kNoNeighbor, false, std::move(*desired)});
+  } else if (it != sent.end()) {
+    sent.erase(it);
+    Route withdraw_route;
+    withdraw_route.prefix = prefix;
+    out.push_back({id_, session.peer, kNoNeighbor, true, std::move(withdraw_route)});
+  }
+}
 
+void Router::sync_session(const net::Ipv4Prefix& prefix, const EbgpSession& session,
+                          std::vector<Emission>& out) {
+  const SessionKey key{SessionKind::kEbgp, session.info.id};
+  auto desired = route_for_neighbor(prefix, session.info);
+  auto& sent = adj_rib_out_[key.packed()];
+  const auto it = sent.find(prefix);
+  if (desired) {
+    if (it != sent.end() && same_advertisement(it->second, *desired)) return;
+    sent[prefix] = *desired;
+    out.push_back({id_, kInvalidRouter, session.info.id, false, std::move(*desired)});
+  } else if (it != sent.end()) {
+    sent.erase(it);
+    Route withdraw_route;
+    withdraw_route.prefix = prefix;
+    out.push_back({id_, kInvalidRouter, session.info.id, true, std::move(withdraw_route)});
+  }
+}
+
+void Router::sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out) {
   for (const auto& session : ibgp_sessions_) {
-    sync_one(SessionKey{SessionKind::kIbgp, session.peer},
-             route_for_ibgp_peer(prefix, session), session.peer, kNoNeighbor);
+    if (session.up) sync_session(prefix, session, out);
   }
   for (const auto& session : ebgp_sessions_) {
-    sync_one(SessionKey{SessionKind::kEbgp, session.id},
-             route_for_neighbor(prefix, session), kInvalidRouter, session.id);
+    if (session.up) sync_session(prefix, session, out);
   }
 }
 

@@ -14,7 +14,11 @@
 //   - pluggable import policy, which is where the geo-RR modification lives
 //     (vns::core::GeoRouteReflector installs it), and a Gao-Rexford-shaped
 //     default export policy toward external neighbors;
-//   - NO_EXPORT / NO_ADVERTISE community handling.
+//   - NO_EXPORT / NO_ADVERTISE community handling;
+//   - session liveness: sessions can go down and come back
+//     (`handle_session_down` / `handle_session_up`), flushing and rebuilding
+//     the per-session RIBs, and `handle_igp_change` re-runs the decision for
+//     exactly the prefixes whose outcome depended on IGP costs.
 //
 // Routers do not talk to each other directly: handle_*() returns the updates
 // to emit and the Fabric delivers them (deterministic FIFO).
@@ -23,8 +27,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bgp/decision.hpp"
@@ -84,6 +90,19 @@ struct NeighborInfo {
   std::string name;
 };
 
+/// One configured iBGP session, with liveness.
+struct IbgpSession {
+  RouterId peer;
+  bool peer_is_client;  ///< from this router's perspective as an RR
+  bool up = true;
+};
+
+/// One configured eBGP session, with liveness.
+struct EbgpSession {
+  NeighborInfo info;
+  bool up = true;
+};
+
 class Router {
  public:
   Router(RouterId id, std::string name, net::Asn local_asn);
@@ -114,7 +133,28 @@ class Router {
   /// route-refresh analog; used when a policy changes, §4.2's before/after).
   [[nodiscard]] std::vector<Emission> refresh_all();
 
+  /// Session loss: marks the session down, flushes its Adj-RIB-In and
+  /// Adj-RIB-Out (the per-session prefix index *is* the Adj-RIB-In), and
+  /// re-decides exactly the prefixes that session contributed, in prefix
+  /// order.  No-op (empty result) when the session is unknown/already down.
+  [[nodiscard]] std::vector<Emission> handle_session_down(const SessionKey& key);
+  /// Session recovery: marks the session up and re-advertises this router's
+  /// current state over it (the peer lost everything with the session).
+  [[nodiscard]] std::vector<Emission> handle_session_up(const SessionKey& key);
+  /// IGP churn: re-runs the decision for prefixes whose last outcome was
+  /// IGP-sensitive (tie broken at the IGP rung or below, or a candidate
+  /// filtered for an unresolvable next hop) and prefixes whose current best
+  /// egress became IGP-unreachable.
+  [[nodiscard]] std::vector<Emission> handle_igp_change();
+
   // --- inspection ----------------------------------------------------------
+  [[nodiscard]] bool session_is_up(SessionKind kind, std::uint32_t id) const noexcept;
+  [[nodiscard]] std::span<const IbgpSession> ibgp_sessions() const noexcept {
+    return ibgp_sessions_;
+  }
+  [[nodiscard]] std::span<const EbgpSession> ebgp_sessions() const noexcept {
+    return ebgp_sessions_;
+  }
   [[nodiscard]] const Route* best_route(const net::Ipv4Prefix& prefix) const noexcept;
   [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& loc_rib() const noexcept {
     return loc_rib_;
@@ -132,17 +172,19 @@ class Router {
   }
   /// Raw (pre-policy) Adj-RIB-In entry count, for diagnostics.
   [[nodiscard]] std::size_t rib_in_size() const noexcept;
+  /// Prefixes currently tracked as IGP-sensitive (diagnostics/tests).
+  [[nodiscard]] std::size_t igp_dependent_count() const noexcept {
+    return igp_dependent_.size();
+  }
 
  private:
-  struct IbgpSession {
-    RouterId peer;
-    bool peer_is_client;  ///< from this router's perspective as an RR
-  };
-
   /// Applies the import policy; returns the post-policy route or nullopt.
   [[nodiscard]] std::optional<Route> import(const SessionKey& key, const Route& raw) const;
-  /// All post-policy candidates for a prefix.
-  [[nodiscard]] std::vector<Route> candidates(const net::Ipv4Prefix& prefix) const;
+  /// All post-policy candidates for a prefix.  Candidates whose NEXT_HOP
+  /// (egress router) is IGP-unreachable are unusable (RFC 4271 §9.1.2) and
+  /// dropped; `dropped_unreachable_out` reports that any were.
+  [[nodiscard]] std::vector<Route> candidates(const net::Ipv4Prefix& prefix,
+                                              bool* dropped_unreachable_out = nullptr) const;
   /// Best eBGP-learned candidate only (for best-external advertisement).
   [[nodiscard]] std::optional<Route> best_external_candidate(
       const net::Ipv4Prefix& prefix,
@@ -151,8 +193,15 @@ class Router {
   /// Re-runs the decision process for a prefix and emits the deltas.
   void decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out);
   /// Emits (with suppression) the route this router should currently be
-  /// advertising to each session for `prefix`.
+  /// advertising to each *up* session for `prefix`.
   void sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out);
+  /// Same, toward one specific session.
+  void sync_session(const net::Ipv4Prefix& prefix, const IbgpSession& session,
+                    std::vector<Emission>& out);
+  void sync_session(const net::Ipv4Prefix& prefix, const EbgpSession& session,
+                    std::vector<Emission>& out);
+  /// Flips a session's liveness; returns false when unknown or unchanged.
+  bool mark_session(const SessionKey& key, bool up) noexcept;
 
   /// The route (if any) to advertise over a given iBGP session right now.
   [[nodiscard]] std::optional<Route> route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
@@ -174,7 +223,7 @@ class Router {
   const IgpTopology* igp_ = nullptr;
 
   std::vector<IbgpSession> ibgp_sessions_;
-  std::vector<NeighborInfo> ebgp_sessions_;
+  std::vector<EbgpSession> ebgp_sessions_;
 
   /// Raw routes as received, keyed by packed session key then prefix.
   std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, Route>> adj_rib_in_;
@@ -182,6 +231,9 @@ class Router {
   std::unordered_map<net::Ipv4Prefix, Route> loc_rib_;
   /// Last advertisement per session (packed key) and prefix.
   std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, Route>> adj_rib_out_;
+  /// Prefixes whose last decision was IGP-sensitive — the exact set
+  /// handle_igp_change must revisit.
+  std::unordered_set<net::Ipv4Prefix> igp_dependent_;
 };
 
 /// Route equality for implicit-withdraw suppression: attributes + forwarding

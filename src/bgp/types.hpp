@@ -124,6 +124,11 @@ struct Route {
   RouterId originator_id = kInvalidRouter;
   std::vector<RouterId> cluster_list;
 
+  /// Full structural equality — the churn tests use it to assert that a
+  /// fail→restore cycle returns every RIB bit-identical to its pre-fault
+  /// state.
+  friend bool operator==(const Route&, const Route&) = default;
+
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -53,6 +53,7 @@ VnsNetwork::VnsNetwork(const topo::Internet& internet, const geo::GeoIpDatabase&
   build_links();
   attach_neighbors();
   install_policies();
+  pop_down_.assign(pops_.size(), false);
 }
 
 void VnsNetwork::build_pops() {
@@ -263,21 +264,22 @@ void VnsNetwork::install_policies() {
       });
 }
 
-void VnsNetwork::feed_routes() {
+void VnsNetwork::feed_attachment_routes(std::span<const Attachment* const> selected) {
+  if (selected.empty()) return;
   for (topo::AsIndex origin = 0; origin < internet_.as_count(); ++origin) {
     const auto& node = internet_.as_at(origin);
     if (node.prefix_ids.empty()) continue;
     const auto table = internet_.routes_to(origin);
-    for (const auto& attachment : attachments_) {
-      if (!table.reachable(attachment.as)) continue;
-      const auto& entry = table.at(attachment.as);
+    for (const Attachment* attachment : selected) {
+      if (!table.reachable(attachment->as)) continue;
+      const auto& entry = table.at(attachment->as);
       // Export policy of the neighbor: upstreams sell transit (everything);
       // peers exchange only their own and customer routes.
-      const bool exportable = attachment.upstream ||
+      const bool exportable = attachment->upstream ||
                               entry.cls == topo::PathClass::kCustomer ||
-                              attachment.as == origin;
+                              attachment->as == origin;
       if (!exportable) continue;
-      const auto as_path_indices = table.path_from(attachment.as);
+      const auto as_path_indices = table.path_from(attachment->as);
       bgp::Attributes attrs;
       std::vector<net::Asn> asns;
       asns.reserve(as_path_indices.size());
@@ -285,17 +287,35 @@ void VnsNetwork::feed_routes() {
       attrs.as_path = bgp::AsPath{std::move(asns)};
       for (const auto prefix_id : node.prefix_ids) {
         const auto& prefix = internet_.prefix(prefix_id).prefix;
-        fabric_.announce(attachment.session, prefix, attrs);
+        fabric_.announce(attachment->session, prefix, attrs);
         known_prefixes_.insert(prefix, true);
       }
     }
   }
+}
+
+void VnsNetwork::feed_session(bgp::NeighborId session) {
+  for (const auto& attachment : attachments_) {
+    if (attachment.session == session) {
+      const Attachment* one = &attachment;
+      feed_attachment_routes({&one, 1});
+      return;
+    }
+  }
+}
+
+void VnsNetwork::feed_routes() {
+  std::vector<const Attachment*> all;
+  all.reserve(attachments_.size());
+  for (const auto& attachment : attachments_) all.push_back(&attachment);
+  feed_attachment_routes(all);
   // The anycast TURN service prefix is originated at every PoP (§4.4).
   for (const auto& pop : pops_) {
     fabric_.originate(pop.routers[0], config_.anycast_prefix, bgp::Attributes{});
   }
   known_prefixes_.insert(config_.anycast_prefix, true);
   fabric_.run_to_convergence();
+  warm_reach_cache();
 }
 
 void VnsNetwork::set_geo_routing(bool enabled) {
@@ -337,6 +357,92 @@ void VnsNetwork::clear_overrides() {
   exempt_.clear();
   fabric_.refresh_policies();
   fabric_.run_to_convergence();
+}
+
+bool VnsNetwork::fail_pop_link(PopId a, PopId b) {
+  for (auto& link : links_) {
+    if (!((link.a == a && link.b == b) || (link.a == b && link.b == a))) continue;
+    if (!link.up) return false;
+    if (!fabric_.fail_link(pops_.at(link.a).routers[0], pops_.at(link.b).routers[0])) {
+      return false;
+    }
+    link.up = false;
+    fabric_.run_to_convergence();
+    return true;
+  }
+  return false;
+}
+
+bool VnsNetwork::restore_pop_link(PopId a, PopId b) {
+  for (auto& link : links_) {
+    if (!((link.a == a && link.b == b) || (link.a == b && link.b == a))) continue;
+    if (link.up) return false;
+    if (!fabric_.restore_link(pops_.at(link.a).routers[0], pops_.at(link.b).routers[0])) {
+      return false;
+    }
+    link.up = true;
+    fabric_.run_to_convergence();
+    return true;
+  }
+  return false;
+}
+
+void VnsNetwork::fail_pop(PopId pop_id) {
+  if (pop_down_.at(pop_id)) return;
+  pop_down_.at(pop_id) = true;
+  auto& downed = pop_downed_links_[pop_id];
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    auto& link = links_[i];
+    if (link.up && (link.a == pop_id || link.b == pop_id)) {
+      link.up = false;
+      downed.push_back(i);
+    }
+  }
+  // fail_router tears down the PoP's IGP links (the circuits marked above
+  // terminate on its primary router) and every BGP session.
+  for (const auto router : pops_.at(pop_id).routers) fabric_.fail_router(router);
+  fabric_.run_to_convergence();
+}
+
+void VnsNetwork::restore_pop(PopId pop_id) {
+  if (!pop_down_.at(pop_id)) return;
+  pop_down_.at(pop_id) = false;
+  for (const auto router : pops_.at(pop_id).routers) fabric_.restore_router(router);
+  if (const auto it = pop_downed_links_.find(pop_id); it != pop_downed_links_.end()) {
+    for (const auto index : it->second) links_[index].up = true;
+    pop_downed_links_.erase(it);
+  }
+  // A restored eBGP peer re-sends its table over the fresh session.
+  std::vector<const Attachment*> restored;
+  for (const auto& attachment : attachments_) {
+    if (attachment.pop == pop_id) restored.push_back(&attachment);
+  }
+  feed_attachment_routes(restored);
+  fabric_.run_to_convergence();
+}
+
+bool VnsNetwork::fail_upstream(PopId pop_id, int which) {
+  const auto& sessions = pops_.at(pop_id).upstream_sessions;
+  if (which < 0 || static_cast<std::size_t>(which) >= sessions.size()) return false;
+  if (!fabric_.fail_session(sessions[static_cast<std::size_t>(which)])) return false;
+  fabric_.run_to_convergence();
+  return true;
+}
+
+bool VnsNetwork::restore_upstream(PopId pop_id, int which) {
+  const auto& sessions = pops_.at(pop_id).upstream_sessions;
+  if (which < 0 || static_cast<std::size_t>(which) >= sessions.size()) return false;
+  if (!fabric_.restore_session(sessions[static_cast<std::size_t>(which)])) return false;
+  feed_session(sessions[static_cast<std::size_t>(which)]);
+  fabric_.run_to_convergence();
+  return true;
+}
+
+bool VnsNetwork::link_is_up(PopId a, PopId b) const noexcept {
+  for (const auto& link : links_) {
+    if ((link.a == a && link.b == b) || (link.a == b && link.b == a)) return link.up;
+  }
+  return false;
 }
 
 std::optional<PopId> VnsNetwork::find_pop(std::string_view name) const noexcept {
@@ -412,8 +518,8 @@ double VnsNetwork::internal_rtt_ms(PopId a, PopId b) const {
   double rtt = 0.0;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     for (const auto& link : links_) {
-      if ((link.a == path[i] && link.b == path[i + 1]) ||
-          (link.b == path[i] && link.a == path[i + 1])) {
+      if (link.up && ((link.a == path[i] && link.b == path[i + 1]) ||
+                      (link.b == path[i] && link.a == path[i + 1]))) {
         rtt += link.rtt_ms;
         break;
       }
@@ -428,8 +534,8 @@ std::vector<sim::SegmentProfile> VnsNetwork::internal_segments(
   const auto path = internal_path(a, b);
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     for (const auto& link : links_) {
-      if ((link.a == path[i] && link.b == path[i + 1]) ||
-          (link.b == path[i] && link.a == path[i + 1])) {
+      if (link.up && ((link.a == path[i] && link.b == path[i + 1]) ||
+                      (link.b == path[i] && link.a == path[i + 1]))) {
         auto seg = catalog.vns_link(pops_[link.a].city.location, pops_[link.b].city.location,
                                     link.long_haul);
         seg.rtt_ms = link.rtt_ms;
@@ -441,8 +547,19 @@ std::vector<sim::SegmentProfile> VnsNetwork::internal_segments(
   return segments;
 }
 
+void VnsNetwork::warm_reach_cache() const {
+  // Every reach() call site queries an attachment's AS, so filling those
+  // slots makes all later lookups read-only — safe under concurrent
+  // select_ingress from the campaign thread pool.
+  for (const auto& attachment : attachments_) (void)reach(attachment.as);
+  reach_warmed_ = true;
+}
+
 const VnsNetwork::NeighborReach& VnsNetwork::reach(topo::AsIndex as) const {
   if (const auto it = reach_cache_.find(as); it != reach_cache_.end()) return it->second;
+  // A cold miss after the pre-warm would be a write from const context —
+  // the data race the pre-warm exists to eliminate.
+  assert(!reach_warmed_ && "VnsNetwork::reach cold miss after warm_reach_cache()");
   NeighborReach result;
   const auto table = internet_.routes_to(as);
   result.hops.resize(internet_.as_count(), 0xffff);

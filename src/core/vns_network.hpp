@@ -59,6 +59,7 @@ struct VnsLink {
   double km = 0.0;
   double rtt_ms = 0.0;
   bool long_haul = false;  ///< inter-cluster leased circuit
+  bool up = true;          ///< circuit currently in service
 };
 
 struct VnsConfig {
@@ -133,6 +134,25 @@ class VnsNetwork {
   void add_static_more_specific(const net::Ipv4Prefix& more_specific, PopId pop);
   void clear_overrides();
 
+  // --- failure injection (§3.1 resilience) -----------------------------------
+  // Each fault/repair emits the resulting BGP storm and reconverges before
+  // returning; internal_path / internal_rtt_ms / egress_pop then answer
+  // against the degraded network.  Overlapping PoP faults restore what the
+  // matching fail_* took down, so fail/restore pairs should nest.
+  /// Fails the dedicated circuit between two PoPs (IGP link included).
+  bool fail_pop_link(PopId a, PopId b);
+  bool restore_pop_link(PopId a, PopId b);
+  /// Whole-PoP outage: all routers, circuits and eBGP sessions at the PoP.
+  void fail_pop(PopId pop);
+  /// Brings a PoP back; its eBGP peers replay their announcements.
+  void restore_pop(PopId pop);
+  /// Fails one upstream transit session (`which` indexes the PoP's upstream
+  /// list, 0 = primary).  Returns false when absent or already down.
+  bool fail_upstream(PopId pop, int which = 0);
+  bool restore_upstream(PopId pop, int which = 0);
+  [[nodiscard]] bool pop_is_down(PopId pop) const { return pop_down_.at(pop); }
+  [[nodiscard]] bool link_is_up(PopId a, PopId b) const noexcept;
+
   // --- topology access --------------------------------------------------------
   [[nodiscard]] std::span<const VnsPop> pops() const noexcept { return pops_; }
   [[nodiscard]] const VnsPop& pop(PopId id) const { return pops_.at(id); }
@@ -206,6 +226,15 @@ class VnsNetwork {
   void build_links();
   void attach_neighbors();
   void install_policies();
+  /// Announces every external route over the selected attachments only (one
+  /// routes_to() sweep per origin regardless of how many are selected).
+  /// feed_routes() uses it for all attachments; session/PoP restoration uses
+  /// it to replay a restored neighbor's table.
+  void feed_attachment_routes(std::span<const Attachment* const> selected);
+  /// Replays one neighbor's announcements (after restore_session).
+  void feed_session(bgp::NeighborId session);
+  /// Fills reach_cache_ for every attachment so const queries never write.
+  void warm_reach_cache() const;
   [[nodiscard]] std::uint32_t lp_from_distance(double km) const noexcept;
   /// Reachability of neighbor AS `as` from every AS (lazily cached).
   struct NeighborReach {
@@ -231,7 +260,14 @@ class VnsNetwork {
   std::unordered_set<net::Ipv4Prefix> exempt_;
   net::PrefixTrie<bool> known_prefixes_;
 
+  std::vector<bool> pop_down_;
+  /// links_ indices a fail_pop took down, for exact restoration.
+  std::unordered_map<PopId, std::vector<std::size_t>> pop_downed_links_;
+
   mutable std::unordered_map<topo::AsIndex, NeighborReach> reach_cache_;
+  /// Once feed_routes() has pre-warmed the cache, reach() must never write
+  /// again — parallel campaigns call it concurrently from const context.
+  mutable bool reach_warmed_ = false;
 };
 
 }  // namespace vns::core

@@ -1,0 +1,108 @@
+// Failover experiments: run probe and streaming campaigns *through* a fault
+// schedule (§3.1's resilience argument, exercised).  Faults and repairs are
+// discrete events on a sim::EventQueue; each one mutates the VNS overlay
+// (fail a long-haul circuit, a whole PoP, or one upstream session) and
+// reconverges BGP before the next sample, so every sample sees the network
+// exactly as a measurement client would during the outage window.
+//
+// Because the topology mutates mid-campaign, these campaigns run on a single
+// thread by construction — the fault schedule is replayed in event order and
+// every RNG draw is indexed by event sequence, so results are identical
+// across runs and trivially independent of any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/vns_network.hpp"
+#include "media/session.hpp"
+#include "media/video.hpp"
+#include "topo/segments.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace vns::measure {
+
+/// One scheduled fault or repair applied to the VNS overlay.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLink,      ///< dedicated circuit between PoPs a and b
+    kPop,       ///< whole-PoP outage of a
+    kUpstream,  ///< upstream transit session `which` at PoP a
+  };
+
+  double at_s = 0.0;
+  Kind kind = Kind::kLink;
+  bool fail = true;  ///< true: inject the fault; false: repair it
+  core::PopId a = core::kNoPop;
+  core::PopId b = core::kNoPop;  ///< second endpoint (kLink only)
+  int which = 0;                 ///< upstream slot (kUpstream only)
+};
+
+struct FailoverConfig {
+  double horizon_s = 600.0;
+  double probe_interval_s = 10.0;
+  /// PoP pairs sampled across the overlay; empty selects every unordered
+  /// pair of PoPs.
+  std::vector<std::pair<core::PopId, core::PopId>> pairs;
+};
+
+/// Which part of the fault window a sample fell in.
+enum class FaultPhase : std::uint8_t { kPre, kDuring, kPost };
+
+struct PhaseStats {
+  util::Summary rtt_ms;  ///< reachable samples only
+  std::uint64_t probes = 0;
+  std::uint64_t unreachable = 0;
+
+  [[nodiscard]] double loss_fraction() const noexcept {
+    return probes ? static_cast<double>(unreachable) / static_cast<double>(probes) : 0.0;
+  }
+};
+
+struct FailoverSample {
+  double t_s = 0.0;
+  std::size_t pair = 0;  ///< index into the probed pair list
+  double rtt_ms = 0.0;   ///< internal base RTT; 0 when unreachable
+  bool reachable = true;
+  FaultPhase phase = FaultPhase::kPre;
+};
+
+struct FailoverReport {
+  PhaseStats pre, during_fault, post;
+  std::vector<FailoverSample> samples;  ///< every probe, in event order
+  std::vector<std::pair<core::PopId, core::PopId>> pairs;  ///< as probed
+  std::size_t faults_applied = 0;
+  std::size_t repairs_applied = 0;
+};
+
+/// Probes the internal base RTT of each PoP pair on a fixed cadence while
+/// the fault schedule plays out; reports per-phase RTT and reachability.
+[[nodiscard]] FailoverReport run_failover_probes(core::VnsNetwork& vns,
+                                                 std::span<const FaultEvent> schedule,
+                                                 const FailoverConfig& config);
+
+struct StreamPhaseStats {
+  util::Summary loss_percent;  ///< delivered sessions only
+  std::uint64_t sessions = 0;
+  std::uint64_t blackholed = 0;  ///< pair unreachable for the whole session
+};
+
+struct FailoverStreamReport {
+  StreamPhaseStats pre, during_fault, post;
+  std::size_t faults_applied = 0;
+  std::size_t repairs_applied = 0;
+};
+
+/// Streaming variant: one media session per pair per probe interval over the
+/// *current* (possibly degraded) internal path.  A session across an
+/// unreachable pair is counted as blackholed rather than contributing a loss
+/// percentage.  Session i draws from `base.substream(i)` in event order.
+[[nodiscard]] FailoverStreamReport run_failover_streams(
+    core::VnsNetwork& vns, const topo::SegmentCatalog& catalog,
+    std::span<const FaultEvent> schedule, const FailoverConfig& config,
+    const media::VideoProfile& profile, const util::Rng& base);
+
+}  // namespace vns::measure

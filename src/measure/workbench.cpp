@@ -211,6 +211,18 @@ std::vector<Workbench::LastMileHost> Workbench::select_last_mile_hosts(
   return hosts;
 }
 
+FailoverReport Workbench::run_failover_probes(std::span<const FaultEvent> schedule,
+                                              const FailoverConfig& config) {
+  return measure::run_failover_probes(*vns_, schedule, config);
+}
+
+FailoverStreamReport Workbench::run_failover_streams(std::span<const FaultEvent> schedule,
+                                                     const FailoverConfig& config,
+                                                     const media::VideoProfile& profile,
+                                                     const util::Rng& base) {
+  return measure::run_failover_streams(*vns_, catalog_, schedule, config, profile, base);
+}
+
 double Workbench::probe_base_rtt_ms(core::PopId pop, std::size_t prefix_id,
                                     bool upstreams_only) const {
   double rtt = 0.0;

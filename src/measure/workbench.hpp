@@ -13,6 +13,7 @@
 
 #include "core/vns_network.hpp"
 #include "geo/geoip.hpp"
+#include "measure/failover.hpp"
 #include "media/session.hpp"
 #include "topo/internet.hpp"
 #include "topo/segments.hpp"
@@ -110,6 +111,16 @@ class Workbench {
   /// (the paper's 600 = 50 x 4 types x 3 regions).  Deterministic per seed.
   [[nodiscard]] std::vector<LastMileHost> select_last_mile_hosts(int per_cell,
                                                                  std::uint64_t seed) const;
+
+  /// Runs an internal-RTT probe campaign through a fault schedule (see
+  /// failover.hpp).  Mutates and then restores the overlay per the schedule.
+  [[nodiscard]] FailoverReport run_failover_probes(std::span<const FaultEvent> schedule,
+                                                   const FailoverConfig& config);
+  /// Streaming variant against the degraded internal paths.
+  [[nodiscard]] FailoverStreamReport run_failover_streams(std::span<const FaultEvent> schedule,
+                                                          const FailoverConfig& config,
+                                                          const media::VideoProfile& profile,
+                                                          const util::Rng& base);
 
  private:
   explicit Workbench(const WorkbenchConfig& config);

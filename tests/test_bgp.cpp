@@ -394,6 +394,60 @@ TEST(Fabric, NoExportCommunityStaysInsideAs) {
   EXPECT_FALSE(fx.fabric.exported_to(fx.upstream_at_c).contains(kPrefix2));
 }
 
+TEST(Fabric, NoAdvertiseCommunityStaysOnOriginatingRouter) {
+  RrFixture fx;
+  Attributes attrs;
+  attrs.add_community(kNoAdvertise);
+  fx.fabric.originate(fx.a, kPrefix2, attrs);
+  fx.fabric.run_to_convergence();
+
+  // NO_ADVERTISE is stricter than NO_EXPORT: the route never leaves the
+  // originating router, not even over iBGP.
+  EXPECT_NE(fx.fabric.router(fx.a).best_route(kPrefix2), nullptr);
+  EXPECT_EQ(fx.fabric.router(fx.b).best_route(kPrefix2), nullptr);
+  EXPECT_EQ(fx.fabric.router(fx.c).best_route(kPrefix2), nullptr);
+  EXPECT_EQ(fx.fabric.router(fx.rr).best_route(kPrefix2), nullptr);
+  for (NeighborId n = 0; n < fx.fabric.neighbor_count(); ++n) {
+    EXPECT_FALSE(fx.fabric.exported_to(n).contains(kPrefix2)) << "neighbor " << n;
+  }
+}
+
+TEST(Fabric, NoAdvertiseFromEbgpNeighborIsNotRedistributed) {
+  RrFixture fx;
+  auto attrs = attrs_with_path({174, 400});
+  attrs.add_community(kNoAdvertise);
+  fx.fabric.announce(fx.upstream_at_a, kPrefix2, attrs);
+  fx.fabric.run_to_convergence();
+
+  // The receiving router may use it, but nobody else ever sees it — the
+  // best-external path must suppress it too.
+  EXPECT_NE(fx.fabric.router(fx.a).best_route(kPrefix2), nullptr);
+  EXPECT_EQ(fx.fabric.router(fx.b).best_route(kPrefix2), nullptr);
+  EXPECT_EQ(fx.fabric.router(fx.rr).best_route(kPrefix2), nullptr);
+  for (NeighborId n = 0; n < fx.fabric.neighbor_count(); ++n) {
+    EXPECT_FALSE(fx.fabric.exported_to(n).contains(kPrefix2)) << "neighbor " << n;
+  }
+}
+
+TEST(Fabric, NoExportFromCustomerPropagatesInternallyButNotExternally) {
+  // A customer route would normally be exported to every neighbor; NO_EXPORT
+  // must keep it inside the AS while still propagating over iBGP.
+  RrFixture fx;
+  const auto customer = fx.fabric.add_neighbor(fx.b, 64512, NeighborKind::kCustomer, "cust");
+  fx.fabric.refresh_policies();
+  auto attrs = attrs_with_path({64512});
+  attrs.add_community(kNoExport);
+  fx.fabric.announce(customer, kPrefix2, attrs);
+  fx.fabric.run_to_convergence();
+
+  for (RouterId r : {fx.a, fx.b, fx.c, fx.rr}) {
+    EXPECT_NE(fx.fabric.router(r).best_route(kPrefix2), nullptr) << "router " << r;
+  }
+  for (NeighborId n = 0; n < fx.fabric.neighbor_count(); ++n) {
+    EXPECT_FALSE(fx.fabric.exported_to(n).contains(kPrefix2)) << "neighbor " << n;
+  }
+}
+
 TEST(Fabric, GaoRexfordExportPolicy) {
   // peer/upstream-learned routes must not be exported to peers/upstreams.
   RrFixture fx;

@@ -295,6 +295,29 @@ TEST(VnsManagement, StaticMoreSpecificWinsByLongestMatch) {
   w.vns.set_geo_routing(false);
 }
 
+TEST(VnsManagement, StaticMoreSpecificNeverLeaksToAnyEbgpNeighbor) {
+  auto& w = world();
+  w.vns.set_geo_routing(true);
+  const auto& info = w.internet.prefix(55);
+  const net::Ipv4Prefix more_specific{
+      net::Ipv4Address{info.prefix.address().value() + (11u << 8)}, 24};
+  const auto lon = *w.vns.find_pop("LON");
+  w.vns.add_static_more_specific(more_specific, lon);
+
+  // Stronger than the attachments check: walk EVERY external session the
+  // fabric knows about (upstreams, peers, anything added later) — the
+  // no-export tag must keep the override out of all Adj-RIB-Out tables.
+  ASSERT_GT(w.vns.fabric().neighbor_count(), 0u);
+  for (bgp::NeighborId n = 0; n < w.vns.fabric().neighbor_count(); ++n) {
+    EXPECT_FALSE(w.vns.fabric().exported_to(n).contains(more_specific)) << "neighbor " << n;
+  }
+  // But it does steer the internal exit.
+  const auto inside = w.vns.egress_pop(0, more_specific.first_host());
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(*inside, lon);
+  w.vns.set_geo_routing(false);
+}
+
 // -------------------------------------------------------------- anycast ----
 
 TEST(VnsAnycast, ServicePrefixExportedToNeighbors) {

@@ -202,6 +202,36 @@ TEST(Campaign, StreamResultsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// ------------------------------------------------- reach-cache data race --
+
+TEST(Campaign, SelectIngressIsSafeAndStableUnderConcurrency) {
+  // Regression for the reach_cache_ data race: select_ingress() used to
+  // lazily populate a mutable cache from const context, so concurrent
+  // campaign shards could write the same map.  feed_routes() now pre-warms
+  // the cache for every neighbor AS (a cold miss afterwards asserts), which
+  // makes concurrent lookups read-only.  Hammer it and check the answers
+  // match a serial pass bit-for-bit.
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(11));
+  const auto& vns = world->vns();
+  const auto& internet = world->internet();
+
+  std::vector<topo::AsIndex> ases;
+  for (topo::AsIndex as = 0; as < internet.as_count(); as += 3) ases.push_back(as);
+  std::vector<core::PopId> serial(ases.size());
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    serial[i] = vns.select_ingress(ases[i], internet.as_at(ases[i]).home.location);
+  }
+
+  util::ThreadPool pool{4};
+  for (int round = 0; round < 8; ++round) {
+    std::vector<core::PopId> parallel(ases.size());
+    pool.parallel_for(ases.size(), [&](std::size_t i) {
+      parallel[i] = vns.select_ingress(ases[i], internet.as_at(ases[i]).home.location);
+    });
+    EXPECT_EQ(parallel, serial) << "round " << round;
+  }
+}
+
 TEST(Campaign, CountsProbesSent) {
   util::Counters::global().reset();
   std::vector<measure::TrainTask> tasks;
