@@ -9,6 +9,8 @@
 //                  hardware; results are bit-identical for any N)
 //   --json         additionally write BENCH_<name>.json with the run's
 //                  config, key metrics, wall-clock and work counters
+//   --trace        attach an obs::TraceSink to the fabric and write
+//                  TRACE_<name>.jsonl (metrics registry + fabric trace)
 // and print deterministic, diff-able text tables.
 #pragma once
 
@@ -27,15 +29,26 @@
 #include <vector>
 
 #include "measure/workbench.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/counters.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vns::bench {
 
+/// The process-wide fabric trace sink used by --trace runs.  Function-local
+/// static so benches that never pass --trace never construct the ring buffer.
+[[nodiscard]] inline obs::TraceSink& trace_sink() {
+  static obs::TraceSink sink{1u << 18};
+  return sink;
+}
+
 struct BenchArgs {
   bool small = false;
-  bool json = false;  ///< also emit BENCH_<name>.json
+  bool json = false;   ///< also emit BENCH_<name>.json
+  bool trace = false;  ///< attach a TraceSink and emit TRACE_<name>.jsonl
   std::uint64_t seed = 1;
   double days = 0.0;  ///< 0: bench-specific default
   int threads = 0;    ///< 0: VNS_THREADS env, then hardware concurrency
@@ -48,6 +61,8 @@ struct BenchArgs {
         args.small = true;
       } else if (arg == "--json") {
         args.json = true;
+      } else if (arg == "--trace") {
+        args.trace = true;
       } else if (arg == "--seed" && i + 1 < argc) {
         args.seed = std::strtoull(argv[++i], nullptr, 10);
       } else if (arg == "--days" && i + 1 < argc) {
@@ -55,7 +70,7 @@ struct BenchArgs {
       } else if (arg == "--threads" && i + 1 < argc) {
         args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       } else if (arg == "--help") {
-        std::cout << "flags: --small --seed N --days D --threads N --json\n";
+        std::cout << "flags: --small --seed N --days D --threads N --json --trace\n";
         std::exit(0);
       }
     }
@@ -66,6 +81,7 @@ struct BenchArgs {
     auto config = small ? measure::WorkbenchConfig::small(seed)
                         : measure::WorkbenchConfig::paper_scale(seed);
     config.threads = threads;
+    if (trace) config.trace = &trace_sink();
     return config;
   }
 };
@@ -73,25 +89,7 @@ struct BenchArgs {
 // ---- machine-readable run record (--json) ----------------------------------
 
 [[nodiscard]] inline std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return obs::json_escape(text);
 }
 
 [[nodiscard]] inline std::string json_value(bool value) { return value ? "true" : "false"; }
@@ -100,12 +98,7 @@ template <typename T>
 [[nodiscard]] std::string json_value(T value) {
   return std::to_string(value);
 }
-[[nodiscard]] inline std::string json_value(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.10g", value);
-  return buf;
-}
+[[nodiscard]] inline std::string json_value(double value) { return obs::json_number(value); }
 [[nodiscard]] inline std::string json_value(std::string_view value) {
   return '"' + json_escape(value) + '"';
 }
@@ -148,6 +141,13 @@ class BenchRecord {
     std::string_view stem = name_;
     if (stem.starts_with("bench_")) stem.remove_prefix(6);
     return "BENCH_" + std::string{stem} + ".json";
+  }
+
+  /// `TRACE_fig9_video_loss.jsonl` for `bench_fig9_video_loss`.
+  [[nodiscard]] std::string trace_output_path() const {
+    std::string_view stem = name_;
+    if (stem.starts_with("bench_")) stem.remove_prefix(6);
+    return "TRACE_" + std::string{stem} + ".jsonl";
   }
 
   void write_json(std::ostream& out, double campaign_seconds, int threads) const {
@@ -236,15 +236,25 @@ inline void print_run_counters(std::ostream& out, const BenchArgs& args,
 }
 
 /// The standard bench epilogue: counter snapshot on stdout, plus the
-/// machine-readable BENCH_<name>.json when the bench ran with --json.
+/// machine-readable BENCH_<name>.json when the bench ran with --json and
+/// TRACE_<name>.jsonl (metrics registry + fabric trace) when it ran with
+/// --trace.
 inline void finish_run(const BenchArgs& args, double campaign_seconds) {
   print_run_counters(std::cout, args, campaign_seconds);
-  if (!args.json) return;
-  const auto path = BenchRecord::global().output_path();
-  std::ofstream out{path};
-  BenchRecord::global().write_json(out, campaign_seconds,
-                                   util::resolve_thread_count(args.threads));
-  std::cout << "wrote " << path << "\n";
+  if (args.json) {
+    const auto path = BenchRecord::global().output_path();
+    std::ofstream out{path};
+    BenchRecord::global().write_json(out, campaign_seconds,
+                                     util::resolve_thread_count(args.threads));
+    std::cout << "wrote " << path << "\n";
+  }
+  if (args.trace) {
+    const auto path = BenchRecord::global().trace_output_path();
+    std::ofstream out{path};
+    obs::MetricsRegistry::global().write_jsonl(out);
+    trace_sink().write_jsonl(out);
+    std::cout << "wrote " << path << "\n";
+  }
 }
 
 }  // namespace vns::bench

@@ -1,16 +1,20 @@
 // Performance microbenchmarks (google-benchmark) for the hot paths: the
 // routing-table trie, great-circle math, the BGP decision process,
 // Gao–Rexford route computation, path-model sampling, and full fabric
-// convergence per announced prefix.
+// convergence per announced prefix — plus the observability paths: fabric
+// convergence with tracing off vs on (the off variant is the zero-cost
+// claim's evidence), counter batching, trace-sink record, and provenance.
 #include <benchmark/benchmark.h>
 
 #include "bgp/decision.hpp"
 #include "bgp/fabric.hpp"
 #include "geo/geo.hpp"
 #include "net/prefix_trie.hpp"
+#include "obs/trace.hpp"
 #include "sim/path_model.hpp"
 #include "topo/internet.hpp"
 #include "topo/segments.hpp"
+#include "util/counters.hpp"
 #include "util/rng.hpp"
 
 using namespace vns;
@@ -96,7 +100,9 @@ void BM_PathModelSampleLosses(benchmark::State& state) {
 }
 BENCHMARK(BM_PathModelSampleLosses);
 
-void BM_FabricAnnouncementConvergence(benchmark::State& state) {
+/// Announce-and-converge loop shared by the traced and untraced variants so
+/// the only difference the pair measures is the sink itself.
+void run_fabric_convergence(benchmark::State& state, obs::TraceSink* sink) {
   // Cost of announcing + converging one prefix through a 4-router RR fabric.
   bgp::Fabric fabric{65000};
   const auto a = fabric.add_router("A");
@@ -112,6 +118,7 @@ void BM_FabricAnnouncementConvergence(benchmark::State& state) {
   fabric.add_igp_link(a, rr, 1);
   const auto up_a = fabric.add_neighbor(a, 174, bgp::NeighborKind::kUpstream, "upA");
   const auto up_c = fabric.add_neighbor(c, 3356, bgp::NeighborKind::kUpstream, "upC");
+  fabric.set_trace(sink);
 
   std::uint32_t block = 1;
   for (auto _ : state) {
@@ -125,7 +132,79 @@ void BM_FabricAnnouncementConvergence(benchmark::State& state) {
     benchmark::DoNotOptimize(fabric.run_to_convergence());
   }
 }
+
+void BM_FabricAnnouncementConvergence(benchmark::State& state) {
+  // Tracing disabled: the baseline the ≤1 % overhead budget is judged against.
+  run_fabric_convergence(state, nullptr);
+}
 BENCHMARK(BM_FabricAnnouncementConvergence);
+
+void BM_FabricAnnouncementConvergenceTraced(benchmark::State& state) {
+  // Same fabric with a ring-buffer sink attached: the cost of full tracing.
+  obs::TraceSink sink{1u << 16};
+  run_fabric_convergence(state, &sink);
+}
+BENCHMARK(BM_FabricAnnouncementConvergenceTraced);
+
+void BM_TraceSinkRecord(benchmark::State& state) {
+  obs::TraceSink sink{1u << 16};
+  obs::TraceEvent event;
+  event.kind = obs::TraceEventKind::kUpdateDelivered;
+  event.a = 1;
+  event.b = 2;
+  event.prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000}, 20};
+  std::uint64_t when = 0;
+  for (auto _ : state) {
+    event.when = when++;
+    sink.record(event);
+    benchmark::DoNotOptimize(sink.size());
+  }
+}
+BENCHMARK(BM_TraceSinkRecord);
+
+void BM_DecisionTraceExplain(benchmark::State& state) {
+  // Provenance over the same 24-candidate set BM_DecisionSelectBest uses.
+  std::vector<bgp::Route> candidates;
+  util::Rng rng{2};
+  for (int i = 0; i < 24; ++i) {
+    bgp::Route route;
+    route.prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000}, 16};
+    route.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 1000));
+    std::vector<net::Asn> path;
+    for (int h = 0; h < static_cast<int>(rng.uniform_int(1, 5)); ++h) {
+      path.push_back(static_cast<net::Asn>(rng.uniform_int(1000, 4000)));
+    }
+    route.attrs.as_path = bgp::AsPath{std::move(path)};
+    route.egress = static_cast<bgp::RouterId>(i);
+    route.advertiser = static_cast<bgp::RouterId>(i);
+    route.learned_via_ebgp = i % 2;
+    candidates.push_back(std::move(route));
+  }
+  const bgp::DecisionContext ctx{0, nullptr};
+  for (auto _ : state) benchmark::DoNotOptimize(bgp::trace_decision(candidates, ctx));
+}
+BENCHMARK(BM_DecisionTraceExplain);
+
+void BM_CountersGlobalAdd(benchmark::State& state) {
+  // One mutex round-trip per increment: what the hot loops used to do.
+  util::Counters counters;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) counters.add("bench.increment", 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_CountersGlobalAdd);
+
+void BM_CountersBatchAdd(benchmark::State& state) {
+  // Thread-local accumulation, one merge on scope exit: the Batch path.
+  util::Counters counters;
+  for (auto _ : state) {
+    util::Counters::Batch batch{counters};
+    for (int i = 0; i < 64; ++i) batch.add("bench.increment", 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_CountersBatchAdd);
 
 }  // namespace
 

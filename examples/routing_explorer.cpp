@@ -3,15 +3,95 @@
 // cold-potato egress, AS path, and the effect of the management interface.
 //
 //   $ ./build/examples/routing_explorer [seed]
+//
+// Explain mode answers "which PoP does this address egress at, and why?"
+// with full decision provenance (rung, margin, runner-up PoPs):
+//
+//   $ ./build/examples/routing_explorer explain [addr...]
+//       [--from POP] [--seed N] [--json]
+//
+// With no address, a deterministic sample of destinations is explained.
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "measure/workbench.hpp"
 #include "util/table.hpp"
 
 using namespace vns;
 
+namespace {
+
+int run_explain(int argc, char** argv) {
+  std::string from = "AMS";
+  std::uint64_t seed = 17;
+  bool json = false;
+  std::vector<std::string> addresses;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--from" && i + 1 < argc) {
+      from = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n"
+                << "usage: routing_explorer explain [addr...] [--from POP] "
+                   "[--seed N] [--json]\n";
+      return 2;
+    } else {
+      addresses.emplace_back(arg);
+    }
+  }
+
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(seed));
+  auto& w = *world;
+  const auto viewpoint = w.vns().find_pop(from);
+  if (!viewpoint) {
+    std::cerr << "unknown PoP \"" << from << "\"; known:";
+    for (const auto& pop : w.vns().pops()) std::cerr << ' ' << pop.name;
+    std::cerr << '\n';
+    return 2;
+  }
+  w.vns().set_geo_routing(true);
+
+  std::vector<net::Ipv4Address> targets;
+  for (const auto& text : addresses) {
+    const auto addr = net::Ipv4Address::parse(text);
+    if (!addr) {
+      std::cerr << "not an IPv4 address: " << text << '\n';
+      return 2;
+    }
+    targets.push_back(*addr);
+  }
+  if (targets.empty()) {
+    // Deterministic sample across the generated prefix space.
+    const std::size_t total = w.internet().prefixes().size();
+    for (std::size_t id = 5; id < total && targets.size() < 8; id += total / 8) {
+      targets.push_back(w.internet().prefix(id).prefix.first_host());
+    }
+  }
+
+  for (const auto address : targets) {
+    const auto explanation = w.vns().explain_route(*viewpoint, address);
+    if (json) {
+      std::cout << explanation.json() << '\n';
+    } else {
+      std::cout << explanation.text();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view{argv[1]} == "explain") {
+    return run_explain(argc, argv);
+  }
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 17;
   auto world = measure::Workbench::build(measure::WorkbenchConfig::small(seed));
   auto& w = *world;

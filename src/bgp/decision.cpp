@@ -1,5 +1,8 @@
 #include "bgp/decision.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace vns::bgp {
 
 const char* to_string(DecisionRung rung) noexcept {
@@ -84,6 +87,100 @@ std::size_t select_best(std::span<const Route> candidates, const DecisionContext
     }
   }
   return best;
+}
+
+namespace {
+
+std::int64_t abs_diff(std::int64_t a, std::int64_t b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace
+
+std::int64_t margin_at(const Route& a, const Route& b, DecisionRung rung,
+                       const DecisionContext& ctx) {
+  switch (rung) {
+    case DecisionRung::kLocalPref:
+      // The locally-originated short-circuit also lands here; its margin is
+      // the LOCAL_PREF gap (possibly 0 — "won on origination alone").
+      return abs_diff(a.attrs.local_pref, b.attrs.local_pref);
+    case DecisionRung::kAsPathLength:
+      return abs_diff(static_cast<std::int64_t>(a.attrs.as_path.length()),
+                      static_cast<std::int64_t>(b.attrs.as_path.length()));
+    case DecisionRung::kOrigin:
+      return abs_diff(static_cast<std::int64_t>(a.attrs.origin),
+                      static_cast<std::int64_t>(b.attrs.origin));
+    case DecisionRung::kMed:
+      return abs_diff(a.attrs.med, b.attrs.med);
+    case DecisionRung::kEbgpOverIbgp:
+      return 1;
+    case DecisionRung::kIgpMetric:
+      if (ctx.igp != nullptr && ctx.self != kInvalidRouter &&
+          a.egress != kInvalidRouter && b.egress != kInvalidRouter) {
+        return abs_diff(static_cast<std::int64_t>(ctx.igp->metric(ctx.self, a.egress)),
+                        static_cast<std::int64_t>(ctx.igp->metric(ctx.self, b.egress)));
+      }
+      return 0;
+    case DecisionRung::kRouterId:
+      if (a.advertiser != b.advertiser) {
+        return abs_diff(static_cast<std::int64_t>(a.advertiser),
+                        static_cast<std::int64_t>(b.advertiser));
+      }
+      return abs_diff(static_cast<std::int64_t>(a.neighbor),
+                      static_cast<std::int64_t>(b.neighbor));
+    case DecisionRung::kEqual:
+      return 0;
+  }
+  return 0;
+}
+
+DecisionTrace trace_decision(std::span<const Route> candidates,
+                             const DecisionContext& ctx) {
+  DecisionTrace trace;
+  if (candidates.empty()) return trace;
+
+  // The winner comes from select_best so explain can never disagree with the
+  // loc-RIB.  (`prefer` alone is not a strict weak ordering — the MED rung
+  // compares only within one neighbor AS — so a global sort over it would be
+  // ill-defined; ranking each loser against the winner is always sound.)
+  const std::size_t best = select_best(candidates, ctx);
+  trace.has_best = true;
+  trace.best = candidates[best];
+
+  trace.eliminated.reserve(candidates.size() - 1);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i == best) continue;
+    CandidateVerdict verdict;
+    verdict.route = candidates[i];
+    (void)prefer(trace.best, candidates[i], ctx, &verdict.lost_at);
+    verdict.margin = margin_at(trace.best, candidates[i], verdict.lost_at, ctx);
+    trace.eliminated.push_back(std::move(verdict));
+  }
+
+  // Strongest challenger first: the route that survived to the deepest rung
+  // against the winner, by the smallest margin.  The final key is a total
+  // order over the route's identity so the ranking is deterministic no
+  // matter how the RIB enumerated the candidates.
+  std::stable_sort(trace.eliminated.begin(), trace.eliminated.end(),
+                   [](const CandidateVerdict& x, const CandidateVerdict& y) {
+                     if (x.lost_at != y.lost_at) {
+                       return static_cast<std::uint8_t>(x.lost_at) >
+                              static_cast<std::uint8_t>(y.lost_at);
+                     }
+                     if (x.margin != y.margin) return x.margin < y.margin;
+                     const Route& a = x.route;
+                     const Route& b = y.route;
+                     if (a.attrs.local_pref != b.attrs.local_pref) {
+                       return a.attrs.local_pref > b.attrs.local_pref;
+                     }
+                     if (a.advertiser != b.advertiser) return a.advertiser < b.advertiser;
+                     return a.neighbor < b.neighbor;
+                   });
+  if (!trace.eliminated.empty()) {
+    trace.decisive = trace.eliminated.front().lost_at;
+    trace.decisive_margin = trace.eliminated.front().margin;
+  }
+  return trace;
 }
 
 }  // namespace vns::bgp

@@ -57,4 +57,48 @@ struct DecisionContext {
                                       const DecisionContext& ctx,
                                       bool* igp_sensitive_out = nullptr);
 
+// --- decision provenance -----------------------------------------------------
+//
+// The decision is a pure function of RIB state, so provenance is recomputed
+// on demand (Router::explain) rather than stored per selection — the fast
+// path stays exactly as fast, and the trace can never drift out of sync with
+// the loc-RIB.
+
+/// The absolute difference between two routes at one rung: LOCAL_PREF points,
+/// AS-path hops, origin steps, MED units, IGP metric, router-id distance
+/// (1 for the eBGP-over-iBGP rung, 0 at kEqual).  For the geo rung this is
+/// what `margin * lp_km_per_point` kilometres of egress advantage look like.
+[[nodiscard]] std::int64_t margin_at(const Route& a, const Route& b, DecisionRung rung,
+                                     const DecisionContext& ctx);
+
+/// One losing candidate: which rung eliminated it against the winner and by
+/// what margin at that rung.
+struct CandidateVerdict {
+  Route route;
+  DecisionRung lost_at = DecisionRung::kEqual;
+  std::int64_t margin = 0;
+};
+
+/// Full provenance of one best-path selection.
+struct DecisionTrace {
+  bool has_best = false;
+  Route best;
+  /// Losers, strongest first (the preference order the ladder induces).
+  std::vector<CandidateVerdict> eliminated;
+  /// Rung that separated the winner from the strongest runner-up; kEqual
+  /// when the winner ran unopposed.
+  DecisionRung decisive = DecisionRung::kEqual;
+  std::int64_t decisive_margin = 0;
+  /// Candidates were suppressed for an IGP-unreachable NEXT_HOP (they are
+  /// absent from `eliminated` — they never reached the ladder).
+  bool candidates_dropped_unreachable = false;
+};
+
+/// Runs the full ladder over `candidates` and explains the outcome.  Agrees
+/// with select_best on the winner; eliminated candidates are ordered by
+/// preference (deterministic for any input order — kEqual ties cannot occur
+/// between distinct advertisements).
+[[nodiscard]] DecisionTrace trace_decision(std::span<const Route> candidates,
+                                           const DecisionContext& ctx);
+
 }  // namespace vns::bgp

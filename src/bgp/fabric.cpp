@@ -1,6 +1,7 @@
 #include "bgp/fabric.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,6 +17,39 @@ bool has_ibgp_session(const Router& r, RouterId peer) {
 }
 
 }  // namespace
+
+void Fabric::trace_event(obs::TraceEventKind kind, std::uint32_t a, std::uint32_t b,
+                         const net::Ipv4Prefix& prefix) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent event;
+  event.when = logical_time_;
+  event.kind = kind;
+  event.a = a;
+  event.b = b;
+  event.prefix = prefix;
+  event.queue_depth = static_cast<std::uint32_t>(queue_.size());
+  trace_->record(event);
+}
+
+template <typename Fn>
+void Fabric::deliver_with_rib_watch(Router& target, const net::Ipv4Prefix& prefix,
+                                    Fn&& deliver) {
+  if (trace_ == nullptr) {
+    deliver();
+    return;
+  }
+  // Copy (not point at) the pre-delivery best: the handler mutates loc_rib_.
+  std::optional<Route> before;
+  if (const Route* r = target.best_route(prefix); r != nullptr) before = *r;
+  deliver();
+  const Route* after = target.best_route(prefix);
+  const bool changed = before.has_value() != (after != nullptr) ||
+                       (before.has_value() && after != nullptr && !(*before == *after));
+  if (changed) {
+    trace_event(obs::TraceEventKind::kLocRibChanged, target.id(),
+                after != nullptr ? after->egress : obs::kNoTraceId, prefix);
+  }
+}
 
 RouterId Fabric::add_router(std::string name) {
   const auto id = static_cast<RouterId>(routers_.size());
@@ -53,27 +87,43 @@ NeighborId Fabric::add_neighbor(RouterId attached_to, net::Asn asn, NeighborKind
 
 void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes attrs) {
   const NeighborInfo& info = neighbor(from);
-  if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, from)) {
+  Router& target = router(info.attached_to);
+  if (!target.session_is_up(SessionKind::kEbgp, from)) {
     throw std::logic_error("announce on downed eBGP session " + info.name);
   }
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kAnnounce, from, info.attached_to, prefix);
   Route route;
   route.prefix = prefix;
   route.attrs = std::move(attrs);
-  enqueue(router(info.attached_to).handle_ebgp_update(info, /*withdraw=*/false, std::move(route)));
+  deliver_with_rib_watch(target, prefix, [&] {
+    enqueue(target.handle_ebgp_update(info, /*withdraw=*/false, std::move(route)));
+  });
 }
 
 void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
   const NeighborInfo& info = neighbor(from);
-  if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, from)) {
+  Router& target = router(info.attached_to);
+  if (!target.session_is_up(SessionKind::kEbgp, from)) {
     throw std::logic_error("withdraw on downed eBGP session " + info.name);
   }
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kWithdrawIn, from, info.attached_to, prefix);
   Route route;
   route.prefix = prefix;
-  enqueue(router(info.attached_to).handle_ebgp_update(info, /*withdraw=*/true, std::move(route)));
+  deliver_with_rib_watch(target, prefix, [&] {
+    enqueue(target.handle_ebgp_update(info, /*withdraw=*/true, std::move(route)));
+  });
 }
 
 void Fabric::originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes attrs) {
-  enqueue(router(at).originate(prefix, std::move(attrs)));
+  ++logical_time_;
+  // Locally originated: no external neighbor, so the `a` slot is empty.
+  trace_event(obs::TraceEventKind::kAnnounce, obs::kNoTraceId, at, prefix);
+  Router& target = router(at);
+  deliver_with_rib_watch(target, prefix, [&] {
+    enqueue(target.originate(prefix, std::move(attrs)));
+  });
 }
 
 void Fabric::refresh_policies() {
@@ -88,12 +138,16 @@ void Fabric::notify_igp_change() {
 
 bool Fabric::fail_link(RouterId a, RouterId b) {
   if (!igp_.remove_link(a, b)) return false;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kLinkDown, a, b);
   notify_igp_change();
   return true;
 }
 
 bool Fabric::restore_link(RouterId a, RouterId b) {
   if (!igp_.restore_link(a, b)) return false;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kLinkUp, a, b);
   notify_igp_change();
   return true;
 }
@@ -102,6 +156,8 @@ bool Fabric::fail_session(RouterId a, RouterId b) {
   Router& ra = router(a);
   Router& rb = router(b);
   if (!ra.session_is_up(SessionKind::kIbgp, b)) return false;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kIbgpSessionDown, a, b);
   // Both sides flush synchronously; whatever was in flight between them is
   // dropped at delivery time because the receiving side is already down.
   enqueue(ra.handle_session_down({SessionKind::kIbgp, b}));
@@ -113,6 +169,8 @@ bool Fabric::restore_session(RouterId a, RouterId b) {
   Router& ra = router(a);
   Router& rb = router(b);
   if (!has_ibgp_session(ra, b) || ra.session_is_up(SessionKind::kIbgp, b)) return false;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kIbgpSessionUp, a, b);
   enqueue(ra.handle_session_up({SessionKind::kIbgp, b}));
   enqueue(rb.handle_session_up({SessionKind::kIbgp, a}));
   return true;
@@ -122,6 +180,8 @@ bool Fabric::fail_session(NeighborId neighbor_id) {
   const NeighborInfo& info = neighbor(neighbor_id);
   Router& r = router(info.attached_to);
   if (!r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kEbgpSessionDown, info.attached_to, neighbor_id);
   enqueue(r.handle_session_down({SessionKind::kEbgp, neighbor_id}));
   // The neighbor's view of us dies with the TCP session.
   neighbor_exports_.at(neighbor_id).clear();
@@ -132,12 +192,16 @@ bool Fabric::restore_session(NeighborId neighbor_id) {
   const NeighborInfo& info = neighbor(neighbor_id);
   Router& r = router(info.attached_to);
   if (r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kEbgpSessionUp, info.attached_to, neighbor_id);
   enqueue(r.handle_session_up({SessionKind::kEbgp, neighbor_id}));
   return true;
 }
 
 void Fabric::fail_router(RouterId id) {
   if (router_down_.at(id)) return;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kRouterDown, id, obs::kNoTraceId);
   DownedRouter record;
   for (const auto& session : router(id).ibgp_sessions()) {
     if (session.up) record.ibgp_peers.push_back(session.peer);
@@ -162,6 +226,8 @@ void Fabric::fail_router(RouterId id) {
 void Fabric::restore_router(RouterId id) {
   const auto it = downed_routers_.find(id);
   if (it == downed_routers_.end()) return;
+  ++logical_time_;
+  trace_event(obs::TraceEventKind::kRouterUp, id, obs::kNoTraceId);
   DownedRouter record = std::move(it->second);
   downed_routers_.erase(it);
   router_down_.at(id) = false;
@@ -198,6 +264,11 @@ std::string Fabric::convergence_diagnostics(std::size_t processed) const {
 }
 
 std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
+  const bool had_work = !queue_.empty();
+  if (had_work) {
+    trace_event(obs::TraceEventKind::kConvergeBegin,
+                static_cast<std::uint32_t>(queue_.size()), obs::kNoTraceId);
+  }
   std::size_t processed = 0;
   while (!queue_.empty()) {
     if (++processed > max_messages) {
@@ -205,13 +276,19 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
     }
     const Emission emission = std::move(queue_.front());
     queue_.pop_front();
+    ++logical_time_;
     if (emission.to_neighbor != kNoNeighbor) {
       const NeighborInfo& info = neighbor(emission.to_neighbor);
       if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, emission.to_neighbor)) {
         ++dropped_;  // session went down with the update in flight
+        trace_event(obs::TraceEventKind::kMessageDropped, emission.from,
+                    emission.to_neighbor, emission.route.prefix);
         continue;
       }
       ++delivered_;
+      trace_event(emission.withdraw ? obs::TraceEventKind::kExportWithdraw
+                                    : obs::TraceEventKind::kExportUpdate,
+                  emission.from, emission.to_neighbor, emission.route.prefix);
       // External neighbors are passive sinks: record the export.
       auto& sink = neighbor_exports_.at(emission.to_neighbor);
       if (emission.withdraw) {
@@ -223,11 +300,22 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
       Router& target = router(emission.to_router);
       if (!target.session_is_up(SessionKind::kIbgp, emission.from)) {
         ++dropped_;  // receiving side tore the session down first
+        trace_event(obs::TraceEventKind::kMessageDropped, emission.from,
+                    emission.to_router, emission.route.prefix);
         continue;
       }
       ++delivered_;
-      enqueue(target.handle_ibgp_update(emission.from, emission.withdraw, emission.route));
+      trace_event(emission.withdraw ? obs::TraceEventKind::kWithdrawDelivered
+                                    : obs::TraceEventKind::kUpdateDelivered,
+                  emission.from, emission.to_router, emission.route.prefix);
+      deliver_with_rib_watch(target, emission.route.prefix, [&] {
+        enqueue(target.handle_ibgp_update(emission.from, emission.withdraw, emission.route));
+      });
     }
+  }
+  if (had_work) {
+    trace_event(obs::TraceEventKind::kConvergeEnd,
+                static_cast<std::uint32_t>(processed), obs::kNoTraceId);
   }
   return processed;
 }

@@ -27,6 +27,7 @@
 #include "bgp/igp.hpp"
 #include "bgp/router.hpp"
 #include "bgp/types.hpp"
+#include "obs/trace.hpp"
 
 namespace vns::bgp {
 
@@ -110,6 +111,17 @@ class Fabric {
   /// Messages discarded in flight because their target session was down.
   [[nodiscard]] std::size_t messages_dropped() const noexcept { return dropped_; }
 
+  // --- observability --------------------------------------------------------
+  /// Attaches (or detaches, with nullptr) a trace sink.  The fabric stamps
+  /// every recorded event with its logical clock — one tick per external
+  /// announce/withdraw/originate, per fault operation, and per queue message
+  /// processed — so traces are reproducible byte-for-byte: the fabric is a
+  /// serial message bus and never sees wall-clock or thread scheduling.
+  /// With no sink attached the only cost is a null check per event site.
+  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace() const noexcept { return trace_; }
+  [[nodiscard]] std::uint64_t logical_time() const noexcept { return logical_time_; }
+
   // --- inspection -----------------------------------------------------------
   /// Everything VNS currently exports to an external neighbor.
   [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& exported_to(
@@ -128,6 +140,15 @@ class Fabric {
   void notify_igp_change();
   [[nodiscard]] std::string convergence_diagnostics(std::size_t processed) const;
 
+  /// Records a trace event stamped with the logical clock and current queue
+  /// depth; no-op (one branch) when no sink is attached.
+  void trace_event(obs::TraceEventKind kind, std::uint32_t a, std::uint32_t b,
+                   const net::Ipv4Prefix& prefix = net::Ipv4Prefix{});
+  /// Runs `deliver` and, when tracing, records a kLocRibChanged event if the
+  /// router's best route for `prefix` changed across the call.
+  template <typename Fn>
+  void deliver_with_rib_watch(Router& target, const net::Ipv4Prefix& prefix, Fn&& deliver);
+
   net::Asn local_asn_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<NeighborInfo> neighbors_;
@@ -139,6 +160,8 @@ class Fabric {
   std::vector<std::unordered_map<net::Ipv4Prefix, Route>> neighbor_exports_;
   std::vector<bool> router_down_;
   std::unordered_map<RouterId, DownedRouter> downed_routers_;
+  obs::TraceSink* trace_ = nullptr;  ///< not owned; null = tracing disabled
+  std::uint64_t logical_time_ = 0;
 };
 
 }  // namespace vns::bgp

@@ -451,6 +451,14 @@ const Route* Router::best_route(const net::Ipv4Prefix& prefix) const noexcept {
   return it == loc_rib_.end() ? nullptr : &it->second;
 }
 
+DecisionTrace Router::explain(const net::Ipv4Prefix& prefix) const {
+  bool dropped_unreachable = false;
+  const auto routes = candidates(prefix, &dropped_unreachable);
+  DecisionTrace trace = trace_decision(routes, DecisionContext{id_, igp_});
+  trace.candidates_dropped_unreachable = dropped_unreachable;
+  return trace;
+}
+
 const Route* Router::advertised_to_neighbor(NeighborId neighbor,
                                             const net::Ipv4Prefix& prefix) const noexcept {
   const SessionKey key{SessionKind::kEbgp, neighbor};

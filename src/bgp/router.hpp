@@ -156,6 +156,12 @@ class Router {
     return ebgp_sessions_;
   }
   [[nodiscard]] const Route* best_route(const net::Ipv4Prefix& prefix) const noexcept;
+  /// Re-derives the best-path decision for `prefix` with full provenance:
+  /// the winner, every eliminated candidate with the rung and margin that
+  /// killed it, and the decisive rung against the strongest runner-up.  The
+  /// decision is a pure function of RIB state, so this is exact — and free
+  /// until called (the forwarding path stores nothing extra).
+  [[nodiscard]] DecisionTrace explain(const net::Ipv4Prefix& prefix) const;
   [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& loc_rib() const noexcept {
     return loc_rib_;
   }

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <queue>
+#include <sstream>
 
 #include "bgp/decision.hpp"
+#include "obs/json.hpp"
 #include "sim/time.hpp"
 
 namespace vns::core {
@@ -482,6 +484,141 @@ std::optional<PopId> VnsNetwork::egress_pop(PopId viewpoint, net::Ipv4Address ad
   if (route == nullptr || route->egress >= router_pop_.size()) return std::nullopt;
   const PopId pop = router_pop_[route->egress];
   return pop == kNoPop ? std::nullopt : std::optional<PopId>{pop};
+}
+
+RouteExplanation VnsNetwork::explain_route(PopId viewpoint, net::Ipv4Address address) const {
+  RouteExplanation ex;
+  ex.viewpoint = viewpoint;
+  ex.viewpoint_name = pops_.at(viewpoint).name;
+  ex.address = address;
+  ex.geo_routing = geo_enabled_;
+  const auto prefix = match_prefix(address);
+  if (!prefix) return ex;
+  ex.matched = true;
+  ex.prefix = *prefix;
+  const std::optional<geo::GeoPoint> destination = geoip_.lookup(*prefix);
+  ex.had_geo_location = destination.has_value();
+
+  const bgp::DecisionTrace trace =
+      fabric_.router(pops_.at(viewpoint).routers[0]).explain(*prefix);
+  ex.candidates_dropped_unreachable = trace.candidates_dropped_unreachable;
+  if (!trace.has_best) return ex;
+  ex.routed = true;
+
+  const auto describe = [&](const bgp::Route& route) {
+    EgressCandidate c;
+    c.local_pref = route.attrs.local_pref;
+    if (route.egress < router_pop_.size()) c.pop = router_pop_[route.egress];
+    c.pop_name = c.pop == kNoPop ? "?" : pops_[c.pop].name;
+    if (route.neighbor != bgp::kNoNeighbor) {
+      c.via = fabric_.neighbor(route.neighbor).name;
+    } else {
+      c.via = route.locally_originated ? "originated" : "internal";
+    }
+    if (destination && c.pop != kNoPop) {
+      c.geo_km = geo::great_circle_km(pops_[c.pop].city.location, *destination);
+    }
+    return c;
+  };
+
+  ex.chosen = describe(trace.best);
+  ex.decisive = trace.decisive;
+  ex.decisive_margin = trace.decisive_margin;
+  ex.runners_up.reserve(trace.eliminated.size());
+  for (const auto& verdict : trace.eliminated) {
+    EgressCandidate c = describe(verdict.route);
+    c.lost_at = verdict.lost_at;
+    c.margin = verdict.margin;
+    ex.runners_up.push_back(std::move(c));
+  }
+  if (!ex.runners_up.empty() && ex.chosen.geo_km >= 0.0 &&
+      ex.runners_up.front().geo_km >= 0.0) {
+    ex.won_by_km = ex.runners_up.front().geo_km - ex.chosen.geo_km;
+  }
+  return ex;
+}
+
+std::string RouteExplanation::text() const {
+  std::ostringstream out;
+  out << viewpoint_name << " -> " << address.to_string();
+  if (!matched) {
+    out << ": no covering prefix known\n";
+    return out.str();
+  }
+  out << " (prefix " << prefix.to_string() << ", geo-routing "
+      << (geo_routing ? "on" : "off") << "):\n";
+  if (!routed) {
+    out << "  no route installed";
+    if (candidates_dropped_unreachable) out << " (all next hops IGP-unreachable)";
+    out << '\n';
+    return out.str();
+  }
+  out << "  egress " << chosen.pop_name << " via " << chosen.via << " (local-pref "
+      << chosen.local_pref;
+  if (chosen.geo_km >= 0.0) {
+    out << ", " << static_cast<long long>(chosen.geo_km) << " km from destination";
+  }
+  out << ")\n";
+  if (runners_up.empty()) {
+    out << "  unopposed: no other candidate survived import\n";
+  } else {
+    out << "  decided at " << bgp::to_string(decisive) << ", margin " << decisive_margin;
+    if (std::isfinite(won_by_km)) {
+      out << " (egress " << static_cast<long long>(std::abs(won_by_km)) << " km "
+          << (won_by_km >= 0.0 ? "closer" : "farther") << " than runner-up "
+          << runners_up.front().pop_name << ")";
+    }
+    out << '\n';
+    for (const auto& r : runners_up) {
+      out << "  runner-up " << r.pop_name << " via " << r.via << " (local-pref "
+          << r.local_pref;
+      if (r.geo_km >= 0.0) out << ", " << static_cast<long long>(r.geo_km) << " km";
+      out << ", lost at " << bgp::to_string(r.lost_at) << " by " << r.margin << ")\n";
+    }
+  }
+  if (candidates_dropped_unreachable) {
+    out << "  note: some candidates dropped for IGP-unreachable next hops\n";
+  }
+  return out.str();
+}
+
+std::string RouteExplanation::json() const {
+  using obs::json_number;
+  using obs::json_string;
+  const auto candidate = [](const EgressCandidate& c, bool runner_up) {
+    std::string out = "{\"pop\":" + json_string(c.pop_name) +
+                      ",\"via\":" + json_string(c.via) +
+                      ",\"local_pref\":" + json_number(std::uint64_t{c.local_pref}) +
+                      ",\"geo_km\":" + (c.geo_km < 0.0 ? "null" : json_number(c.geo_km));
+    if (runner_up) {
+      out += ",\"lost_at\":" + json_string(bgp::to_string(c.lost_at)) +
+             ",\"margin\":" + json_number(std::int64_t{c.margin});
+    }
+    return out + "}";
+  };
+  std::string out = "{\"type\":\"explain\",\"viewpoint\":" + json_string(viewpoint_name) +
+                    ",\"address\":" + json_string(address.to_string()) +
+                    ",\"matched\":" + (matched ? "true" : "false") +
+                    ",\"routed\":" + (routed ? "true" : "false");
+  if (matched) {
+    out += ",\"prefix\":" + json_string(prefix.to_string());
+  }
+  out += std::string(",\"geo_routing\":") + (geo_routing ? "true" : "false") +
+         ",\"had_geo_location\":" + (had_geo_location ? "true" : "false");
+  if (routed) {
+    out += ",\"chosen\":" + candidate(chosen, /*runner_up=*/false) +
+           ",\"decisive\":" + json_string(bgp::to_string(decisive)) +
+           ",\"decisive_margin\":" + json_number(std::int64_t{decisive_margin}) +
+           ",\"won_by_km\":" + json_number(won_by_km) +
+           ",\"dropped_unreachable\":" +
+           (candidates_dropped_unreachable ? "true" : "false") + ",\"runners_up\":[";
+    for (std::size_t i = 0; i < runners_up.size(); ++i) {
+      if (i != 0) out += ',';
+      out += candidate(runners_up[i], /*runner_up=*/true);
+    }
+    out += "]";
+  }
+  return out + "}";
 }
 
 std::optional<bgp::Route> VnsNetwork::local_exit_route(PopId pop, net::Ipv4Address address,

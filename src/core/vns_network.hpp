@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string>
@@ -98,6 +99,51 @@ struct VnsConfig {
 
   /// Propagation model for the leased links.
   topo::DelayModel delay;
+};
+
+/// One candidate egress in a route explanation.
+struct EgressCandidate {
+  PopId pop = kNoPop;
+  std::string pop_name;  ///< "?" when the egress maps to no PoP (e.g. the RR)
+  std::uint32_t local_pref = 0;
+  std::string via;  ///< external neighbor name, or "originated" / "internal"
+  /// Great-circle km from this candidate's egress PoP to the destination
+  /// prefix's GeoIP location; negative when either side is unknown.
+  double geo_km = -1.0;
+  /// For runners-up: the rung that eliminated it against the winner and the
+  /// margin at that rung.  For the chosen route, kEqual / 0.
+  bgp::DecisionRung lost_at = bgp::DecisionRung::kEqual;
+  std::int64_t margin = 0;
+};
+
+/// Answer to "which PoP does traffic for this address egress at, and why?" —
+/// the question the paper's operators asked of the live overlay (§3.2) and
+/// the `routing_explorer explain` mode renders.
+struct RouteExplanation {
+  PopId viewpoint = kNoPop;
+  std::string viewpoint_name;
+  net::Ipv4Address address;
+  bool matched = false;  ///< longest-prefix-match found a known prefix
+  bool routed = false;   ///< the viewpoint router holds a best route
+  net::Ipv4Prefix prefix;
+  bool geo_routing = false;      ///< cold-potato policy active network-wide
+  bool had_geo_location = false; ///< the prefix has a GeoIP entry
+  EgressCandidate chosen;
+  /// Rung separating the winner from the strongest runner-up (kEqual when
+  /// unopposed) and the margin at that rung.  `won_by_km` is the geographic
+  /// advantage: how many km farther from the destination the runner-up's
+  /// egress PoP sits (negative under hot-potato when a farther egress won;
+  /// NaN when either distance is unknown).
+  bgp::DecisionRung decisive = bgp::DecisionRung::kEqual;
+  std::int64_t decisive_margin = 0;
+  double won_by_km = std::numeric_limits<double>::quiet_NaN();
+  bool candidates_dropped_unreachable = false;
+  std::vector<EgressCandidate> runners_up;  ///< strongest first
+
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string text() const;
+  /// Single JSON object (obs::json emission, machine-checkable).
+  [[nodiscard]] std::string json() const;
 };
 
 class VnsNetwork {
@@ -180,6 +226,13 @@ class VnsNetwork {
 
   /// Egress PoP chosen at `viewpoint` for an address.
   [[nodiscard]] std::optional<PopId> egress_pop(PopId viewpoint, net::Ipv4Address address) const;
+
+  /// Full provenance of the egress choice at `viewpoint` for an address:
+  /// chosen egress PoP, the RFC-4271 rung that picked it (the geo local-pref
+  /// rung under cold-potato routing, with the margin converted back to km),
+  /// and every runner-up with the rung/margin that eliminated it.  Pure
+  /// query — recomputed from RIB state, nothing is stored per decision.
+  [[nodiscard]] RouteExplanation explain_route(PopId viewpoint, net::Ipv4Address address) const;
 
   /// Best route leaving the Internet *locally* at `pop` (probe traffic
   /// "forced out of VNS immediately at each PoP", §4.1).  With

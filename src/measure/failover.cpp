@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/path_model.hpp"
 #include "util/counters.hpp"
@@ -84,6 +85,8 @@ void drive(core::VnsNetwork& vns, std::span<const FaultEvent> schedule,
 
 FailoverReport run_failover_probes(core::VnsNetwork& vns, std::span<const FaultEvent> schedule,
                                    const FailoverConfig& config) {
+  const obs::ScopedTimer span{obs::MetricsRegistry::global(), "campaign.failover_probes"};
+  util::Counters::Batch batch;  // per-sample adds batch; one merge at return
   FailoverReport report;
   report.pairs = probe_pairs(vns, config);
   auto phase_stats = [&report](FaultPhase phase) -> PhaseStats& {
@@ -112,7 +115,7 @@ FailoverReport run_failover_probes(core::VnsNetwork& vns, std::span<const FaultE
             ++stats.unreachable;
           }
           report.samples.push_back(sample);
-          util::Counters::global().add("measure.failover_probes", 1);
+          batch.add("measure.failover_probes", 1);
         });
   return report;
 }
@@ -123,6 +126,8 @@ FailoverStreamReport run_failover_streams(core::VnsNetwork& vns,
                                           const FailoverConfig& config,
                                           const media::VideoProfile& profile,
                                           const util::Rng& base) {
+  const obs::ScopedTimer span{obs::MetricsRegistry::global(), "campaign.failover_streams"};
+  util::Counters::Batch batch;  // per-sample adds batch; one merge at return
   FailoverStreamReport report;
   auto phase_stats = [&report](FaultPhase phase) -> StreamPhaseStats& {
     switch (phase) {
@@ -141,6 +146,7 @@ FailoverStreamReport run_failover_streams(core::VnsNetwork& vns,
   drive(vns, schedule, config, pairs, report.faults_applied, report.repairs_applied,
         [&](double t, std::size_t pair_index, const std::pair<core::PopId, core::PopId>& pair,
             FaultPhase phase) {
+          (void)t;
           (void)pair_index;
           StreamPhaseStats& stats = phase_stats(phase);
           ++stats.sessions;
@@ -158,7 +164,7 @@ FailoverStreamReport run_failover_streams(core::VnsNetwork& vns,
           const auto result =
               media::run_session(path, profile, /*start_s=*/0.0, session_config, session_rng);
           stats.loss_percent.add(result.loss_percent());
-          util::Counters::global().add("measure.failover_sessions", 1);
+          batch.add("measure.failover_sessions", 1);
         });
   return report;
 }

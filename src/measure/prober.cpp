@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "util/counters.hpp"
 #include "util/thread_pool.hpp"
@@ -34,6 +35,7 @@ TrainResult Prober::train(const sim::PathModel& path, double t, int count) {
 
 std::vector<TrainTaskResult> run_train_campaign(std::span<const TrainTask> tasks,
                                                 const util::Rng& base, int threads) {
+  const obs::ScopedTimer span{obs::MetricsRegistry::global(), "campaign.train"};
   std::vector<TrainTaskResult> results(tasks.size());
   // Lay the shard substreams out once, serially: substream i sits i+1 jumps
   // past `base`, independent of how shards later map onto workers.
@@ -51,14 +53,13 @@ std::vector<TrainTaskResult> run_train_campaign(std::span<const TrainTask> tasks
     Prober prober{shard_rng.fork("trains")};
     TrainTaskResult& result = results[i];
     const double end = task.end_s > 0.0 ? task.end_s : task.horizon_s;
-    std::uint64_t sent = 0;
+    util::Counters::Batch batch;  // merges into the registry on scope exit
     for (double t = task.start_s; t < end; t += task.interval_s) {
       const auto train = prober.train(path, t, task.packets);
       result.rounds.push_back({t, train.lost});
       result.loss_fraction.add(train.loss_fraction());
-      sent += static_cast<std::uint64_t>(train.sent);
+      batch.add("measure.probes_sent", static_cast<std::uint64_t>(train.sent));
     }
-    util::Counters::global().add("measure.probes_sent", sent);
   });
   return results;
 }

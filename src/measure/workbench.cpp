@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "sim/path_model.hpp"
 #include "sim/time.hpp"
 #include "util/counters.hpp"
@@ -12,6 +13,7 @@ namespace vns::measure {
 
 std::vector<StreamTaskResult> run_stream_campaign(std::span<const StreamTask> tasks,
                                                   const util::Rng& base, int threads) {
+  const obs::ScopedTimer span{obs::MetricsRegistry::global(), "campaign.stream"};
   std::vector<StreamTaskResult> results(tasks.size());
   // Substream i is i+1 jumps past `base`, laid out serially up front so the
   // draw sequence of a shard never depends on worker scheduling.
@@ -29,16 +31,15 @@ std::vector<StreamTaskResult> run_stream_campaign(std::span<const StreamTask> ta
     util::Rng session_rng = shard_rng.fork("sessions");
     StreamTaskResult& result = results[i];
     const double end = task.end_s > 0.0 ? task.end_s : task.horizon_s;
-    std::uint64_t slots = 0;
+    util::Counters::Batch batch;  // merges into the registry on scope exit
     for (double t = task.start_s; t < end; t += task.interval_s) {
       auto stats = media::run_session(path, task.profile, t, task.session, session_rng);
       result.loss_percent.add(stats.loss_percent());
       result.jitter_ms.add(stats.jitter_ms);
-      slots += stats.slot_packets.size();
+      batch.add("measure.sessions_streamed", 1);
+      batch.add("measure.slots_analyzed", stats.slot_packets.size());
       result.sessions.push_back(std::move(stats));
     }
-    util::Counters::global().add("measure.sessions_streamed", result.sessions.size());
-    util::Counters::global().add("measure.slots_analyzed", slots);
   });
   return results;
 }
@@ -72,6 +73,8 @@ Workbench::Workbench(const WorkbenchConfig& config)
 std::unique_ptr<Workbench> Workbench::build(const WorkbenchConfig& config) {
   // Not make_unique: the constructor is private.
   auto bench = std::unique_ptr<Workbench>(new Workbench(config));
+  // Attach the sink before the feed storm so traces cover initial convergence.
+  if (config.trace != nullptr) bench->vns_->fabric().set_trace(config.trace);
   if (config.feed_routes) bench->vns_->feed_routes();
   return bench;
 }

@@ -15,6 +15,7 @@
 #include "geo/geoip.hpp"
 #include "measure/failover.hpp"
 #include "media/session.hpp"
+#include "obs/trace.hpp"
 #include "topo/internet.hpp"
 #include "topo/segments.hpp"
 #include "util/stats.hpp"
@@ -34,6 +35,10 @@ struct WorkbenchConfig {
   /// Worker count for sharded campaigns (run_stream_campaign,
   /// run_train_campaign); <= 0 resolves VNS_THREADS, then hardware.
   int threads = 0;
+  /// Optional trace sink (not owned; must outlive the Workbench), attached
+  /// to the fabric *before* feed_routes so the initial announcement storm is
+  /// captured too.  Null leaves tracing off.
+  obs::TraceSink* trace = nullptr;
 
   [[nodiscard]] static WorkbenchConfig small(std::uint64_t seed = 1);
   [[nodiscard]] static WorkbenchConfig paper_scale(std::uint64_t seed = 1);

@@ -1,0 +1,33 @@
+// Minimal JSON emission primitives shared by every machine-readable
+// exporter (BENCH_*.json, TRACE_*.jsonl, explain_route JSON).
+//
+// These are deliberately tiny — writers, not a document model — but they are
+// *hardened*: every control character below 0x20 is escaped per RFC 8259,
+// and non-finite doubles serialize as `null` instead of the invalid `nan` /
+// `inf` tokens printf would produce.  The bench_smoke ctest target parses
+// everything these helpers emit, so invalid output fails CI rather than
+// silently rotting downstream tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vns::obs {
+
+/// Escapes a string for embedding between JSON quotes: `"`, `\`, and every
+/// control character < 0x20 (`\n`/`\t` use the short forms, the rest
+/// `\u00XX`).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// `"<escaped>"` — a complete JSON string token.
+[[nodiscard]] std::string json_string(std::string_view text);
+
+/// Shortest round-trippable decimal for a double; `null` for NaN/±inf
+/// (JSON has no non-finite number tokens).
+[[nodiscard]] std::string json_number(double value);
+
+[[nodiscard]] std::string json_number(std::uint64_t value);
+[[nodiscard]] std::string json_number(std::int64_t value);
+
+}  // namespace vns::obs

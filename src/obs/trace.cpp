@@ -1,0 +1,160 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace vns::obs {
+
+const char* to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kAnnounce: return "announce";
+    case TraceEventKind::kWithdrawIn: return "withdraw_in";
+    case TraceEventKind::kUpdateDelivered: return "update_delivered";
+    case TraceEventKind::kWithdrawDelivered: return "withdraw_delivered";
+    case TraceEventKind::kExportUpdate: return "export_update";
+    case TraceEventKind::kExportWithdraw: return "export_withdraw";
+    case TraceEventKind::kMessageDropped: return "message_dropped";
+    case TraceEventKind::kLocRibChanged: return "loc_rib_changed";
+    case TraceEventKind::kIbgpSessionDown: return "ibgp_session_down";
+    case TraceEventKind::kIbgpSessionUp: return "ibgp_session_up";
+    case TraceEventKind::kEbgpSessionDown: return "ebgp_session_down";
+    case TraceEventKind::kEbgpSessionUp: return "ebgp_session_up";
+    case TraceEventKind::kLinkDown: return "link_down";
+    case TraceEventKind::kLinkUp: return "link_up";
+    case TraceEventKind::kRouterDown: return "router_down";
+    case TraceEventKind::kRouterUp: return "router_up";
+    case TraceEventKind::kConvergeBegin: return "converge_begin";
+    case TraceEventKind::kConvergeEnd: return "converge_end";
+  }
+  return "unknown";
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceSink::record(const TraceEvent& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    head_ = ring_.size() % capacity_;
+  } else {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+  size_ = ring_.size();
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // head_ points at the oldest slot once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+std::size_t TraceSink::count(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(ring_.begin(), ring_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+namespace {
+
+bool prefix_scoped(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kAnnounce:
+    case TraceEventKind::kWithdrawIn:
+    case TraceEventKind::kUpdateDelivered:
+    case TraceEventKind::kWithdrawDelivered:
+    case TraceEventKind::kExportUpdate:
+    case TraceEventKind::kExportWithdraw:
+    case TraceEventKind::kMessageDropped:
+    case TraceEventKind::kLocRibChanged:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<ConvergenceTimeline> TraceSink::convergence_timelines() const {
+  std::map<net::Ipv4Prefix, ConvergenceTimeline> by_prefix;
+  for (const TraceEvent& e : events()) {
+    if (!prefix_scoped(e.kind)) continue;
+    auto [it, fresh] = by_prefix.try_emplace(e.prefix);
+    ConvergenceTimeline& t = it->second;
+    if (fresh) {
+      t.prefix = e.prefix;
+      t.first_event = e.when;
+      t.last_rib_change = e.when;
+    }
+    t.first_event = std::min(t.first_event, e.when);
+    if (e.kind == TraceEventKind::kLocRibChanged) {
+      t.last_rib_change = std::max(t.last_rib_change, e.when);
+    } else if (e.kind == TraceEventKind::kMessageDropped) {
+      ++t.drops;
+    } else {
+      ++t.messages;
+    }
+    t.max_queue_depth = std::max(t.max_queue_depth, e.queue_depth);
+  }
+  std::vector<ConvergenceTimeline> out;
+  out.reserve(by_prefix.size());
+  for (auto& [prefix, timeline] : by_prefix) out.push_back(timeline);
+  return out;
+}
+
+void TraceSink::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events()) {
+    out << "{\"type\":\"trace_event\",\"when\":" << json_number(e.when)
+        << ",\"kind\":" << json_string(to_string(e.kind));
+    if (e.a != kNoTraceId) out << ",\"a\":" << json_number(std::uint64_t{e.a});
+    if (e.b != kNoTraceId) out << ",\"b\":" << json_number(std::uint64_t{e.b});
+    if (prefix_scoped(e.kind)) {
+      out << ",\"prefix\":" << json_string(e.prefix.to_string());
+    }
+    out << ",\"queue_depth\":" << json_number(std::uint64_t{e.queue_depth})
+        << "}\n";
+  }
+  for (const ConvergenceTimeline& t : convergence_timelines()) {
+    out << "{\"type\":\"convergence\",\"prefix\":"
+        << json_string(t.prefix.to_string())
+        << ",\"first_event\":" << json_number(t.first_event)
+        << ",\"last_rib_change\":" << json_number(t.last_rib_change)
+        << ",\"settle_ticks\":" << json_number(t.settle_ticks())
+        << ",\"messages\":" << json_number(t.messages)
+        << ",\"drops\":" << json_number(t.drops) << ",\"max_queue_depth\":"
+        << json_number(std::uint64_t{t.max_queue_depth}) << "}\n";
+  }
+  out << "{\"type\":\"trace_summary\",\"recorded\":" << json_number(recorded())
+      << ",\"held\":" << json_number(std::uint64_t{size_})
+      << ",\"overwritten\":" << json_number(overwritten()) << "}\n";
+}
+
+std::string TraceSink::to_jsonl() const {
+  std::ostringstream out;
+  write_jsonl(out);
+  return out.str();
+}
+
+}  // namespace vns::obs

@@ -17,6 +17,38 @@ void Counters::add(std::string_view name, std::uint64_t delta) {
   }
 }
 
+void Counters::add_all(const std::map<std::string, std::uint64_t, std::less<>>& deltas) {
+  if (deltas.empty()) return;
+  std::lock_guard<std::mutex> lock{mutex_};
+  for (const auto& [name, delta] : deltas) {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      values_.emplace(name, delta);
+    } else {
+      it->second += delta;
+    }
+  }
+}
+
+void Counters::Batch::add(std::string_view name, std::uint64_t delta) {
+  auto it = local_.find(name);
+  if (it == local_.end()) {
+    local_.emplace(std::string{name}, delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Counters::Batch::flush() {
+  target_->add_all(local_);
+  local_.clear();
+}
+
+std::uint64_t Counters::Batch::pending(std::string_view name) const {
+  const auto it = local_.find(name);
+  return it == local_.end() ? 0 : it->second;
+}
+
 void Counters::set(std::string_view name, std::uint64_t value) {
   std::lock_guard<std::mutex> lock{mutex_};
   auto it = values_.find(name);

@@ -20,10 +20,38 @@ namespace vns::util {
 
 class Counters {
  public:
+  /// RAII accumulator for hot loops: deltas collect in a local map (no
+  /// locking) and merge into the target registry under a single lock when
+  /// the batch flushes or goes out of scope.  Intended to live on one
+  /// thread's stack — one Batch per shard of a parallel campaign:
+  ///
+  ///   util::Counters::Batch batch;
+  ///   for (...) batch.add("measure.probes_sent", 1);
+  ///   // merges on scope exit
+  class Batch {
+   public:
+    explicit Batch(Counters& target = Counters::global()) noexcept : target_(&target) {}
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+    ~Batch() { flush(); }
+
+    void add(std::string_view name, std::uint64_t delta = 1);
+    /// Merges everything accumulated so far into the target and clears the
+    /// local map; safe to call repeatedly.
+    void flush();
+    [[nodiscard]] std::uint64_t pending(std::string_view name) const;
+
+   private:
+    Counters* target_;
+    std::map<std::string, std::uint64_t, std::less<>> local_;
+  };
+
   /// The process-wide registry.
   [[nodiscard]] static Counters& global() noexcept;
 
   void add(std::string_view name, std::uint64_t delta);
+  /// Merges a set of deltas under one lock (what Batch::flush calls).
+  void add_all(const std::map<std::string, std::uint64_t, std::less<>>& deltas);
   /// Overwrites (used for gauges sampled from elsewhere, e.g. a fabric's
   /// delivered-message total).
   void set(std::string_view name, std::uint64_t value);

@@ -1,0 +1,253 @@
+// Strict JSON / JSONL validator for the machine-readable artifacts the
+// benches emit (BENCH_*.json, TRACE_*.jsonl).  The bench_smoke ctest target
+// runs every bench with `--small --json --trace` and feeds the outputs
+// through this tool, so malformed emission fails CI instead of silently
+// rotting downstream tooling.
+//
+//   json_check FILE...            each file must be exactly one JSON value
+//   json_check --jsonl FILE...    each non-empty line must be one JSON value
+//
+// Exit 0 when everything parses; 1 with `file:offset: message` on the first
+// error per file.  Recursive-descent per RFC 8259: objects, arrays, strings
+// with escape validation, numbers, true/false/null.  No extensions — a
+// trailing comma, bare NaN or unescaped control character is an error.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) error = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return fail("expected '" + std::string{word} + "'");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (pos >= text.size() || text[pos] != '"') return fail("expected '\"'");
+    ++pos;
+    while (pos < text.size()) {
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("truncated escape");
+        const char e = text[pos];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos + static_cast<std::size_t>(i) >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos + static_cast<std::size_t>(i)]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          pos += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail(std::string{"bad escape '\\"} + e + "'");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return fail("bad number");
+    }
+    if (text[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("bad fraction");
+      }
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return fail("bad exponent");
+      }
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    return pos > start;
+  }
+
+  bool value(int depth) {
+    if (depth > 256) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    switch (text[pos]) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+      ++pos;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos;  // '['
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  /// Exactly one JSON value followed by whitespace only.
+  bool document() {
+    if (!value(0)) return false;
+    skip_ws();
+    if (pos != text.size()) return fail("trailing garbage after JSON value");
+    return true;
+  }
+};
+
+bool check_json(const std::string& name, std::string_view content) {
+  Parser parser{content};
+  if (parser.document()) return true;
+  std::cerr << name << ':' << parser.pos << ": " << parser.error << '\n';
+  return false;
+}
+
+bool check_jsonl(const std::string& name, std::string_view content) {
+  std::size_t line_start = 0;
+  std::size_t line_number = 1;
+  bool any = false;
+  while (line_start <= content.size()) {
+    std::size_t line_end = content.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = content.size();
+    const std::string_view line = content.substr(line_start, line_end - line_start);
+    if (!line.empty()) {
+      any = true;
+      Parser parser{line};
+      if (!parser.document()) {
+        std::cerr << name << ":line " << line_number << ":" << parser.pos << ": "
+                  << parser.error << '\n';
+        return false;
+      }
+    }
+    line_start = line_end + 1;
+    ++line_number;
+    if (line_end == content.size()) break;
+  }
+  if (!any) {
+    std::cerr << name << ": empty JSONL file\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool jsonl = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jsonl") {
+      jsonl = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: json_check [--jsonl] FILE...\n";
+      return 0;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: json_check [--jsonl] FILE...\n";
+    return 2;
+  }
+  bool ok = true;
+  for (const auto& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) {
+      std::cerr << file << ": cannot open\n";
+      ok = false;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    ok = (jsonl ? check_jsonl(file, content) : check_json(file, content)) && ok;
+  }
+  return ok ? 0 : 1;
+}
