@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "bgp/attr_table.hpp"
 #include "measure/workbench.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -36,7 +37,29 @@
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace vns::bench {
+
+/// Peak resident-set size of this process in KiB (getrusage ru_maxrss; Linux
+/// reports KiB directly, macOS reports bytes).  0 on platforms without
+/// getrusage — the JSON field is still emitted so downstream tooling sees a
+/// stable schema.
+[[nodiscard]] inline std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  auto rss = static_cast<std::uint64_t>(usage.ru_maxrss);
+#if defined(__APPLE__)
+  rss /= 1024;
+#endif
+  return rss;
+#else
+  return 0;
+#endif
+}
 
 /// The process-wide fabric trace sink used by --trace runs.  Function-local
 /// static so benches that never pass --trace never construct the ring buffer.
@@ -175,6 +198,22 @@ class BenchRecord {
       counters.emplace_back(name, json_value(value));
     }
     object("counters", counters);
+    out << ",\n";
+    // Memory accounting: process peak RSS plus the control plane's interned
+    // path-attribute table, so route-memory regressions show up in every
+    // BENCH_*.json instead of only in the microbench.
+    const auto attr = bgp::AttrTable::global().stats();
+    std::vector<std::pair<std::string, std::string>> memory;
+    memory.emplace_back("peak_rss_kb", json_value(peak_rss_kb()));
+    memory.emplace_back("attr_unique_live", json_value(attr.unique_live));
+    memory.emplace_back("attr_peak_unique", json_value(attr.peak_unique));
+    memory.emplace_back("attr_live_refs", json_value(attr.live_refs));
+    memory.emplace_back("attr_intern_calls", json_value(attr.intern_calls));
+    memory.emplace_back("attr_intern_hits", json_value(attr.intern_hits));
+    memory.emplace_back("attr_bytes_allocated", json_value(attr.bytes_allocated));
+    memory.emplace_back("attr_bytes_requested", json_value(attr.bytes_requested));
+    memory.emplace_back("attr_dedup_ratio", json_value(attr.dedup_ratio()));
+    object("memory", memory);
     out << "\n}\n";
   }
 

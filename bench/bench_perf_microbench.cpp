@@ -49,12 +49,14 @@ void BM_DecisionSelectBest(benchmark::State& state) {
   for (int i = 0; i < 24; ++i) {
     bgp::Route route;
     route.prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000}, 16};
-    route.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 1000));
+    bgp::Attributes attrs;
+    attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 1000));
     std::vector<net::Asn> path;
     for (int h = 0; h < static_cast<int>(rng.uniform_int(1, 5)); ++h) {
       path.push_back(static_cast<net::Asn>(rng.uniform_int(1000, 4000)));
     }
-    route.attrs.as_path = bgp::AsPath{std::move(path)};
+    attrs.as_path = bgp::AsPath{std::move(path)};
+    route.set_attrs(std::move(attrs));
     route.egress = static_cast<bgp::RouterId>(i);
     route.advertiser = static_cast<bgp::RouterId>(i);
     route.learned_via_ebgp = i % 2;
@@ -169,12 +171,14 @@ void BM_DecisionTraceExplain(benchmark::State& state) {
   for (int i = 0; i < 24; ++i) {
     bgp::Route route;
     route.prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000}, 16};
-    route.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 1000));
+    bgp::Attributes attrs;
+    attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 1000));
     std::vector<net::Asn> path;
     for (int h = 0; h < static_cast<int>(rng.uniform_int(1, 5)); ++h) {
       path.push_back(static_cast<net::Asn>(rng.uniform_int(1000, 4000)));
     }
-    route.attrs.as_path = bgp::AsPath{std::move(path)};
+    attrs.as_path = bgp::AsPath{std::move(path)};
+    route.set_attrs(std::move(attrs));
     route.egress = static_cast<bgp::RouterId>(i);
     route.advertiser = static_cast<bgp::RouterId>(i);
     route.learned_via_ebgp = i % 2;
@@ -184,6 +188,104 @@ void BM_DecisionTraceExplain(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(bgp::trace_decision(candidates, ctx));
 }
 BENCHMARK(BM_DecisionTraceExplain);
+
+// --- route-copy cost: interned flyweight vs materialized attributes --------
+
+/// The pre-interning Route layout: attributes owned by value, deep-copied on
+/// every RIB insert/emission.  Kept here as the microbench baseline.
+struct MaterializedRoute {
+  net::Ipv4Prefix prefix;
+  bgp::Attributes attrs;
+  bgp::RouterId egress = bgp::kInvalidRouter;
+  bgp::NeighborId neighbor = bgp::kNoNeighbor;
+  bool learned_via_ebgp = false;
+  bgp::RouterId advertiser = bgp::kInvalidRouter;
+};
+
+bgp::Attributes make_fanout_attrs(int i) {
+  // Shaped like a real VNS table entry: 6-hop path, a couple of communities,
+  // one reflection cluster.
+  bgp::Attributes attrs;
+  attrs.local_pref = 300;
+  attrs.as_path = bgp::AsPath{{174, 3356, 1299, 2914, 6453,
+                               static_cast<net::Asn>(64512 + i % 4)}};
+  attrs.add_community(0x00010001);
+  attrs.add_community(0x00010002);
+  attrs.originator_id = 1;
+  attrs.cluster_list.push_back(9);
+  return attrs;
+}
+
+void BM_RouteCopyInterned(benchmark::State& state) {
+  // 24 routes sharing 4 attribute sets, like an RR fan-out: copying the
+  // vector bumps refcounts instead of duplicating paths.
+  std::vector<bgp::Route> routes(24);
+  for (int i = 0; i < 24; ++i) {
+    routes[i].prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000u + static_cast<std::uint32_t>(i) * 0x10000u}, 16};
+    routes[i].set_attrs(make_fanout_attrs(i));
+    routes[i].egress = static_cast<bgp::RouterId>(i);
+  }
+  for (auto _ : state) {
+    std::vector<bgp::Route> copy = routes;
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 24 *
+                          static_cast<std::int64_t>(sizeof(bgp::Route)));
+}
+BENCHMARK(BM_RouteCopyInterned);
+
+void BM_RouteCopyMaterialized(benchmark::State& state) {
+  // Same 24 routes with owned attributes: every copy re-allocates the path,
+  // community and cluster vectors.
+  std::vector<MaterializedRoute> routes(24);
+  std::int64_t per_route_bytes = 0;
+  for (int i = 0; i < 24; ++i) {
+    routes[i].prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000u + static_cast<std::uint32_t>(i) * 0x10000u}, 16};
+    routes[i].attrs = make_fanout_attrs(i);
+    routes[i].egress = static_cast<bgp::RouterId>(i);
+    per_route_bytes += static_cast<std::int64_t>(
+        sizeof(MaterializedRoute) - sizeof(bgp::Attributes) +
+        bgp::attribute_bytes(routes[i].attrs));
+  }
+  for (auto _ : state) {
+    std::vector<MaterializedRoute> copy = routes;
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * per_route_bytes);
+}
+BENCHMARK(BM_RouteCopyMaterialized);
+
+/// Attribute bytes the convergence loop materializes, interned vs the
+/// per-copy model.  Both variants run the identical 4-router RR convergence
+/// workload; the AttrTable byte counters compare what interning allocated
+/// (`bytes_allocated` delta) against what owned-attribute storage would have
+/// built for the same intern requests (`bytes_requested` delta).  The
+/// interned/copied ratio is the ≥30 % route-copy-byte reduction claim.
+void run_convergence_attr_bytes(benchmark::State& state, bool interned) {
+  const auto before = bgp::AttrTable::global().stats();
+  run_fabric_convergence(state, nullptr);
+  const auto after = bgp::AttrTable::global().stats();
+  const auto allocated = after.bytes_allocated - before.bytes_allocated;
+  const auto requested = after.bytes_requested - before.bytes_requested;
+  state.SetBytesProcessed(static_cast<std::int64_t>(interned ? allocated : requested));
+  state.counters["attr_bytes_per_iter"] = benchmark::Counter(
+      static_cast<double>(interned ? allocated : requested),
+      benchmark::Counter::kAvgIterations);
+  if (interned && requested > 0) {
+    state.counters["dedup_savings"] =
+        1.0 - static_cast<double>(allocated) / static_cast<double>(requested);
+  }
+}
+
+void BM_ConvergenceAttrBytesInterned(benchmark::State& state) {
+  run_convergence_attr_bytes(state, /*interned=*/true);
+}
+BENCHMARK(BM_ConvergenceAttrBytesInterned);
+
+void BM_ConvergenceAttrBytesCopied(benchmark::State& state) {
+  run_convergence_attr_bytes(state, /*interned=*/false);
+}
+BENCHMARK(BM_ConvergenceAttrBytesCopied);
 
 void BM_CountersGlobalAdd(benchmark::State& state) {
   // One mutex round-trip per increment: what the hot loops used to do.

@@ -58,16 +58,16 @@ int main() {
   const auto* route_before = vns.route_at(viewpoint, address);
   std::cout << "hot-potato egress from London:  "
             << (before ? vns.pop(*before).name : "-") << " (local-pref "
-            << (route_before ? route_before->attrs.local_pref : 0) << ", AS path ["
-            << (route_before ? route_before->attrs.as_path.to_string() : "") << "])\n";
+            << (route_before ? route_before->attrs().local_pref : 0) << ", AS path ["
+            << (route_before ? route_before->attrs().as_path.to_string() : "") << "])\n";
 
   vns.set_geo_routing(true);
   const auto after = vns.egress_pop(viewpoint, address);
   const auto* route_after = vns.route_at(viewpoint, address);
   std::cout << "geo cold-potato egress:         "
             << (after ? vns.pop(*after).name : "-") << " (local-pref "
-            << (route_after ? route_after->attrs.local_pref : 0) << ", AS path ["
-            << (route_after ? route_after->attrs.as_path.to_string() : "") << "])\n\n";
+            << (route_after ? route_after->attrs().local_pref : 0) << ", AS path ["
+            << (route_after ? route_after->attrs().as_path.to_string() : "") << "])\n\n";
 
   // 5. The internal ride the media would take.
   if (after) {

@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
                     entry ? std::string{to_string(entry->error_class)} : "none",
                     entry ? w.vns().pop(w.vns().geo_closest_pop(entry->reported)).name : "-",
                     hot ? w.vns().pop(*hot).name : "-", cold ? w.vns().pop(*cold).name : "-",
-                    route ? route->attrs.as_path.to_string() : "-"});
+                    route ? route->attrs().as_path.to_string() : "-"});
   }
   std::cout << "\negress decisions from Amsterdam (hot-potato vs geo cold-potato):\n";
   routes.print(std::cout);

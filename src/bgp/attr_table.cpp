@@ -1,0 +1,127 @@
+#include "bgp/attr_table.hpp"
+
+#include <sstream>
+
+namespace vns::bgp {
+
+std::string AsPath::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << hops_[i];
+  }
+  return out.str();
+}
+
+std::size_t hash_value(const Attributes& attrs) noexcept {
+  std::size_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(attrs.local_pref);
+  mix(static_cast<std::uint64_t>(attrs.origin));
+  mix(attrs.med);
+  mix(attrs.as_path.length());
+  for (const auto hop : attrs.as_path.hops()) mix(hop);
+  mix(attrs.communities.size());
+  for (const auto community : attrs.communities) mix(community);
+  mix(attrs.originator_id);
+  mix(attrs.cluster_list.size());
+  for (const auto router : attrs.cluster_list) mix(router);
+  return h;
+}
+
+std::size_t attribute_bytes(const Attributes& attrs) noexcept {
+  return sizeof(Attributes) + attrs.as_path.length() * sizeof(net::Asn) +
+         attrs.communities.size() * sizeof(Community) +
+         attrs.cluster_list.size() * sizeof(RouterId);
+}
+
+namespace detail {
+
+AttrNode* default_attr_node() noexcept {
+  // owner == nullptr marks the sentinel: refcounting and reclamation skip it.
+  static AttrNode node{Attributes{}, hash_value(Attributes{}), nullptr, {0}};
+  return &node;
+}
+
+}  // namespace detail
+
+AttrTable::~AttrTable() {
+  // Any node still present is owned by a handle that outlived this table —
+  // a caller bug for local tables (the global table is never destroyed).
+  // Free them anyway so short-lived tables in tests stay leak-clean.
+  std::lock_guard lock(mu_);
+  for (auto& [hash, node] : nodes_) {
+    (void)hash;
+    delete node;
+  }
+  nodes_.clear();
+}
+
+AttrRef AttrTable::intern(Attributes attrs) {
+  attrs.canonicalize();
+  const std::size_t hash = hash_value(attrs);
+  std::lock_guard lock(mu_);
+  ++intern_calls_;
+  bytes_requested_ += attribute_bytes(attrs);
+  detail::AttrNode* const sentinel = detail::default_attr_node();
+  if (hash == sentinel->hash && attrs == sentinel->attrs) {
+    ++intern_hits_;
+    return AttrRef{sentinel};
+  }
+  const auto [first, last] = nodes_.equal_range(hash);
+  for (auto it = first; it != last; ++it) {
+    if (it->second->attrs == attrs) {
+      ++intern_hits_;
+      it->second->refs.fetch_add(1, std::memory_order_relaxed);
+      return AttrRef{it->second};
+    }
+  }
+  auto* node = new detail::AttrNode{std::move(attrs), hash, this, {1}};
+  nodes_.emplace(hash, node);
+  bytes_allocated_ += attribute_bytes(node->attrs);
+  peak_unique_ = std::max(peak_unique_, nodes_.size());
+  return AttrRef{node};
+}
+
+void AttrTable::release(detail::AttrNode* node) noexcept {
+  if (node->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  std::lock_guard lock(mu_);
+  // intern() may have resurrected the node between our decrement and the
+  // lock acquisition; only reclaim when it is still unreferenced.
+  if (node->refs.load(std::memory_order_relaxed) != 0) return;
+  const auto [first, last] = nodes_.equal_range(node->hash);
+  for (auto it = first; it != last; ++it) {
+    if (it->second == node) {
+      nodes_.erase(it);
+      break;
+    }
+  }
+  delete node;
+}
+
+AttrTableStats AttrTable::stats() const {
+  std::lock_guard lock(mu_);
+  AttrTableStats out;
+  out.unique_live = nodes_.size();
+  out.peak_unique = peak_unique_;
+  for (const auto& [hash, node] : nodes_) {
+    (void)hash;
+    out.live_refs += node->refs.load(std::memory_order_relaxed);
+  }
+  out.intern_calls = intern_calls_;
+  out.intern_hits = intern_hits_;
+  out.bytes_requested = bytes_requested_;
+  out.bytes_allocated = bytes_allocated_;
+  return out;
+}
+
+AttrTable& AttrTable::global() {
+  // Leaked on purpose (see header); the table stays a GC root for LSan, so
+  // interned nodes are "still reachable", never "leaked".
+  static AttrTable* const table = new AttrTable;
+  return *table;
+}
+
+}  // namespace vns::bgp

@@ -1,0 +1,258 @@
+// Hash-consed BGP path attributes: the flyweight backing store for Route.
+//
+// The control plane replicates the same attribute sets across 11 PoPs' worth
+// of Adj-RIB-Ins, Loc-RIBs and Adj-RIB-Outs (~10.5k prefixes, §3.1), and the
+// churn schedules copy them again on every emission.  Production BGP stacks
+// intern path attributes once and pass refcounted handles around; this file
+// is that mechanism:
+//
+//   - `Attributes` is the mutable builder value (LOCAL_PREF, AS_PATH, ORIGIN,
+//     MED, communities, and the RFC 4456 reflection state — ORIGINATOR_ID and
+//     CLUSTER_LIST are path attributes, so they intern with the rest);
+//   - `AttrTable::intern` canonicalizes (communities sorted + deduped) and
+//     hash-conses the value into an immutable refcounted node;
+//   - `AttrRef` is the shared handle Route carries: copying it is a refcount
+//     bump, and equality is a pointer compare — interning guarantees equal
+//     canonical attribute sets share one node, so handle equality *is*
+//     structural equality and the bit-identity churn tests keep their
+//     meaning.
+//
+// Thread-safety: intern/release serialize on a mutex, refcounts are atomic,
+// so read-mostly measurement threads may copy routes (and drop the copies)
+// concurrently with the single-threaded control plane.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace vns::bgp {
+
+/// Identifier of a BGP-speaking router inside the modelled AS.
+using RouterId = std::uint32_t;
+inline constexpr RouterId kInvalidRouter = ~RouterId{0};
+
+/// Identifier of an external (eBGP) neighbor session.
+using NeighborId = std::uint32_t;
+inline constexpr NeighborId kNoNeighbor = ~NeighborId{0};
+
+/// ORIGIN attribute; lower is preferred (RFC 4271 §9.1.2.2.c).
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// BGP community value. Well-known communities from RFC 1997.
+using Community = std::uint32_t;
+inline constexpr Community kNoExport = 0xFFFFFF01;
+inline constexpr Community kNoAdvertise = 0xFFFFFF02;
+
+/// AS_PATH as a flat sequence (AS_SEQUENCE only; AS_SET aggregation is not
+/// needed for a single-AS overlay with stub neighbors).
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<net::Asn> hops) : hops_(std::move(hops)) {}
+
+  [[nodiscard]] std::size_t length() const noexcept { return hops_.size(); }
+  [[nodiscard]] bool contains(net::Asn asn) const noexcept {
+    return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+  }
+  /// First AS on the path: the neighboring AS the route was learned from.
+  [[nodiscard]] net::Asn first_hop() const noexcept { return hops_.empty() ? 0 : hops_.front(); }
+  /// Last AS on the path: the origin AS of the prefix.
+  [[nodiscard]] net::Asn origin_as() const noexcept { return hops_.empty() ? 0 : hops_.back(); }
+
+  /// Single allocation: size the result exactly, then write both parts.
+  [[nodiscard]] AsPath prepended(net::Asn asn) const {
+    std::vector<net::Asn> hops(hops_.size() + 1);
+    hops.front() = asn;
+    std::copy(hops_.begin(), hops_.end(), hops.begin() + 1);
+    return AsPath{std::move(hops)};
+  }
+
+  [[nodiscard]] const std::vector<net::Asn>& hops() const noexcept { return hops_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<net::Asn> hops_;
+};
+
+/// Default LOCAL_PREF assigned on import when no policy overrides it.
+inline constexpr std::uint32_t kDefaultLocalPref = 100;
+
+/// Mutable path-attribute builder.  Routes never hold one of these directly:
+/// they hold an `AttrRef` into the intern table.  Mutating code builds or
+/// edits an `Attributes` value and re-interns it (see Route::update_attrs).
+struct Attributes {
+  std::uint32_t local_pref = kDefaultLocalPref;
+  AsPath as_path;
+  Origin origin = Origin::kIgp;
+  std::uint32_t med = 0;
+  std::vector<Community> communities;
+  /// RFC 4456 loop prevention: the router that injected the route into iBGP
+  /// (set on first reflection), and the reflection clusters traversed.
+  /// These travel as path attributes, so they intern with the rest.
+  RouterId originator_id = kInvalidRouter;
+  std::vector<RouterId> cluster_list;
+
+  [[nodiscard]] bool has_community(Community community) const noexcept {
+    return std::find(communities.begin(), communities.end(), community) != communities.end();
+  }
+  void add_community(Community community) {
+    if (!has_community(community)) communities.push_back(community);
+  }
+
+  /// Canonical form: communities sorted and deduplicated.  A community list
+  /// is a *set* on the wire (RFC 1997), so two permutations of the same
+  /// communities are the same advertisement; interning canonicalizes so
+  /// `same_advertisement` cannot be fooled into a spurious re-advertise.
+  /// (CLUSTER_LIST is *not* sorted: it records the reflection path in order.)
+  void canonicalize() {
+    std::sort(communities.begin(), communities.end());
+    communities.erase(std::unique(communities.begin(), communities.end()), communities.end());
+  }
+
+  friend bool operator==(const Attributes&, const Attributes&) = default;
+};
+
+/// Content hash over every attribute field (for the intern table).
+[[nodiscard]] std::size_t hash_value(const Attributes& attrs) noexcept;
+
+/// Approximate storage footprint of one attribute set (struct + vector
+/// payloads) — what a per-copy representation would pay per Route.
+[[nodiscard]] std::size_t attribute_bytes(const Attributes& attrs) noexcept;
+
+class AttrTable;
+
+namespace detail {
+
+/// One interned attribute set.  Immutable after construction; `refs` counts
+/// the AttrRef handles alive.  The shared default-attributes sentinel has
+/// `owner == nullptr` and ignores refcounting (it is never freed).
+struct AttrNode {
+  Attributes attrs;
+  std::size_t hash = 0;
+  AttrTable* owner = nullptr;
+  std::atomic<std::uint64_t> refs{0};
+};
+
+[[nodiscard]] AttrNode* default_attr_node() noexcept;
+
+}  // namespace detail
+
+/// Refcounted handle to an interned attribute set.  Copy = refcount bump,
+/// equality = pointer compare.  Default-constructed handles point at the
+/// shared default-`Attributes` sentinel, so a fresh Route is always valid.
+class AttrRef {
+ public:
+  AttrRef() noexcept : node_(detail::default_attr_node()) {}
+  AttrRef(const AttrRef& other) noexcept : node_(other.node_) { retain(); }
+  AttrRef(AttrRef&& other) noexcept : node_(other.node_) {
+    other.node_ = detail::default_attr_node();
+  }
+  AttrRef& operator=(const AttrRef& other) noexcept {
+    if (node_ != other.node_) {
+      release();
+      node_ = other.node_;
+      retain();
+    }
+    return *this;
+  }
+  AttrRef& operator=(AttrRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      node_ = other.node_;
+      other.node_ = detail::default_attr_node();
+    }
+    return *this;
+  }
+  ~AttrRef() { release(); }
+
+  [[nodiscard]] const Attributes& operator*() const noexcept { return node_->attrs; }
+  [[nodiscard]] const Attributes* operator->() const noexcept { return &node_->attrs; }
+
+  /// O(1): interning guarantees equal canonical attribute sets share a node.
+  friend bool operator==(const AttrRef& a, const AttrRef& b) noexcept {
+    return a.node_ == b.node_;
+  }
+
+ private:
+  friend class AttrTable;
+  /// Adopts a node whose refcount was already incremented by the table.
+  explicit AttrRef(detail::AttrNode* node) noexcept : node_(node) {}
+
+  void retain() noexcept {
+    if (node_->owner != nullptr) node_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void release() noexcept;
+
+  detail::AttrNode* node_;
+};
+
+/// Point-in-time intern-table statistics (the monotonic counters survive
+/// node reclamation; unique_live/live_refs reflect the instant of the call).
+struct AttrTableStats {
+  std::size_t unique_live = 0;        ///< distinct attribute sets interned now
+  std::size_t peak_unique = 0;        ///< high-water mark of unique_live
+  std::uint64_t live_refs = 0;        ///< AttrRef handles alive across all sets
+  std::uint64_t intern_calls = 0;     ///< total intern() invocations
+  std::uint64_t intern_hits = 0;      ///< calls resolved to an existing node
+  std::uint64_t bytes_requested = 0;  ///< what per-copy storage would have cost
+  std::uint64_t bytes_allocated = 0;  ///< what interning actually allocated
+
+  /// Fraction of intern calls deduplicated away (0 when none were made).
+  [[nodiscard]] double dedup_ratio() const noexcept {
+    return intern_calls == 0 ? 0.0
+                             : static_cast<double>(intern_hits) /
+                                   static_cast<double>(intern_calls);
+  }
+};
+
+/// Hash-consing table of canonical attribute sets.  Thread-safe.
+class AttrTable {
+ public:
+  AttrTable() = default;
+  ~AttrTable();
+  AttrTable(const AttrTable&) = delete;
+  AttrTable& operator=(const AttrTable&) = delete;
+
+  /// Canonicalizes `attrs` and returns a handle to the one interned copy,
+  /// creating it on first sight.  Canonical default attributes resolve to
+  /// the shared sentinel (so they compare equal to a fresh AttrRef).
+  [[nodiscard]] AttrRef intern(Attributes attrs);
+
+  [[nodiscard]] AttrTableStats stats() const;
+
+  /// The process-wide table every Route interns into.  One global table (not
+  /// per-fabric) so attribute handles compare equal across fabrics — the
+  /// churned-vs-fresh bit-identity tests rely on that.  Intentionally never
+  /// destroyed: routes in static storage may outlive any other static.
+  [[nodiscard]] static AttrTable& global();
+
+ private:
+  friend class AttrRef;
+  void release(detail::AttrNode* node) noexcept;
+
+  mutable std::mutex mu_;
+  /// Keyed by content hash; the bucket list resolves rare collisions.
+  std::unordered_multimap<std::size_t, detail::AttrNode*> nodes_;
+  std::size_t peak_unique_ = 0;
+  std::uint64_t intern_calls_ = 0;
+  std::uint64_t intern_hits_ = 0;
+  std::uint64_t bytes_requested_ = 0;
+  std::uint64_t bytes_allocated_ = 0;
+};
+
+inline void AttrRef::release() noexcept {
+  if (node_ != nullptr && node_->owner != nullptr) node_->owner->release(node_);
+}
+
+}  // namespace vns::bgp

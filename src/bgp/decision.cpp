@@ -31,22 +31,22 @@ bool prefer(const Route& a, const Route& b, const DecisionContext& ctx,
     return decided(DecisionRung::kLocalPref, a.locally_originated);
   }
   // 1. Highest LOCAL_PREF.
-  if (a.attrs.local_pref != b.attrs.local_pref) {
-    return decided(DecisionRung::kLocalPref, a.attrs.local_pref > b.attrs.local_pref);
+  if (a.attrs().local_pref != b.attrs().local_pref) {
+    return decided(DecisionRung::kLocalPref, a.attrs().local_pref > b.attrs().local_pref);
   }
   // 2. Shortest AS_PATH.
-  if (a.attrs.as_path.length() != b.attrs.as_path.length()) {
+  if (a.attrs().as_path.length() != b.attrs().as_path.length()) {
     return decided(DecisionRung::kAsPathLength,
-                   a.attrs.as_path.length() < b.attrs.as_path.length());
+                   a.attrs().as_path.length() < b.attrs().as_path.length());
   }
   // 3. Lowest ORIGIN.
-  if (a.attrs.origin != b.attrs.origin) {
-    return decided(DecisionRung::kOrigin, a.attrs.origin < b.attrs.origin);
+  if (a.attrs().origin != b.attrs().origin) {
+    return decided(DecisionRung::kOrigin, a.attrs().origin < b.attrs().origin);
   }
   // 4. Lowest MED, comparable only between routes from the same neighbor AS.
-  if (a.attrs.as_path.first_hop() == b.attrs.as_path.first_hop() &&
-      a.attrs.med != b.attrs.med) {
-    return decided(DecisionRung::kMed, a.attrs.med < b.attrs.med);
+  if (a.attrs().as_path.first_hop() == b.attrs().as_path.first_hop() &&
+      a.attrs().med != b.attrs().med) {
+    return decided(DecisionRung::kMed, a.attrs().med < b.attrs().med);
   }
   // 5. Prefer eBGP-learned over iBGP-learned.
   if (a.learned_via_ebgp != b.learned_via_ebgp) {
@@ -71,14 +71,14 @@ bool prefer(const Route& a, const Route& b, const DecisionContext& ctx,
   return decided(DecisionRung::kEqual, false);
 }
 
-std::size_t select_best(std::span<const Route> candidates, const DecisionContext& ctx,
+std::size_t select_best(std::span<const Route* const> candidates, const DecisionContext& ctx,
                         bool* igp_sensitive_out) {
   if (igp_sensitive_out != nullptr) *igp_sensitive_out = false;
   if (candidates.empty()) return static_cast<std::size_t>(-1);
   std::size_t best = 0;
   for (std::size_t i = 1; i < candidates.size(); ++i) {
     DecisionRung rung = DecisionRung::kEqual;
-    if (prefer(candidates[i], candidates[best], ctx, &rung)) best = i;
+    if (prefer(*candidates[i], *candidates[best], ctx, &rung)) best = i;
     // The router-id rung is reached only when IGP metrics tied (or were not
     // comparable), so a metric change can still reorder those candidates.
     if (igp_sensitive_out != nullptr &&
@@ -95,7 +95,20 @@ std::int64_t abs_diff(std::int64_t a, std::int64_t b) noexcept {
   return a > b ? a - b : b - a;
 }
 
+std::vector<const Route*> as_views(std::span<const Route> candidates) {
+  std::vector<const Route*> views;
+  views.reserve(candidates.size());
+  for (const Route& route : candidates) views.push_back(&route);
+  return views;
+}
+
 }  // namespace
+
+std::size_t select_best(std::span<const Route> candidates, const DecisionContext& ctx,
+                        bool* igp_sensitive_out) {
+  const auto views = as_views(candidates);
+  return select_best(std::span<const Route* const>{views}, ctx, igp_sensitive_out);
+}
 
 std::int64_t margin_at(const Route& a, const Route& b, DecisionRung rung,
                        const DecisionContext& ctx) {
@@ -103,15 +116,15 @@ std::int64_t margin_at(const Route& a, const Route& b, DecisionRung rung,
     case DecisionRung::kLocalPref:
       // The locally-originated short-circuit also lands here; its margin is
       // the LOCAL_PREF gap (possibly 0 — "won on origination alone").
-      return abs_diff(a.attrs.local_pref, b.attrs.local_pref);
+      return abs_diff(a.attrs().local_pref, b.attrs().local_pref);
     case DecisionRung::kAsPathLength:
-      return abs_diff(static_cast<std::int64_t>(a.attrs.as_path.length()),
-                      static_cast<std::int64_t>(b.attrs.as_path.length()));
+      return abs_diff(static_cast<std::int64_t>(a.attrs().as_path.length()),
+                      static_cast<std::int64_t>(b.attrs().as_path.length()));
     case DecisionRung::kOrigin:
-      return abs_diff(static_cast<std::int64_t>(a.attrs.origin),
-                      static_cast<std::int64_t>(b.attrs.origin));
+      return abs_diff(static_cast<std::int64_t>(a.attrs().origin),
+                      static_cast<std::int64_t>(b.attrs().origin));
     case DecisionRung::kMed:
-      return abs_diff(a.attrs.med, b.attrs.med);
+      return abs_diff(a.attrs().med, b.attrs().med);
     case DecisionRung::kEbgpOverIbgp:
       return 1;
     case DecisionRung::kIgpMetric:
@@ -134,7 +147,7 @@ std::int64_t margin_at(const Route& a, const Route& b, DecisionRung rung,
   return 0;
 }
 
-DecisionTrace trace_decision(std::span<const Route> candidates,
+DecisionTrace trace_decision(std::span<const Route* const> candidates,
                              const DecisionContext& ctx) {
   DecisionTrace trace;
   if (candidates.empty()) return trace;
@@ -145,15 +158,15 @@ DecisionTrace trace_decision(std::span<const Route> candidates,
   // ill-defined; ranking each loser against the winner is always sound.)
   const std::size_t best = select_best(candidates, ctx);
   trace.has_best = true;
-  trace.best = candidates[best];
+  trace.best = *candidates[best];
 
   trace.eliminated.reserve(candidates.size() - 1);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (i == best) continue;
     CandidateVerdict verdict;
-    verdict.route = candidates[i];
-    (void)prefer(trace.best, candidates[i], ctx, &verdict.lost_at);
-    verdict.margin = margin_at(trace.best, candidates[i], verdict.lost_at, ctx);
+    verdict.route = *candidates[i];
+    (void)prefer(trace.best, *candidates[i], ctx, &verdict.lost_at);
+    verdict.margin = margin_at(trace.best, *candidates[i], verdict.lost_at, ctx);
     trace.eliminated.push_back(std::move(verdict));
   }
 
@@ -170,8 +183,8 @@ DecisionTrace trace_decision(std::span<const Route> candidates,
                      if (x.margin != y.margin) return x.margin < y.margin;
                      const Route& a = x.route;
                      const Route& b = y.route;
-                     if (a.attrs.local_pref != b.attrs.local_pref) {
-                       return a.attrs.local_pref > b.attrs.local_pref;
+                     if (a.attrs().local_pref != b.attrs().local_pref) {
+                       return a.attrs().local_pref > b.attrs().local_pref;
                      }
                      if (a.advertiser != b.advertiser) return a.advertiser < b.advertiser;
                      return a.neighbor < b.neighbor;
@@ -181,6 +194,11 @@ DecisionTrace trace_decision(std::span<const Route> candidates,
     trace.decisive_margin = trace.eliminated.front().margin;
   }
   return trace;
+}
+
+DecisionTrace trace_decision(std::span<const Route> candidates, const DecisionContext& ctx) {
+  const auto views = as_views(candidates);
+  return trace_decision(std::span<const Route* const>{views}, ctx);
 }
 
 }  // namespace vns::bgp

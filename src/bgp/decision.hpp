@@ -53,6 +53,13 @@ struct DecisionContext {
 /// comparison along the scan was decided at the IGP-metric rung or below —
 /// i.e. a change in IGP costs could flip the outcome, so the deciding
 /// router must re-run this prefix after topology churn.
+///
+/// The pointer-span form is the zero-copy hot path: Router::candidates()
+/// hands out views into the Adj-RIB-In instead of materialized copies.
+[[nodiscard]] std::size_t select_best(std::span<const Route* const> candidates,
+                                      const DecisionContext& ctx,
+                                      bool* igp_sensitive_out = nullptr);
+/// Convenience over owned routes (tests/benches); builds a view vector.
 [[nodiscard]] std::size_t select_best(std::span<const Route> candidates,
                                       const DecisionContext& ctx,
                                       bool* igp_sensitive_out = nullptr);
@@ -98,6 +105,9 @@ struct DecisionTrace {
 /// with select_best on the winner; eliminated candidates are ordered by
 /// preference (deterministic for any input order — kEqual ties cannot occur
 /// between distinct advertisements).
+[[nodiscard]] DecisionTrace trace_decision(std::span<const Route* const> candidates,
+                                           const DecisionContext& ctx);
+/// Convenience over owned routes (tests/benches); builds a view vector.
 [[nodiscard]] DecisionTrace trace_decision(std::span<const Route> candidates,
                                            const DecisionContext& ctx);
 

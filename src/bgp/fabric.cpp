@@ -86,6 +86,10 @@ NeighborId Fabric::add_neighbor(RouterId attached_to, net::Asn asn, NeighborKind
 }
 
 void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes attrs) {
+  announce(from, prefix, AttrTable::global().intern(std::move(attrs)));
+}
+
+void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, const AttrRef& attrs) {
   const NeighborInfo& info = neighbor(from);
   Router& target = router(info.attached_to);
   if (!target.session_is_up(SessionKind::kEbgp, from)) {
@@ -95,7 +99,7 @@ void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes
   trace_event(obs::TraceEventKind::kAnnounce, from, info.attached_to, prefix);
   Route route;
   route.prefix = prefix;
-  route.attrs = std::move(attrs);
+  route.set_attrs(attrs);
   deliver_with_rib_watch(target, prefix, [&] {
     enqueue(target.handle_ebgp_update(info, /*withdraw=*/false, std::move(route)));
   });

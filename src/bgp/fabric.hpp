@@ -65,6 +65,10 @@ class Fabric {
   /// External neighbor announces a prefix to the router it attaches to.
   /// Throws std::logic_error when the session is down.
   void announce(NeighborId from, const net::Ipv4Prefix& prefix, Attributes attrs);
+  /// Same, from an already-interned handle: a caller fanning one attribute
+  /// set out over many prefixes/sessions (feed_attachment_routes) interns
+  /// once and every delivered update shares the same immutable node.
+  void announce(NeighborId from, const net::Ipv4Prefix& prefix, const AttrRef& attrs);
   void withdraw(NeighborId from, const net::Ipv4Prefix& prefix);
   /// A router originates a prefix locally (VNS anycast/service prefixes).
   void originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes attrs);

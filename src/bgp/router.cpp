@@ -6,9 +6,10 @@
 namespace vns::bgp {
 
 bool same_advertisement(const Route& a, const Route& b) noexcept {
-  return a.prefix == b.prefix && a.attrs == b.attrs && a.egress == b.egress &&
-         a.neighbor == b.neighbor && a.learned_via_ebgp == b.learned_via_ebgp &&
-         a.originator_id == b.originator_id && a.cluster_list == b.cluster_list;
+  // attrs_ref() covers the old attrs/originator_id/cluster_list compares:
+  // the reflection state is interned with the rest of the path attributes.
+  return a.prefix == b.prefix && a.attrs_ref() == b.attrs_ref() && a.egress == b.egress &&
+         a.neighbor == b.neighbor && a.learned_via_ebgp == b.learned_via_ebgp;
 }
 
 Router::Router(RouterId id, std::string name, net::Asn local_asn)
@@ -89,48 +90,44 @@ std::optional<Route> Router::import(const SessionKey& key, const Route& raw) con
   return route;
 }
 
-std::vector<Route> Router::candidates(const net::Ipv4Prefix& prefix,
-                                      bool* dropped_unreachable_out) const {
+std::vector<const Route*> Router::candidates(const net::Ipv4Prefix& prefix,
+                                             bool* dropped_unreachable_out) const {
   if (dropped_unreachable_out != nullptr) *dropped_unreachable_out = false;
-  std::vector<Route> result;
+  std::vector<const Route*> result;
+  result.reserve(adj_rib_in_.size() + 1);
   for (const auto& [packed, table] : adj_rib_in_) {
+    (void)packed;
     const auto it = table.find(prefix);
-    if (it == table.end()) continue;
-    const SessionKey key{static_cast<SessionKind>(packed >> 32),
-                         static_cast<std::uint32_t>(packed & 0xffffffffu)};
-    auto route = import(key, it->second);
-    if (!route) continue;
+    if (it == table.end() || !it->second.accepted) continue;
+    const Route& route = *it->second.accepted;
     // RFC 4271 §9.1.2: a route whose NEXT_HOP is unresolvable is unusable.
     // With the IGP carrying next-hop reachability, an iBGP route through an
     // egress the IGP cannot reach must be excluded — this is what makes
     // link/router failures actually divert traffic.
-    if (igp_ != nullptr && route->egress != id_ && route->egress != kInvalidRouter &&
-        igp_->metric(id_, route->egress) == kUnreachable) {
+    if (igp_ != nullptr && route.egress != id_ && route.egress != kInvalidRouter &&
+        igp_->metric(id_, route.egress) == kUnreachable) {
       if (dropped_unreachable_out != nullptr) *dropped_unreachable_out = true;
       continue;
     }
-    result.push_back(std::move(*route));
+    result.push_back(&route);
   }
   if (const auto it = originated_.find(prefix); it != originated_.end()) {
-    result.push_back(it->second);
+    result.push_back(&it->second);
   }
   return result;
 }
 
-std::optional<Route> Router::best_external_candidate(
-    const net::Ipv4Prefix& prefix, std::optional<NeighborKind> only_kind) const {
-  std::optional<Route> best;
+const Route* Router::best_external_candidate(const net::Ipv4Prefix& prefix,
+                                             std::optional<NeighborKind> only_kind) const {
+  const Route* best = nullptr;
   const DecisionContext ctx{id_, igp_};
   for (const auto& [packed, table] : adj_rib_in_) {
-    const SessionKey key{static_cast<SessionKind>(packed >> 32),
-                         static_cast<std::uint32_t>(packed & 0xffffffffu)};
-    if (key.kind != SessionKind::kEbgp) continue;
+    if (static_cast<SessionKind>(packed >> 32) != SessionKind::kEbgp) continue;
     const auto it = table.find(prefix);
-    if (it == table.end()) continue;
-    auto route = import(key, it->second);
-    if (!route) continue;
-    if (only_kind && route->learned_from_kind != *only_kind) continue;
-    if (!best || prefer(*route, *best, ctx)) best = std::move(route);
+    if (it == table.end() || !it->second.accepted) continue;
+    const Route& route = *it->second.accepted;
+    if (only_kind && route.learned_from_kind != *only_kind) continue;
+    if (best == nullptr || prefer(route, *best, ctx)) best = &route;
   }
   return best;
 }
@@ -145,17 +142,28 @@ std::vector<Emission> Router::handle_ebgp_update(const NeighborInfo& neighbor, b
     if (table.erase(prefix) == 0) return out;  // nothing known; no-op
   } else {
     // eBGP sender loop prevention: a path already containing our AS is ours.
-    if (route.attrs.as_path.contains(local_asn_)) return out;
+    if (route.attrs().as_path.contains(local_asn_)) return out;
     route.egress = id_;
     route.advertiser = id_;
     route.neighbor = neighbor.id;
     route.learned_via_ebgp = true;
     route.locally_originated = false;
     route.learned_from_kind = neighbor.kind;
-    route.attrs.local_pref = kDefaultLocalPref;  // LOCAL_PREF is not carried on eBGP
-    route.originator_id = kInvalidRouter;
-    route.cluster_list.clear();
-    table[prefix] = std::move(route);
+    // LOCAL_PREF is not carried on eBGP, and RFC 4456 reflection state is
+    // meaningless across the AS boundary; strip both.  Skip the re-intern
+    // when the incoming attributes are already clean (the common case for
+    // fan-out announcements sharing one interned handle).
+    if (route.attrs().local_pref != kDefaultLocalPref ||
+        route.attrs().originator_id != kInvalidRouter || !route.attrs().cluster_list.empty()) {
+      route.update_attrs([](Attributes& attrs) {
+        attrs.local_pref = kDefaultLocalPref;
+        attrs.originator_id = kInvalidRouter;
+        attrs.cluster_list.clear();
+      });
+    }
+    RibInEntry& entry = table[prefix];
+    entry.accepted = import(key, route);
+    entry.raw = std::move(route);
   }
   decide_and_advertise(prefix, out);
   return out;
@@ -170,16 +178,17 @@ std::vector<Emission> Router::handle_ibgp_update(RouterId sender, bool withdraw,
     if (table.erase(prefix) == 0) return out;
   } else {
     // RFC 4456 loop prevention.
-    if (route.originator_id == id_) return out;
-    if (is_route_reflector_ &&
-        std::find(route.cluster_list.begin(), route.cluster_list.end(), id_) !=
-            route.cluster_list.end()) {
-      return out;
+    if (route.attrs().originator_id == id_) return out;
+    if (is_route_reflector_) {
+      const auto& clusters = route.attrs().cluster_list;
+      if (std::find(clusters.begin(), clusters.end(), id_) != clusters.end()) return out;
     }
     route.learned_via_ebgp = false;
     route.locally_originated = false;
     route.advertiser = sender;
-    table[prefix] = std::move(route);
+    RibInEntry& entry = table[prefix];
+    entry.accepted = import(key, route);
+    entry.raw = std::move(route);
   }
   decide_and_advertise(prefix, out);
   return out;
@@ -188,7 +197,7 @@ std::vector<Emission> Router::handle_ibgp_update(RouterId sender, bool withdraw,
 std::vector<Emission> Router::originate(const net::Ipv4Prefix& prefix, Attributes attrs) {
   Route route;
   route.prefix = prefix;
-  route.attrs = std::move(attrs);
+  route.set_attrs(std::move(attrs));
   route.egress = id_;
   route.neighbor = kNoNeighbor;
   route.learned_via_ebgp = false;
@@ -204,12 +213,23 @@ std::vector<Emission> Router::originate(const net::Ipv4Prefix& prefix, Attribute
 }
 
 std::vector<Emission> Router::refresh_all() {
+  // Route refresh: the cached post-policy views are only valid for the
+  // policy they were computed under, so re-import every raw entry first.
+  for (auto& [packed, table] : adj_rib_in_) {
+    const SessionKey key{static_cast<SessionKind>(packed >> 32),
+                         static_cast<std::uint32_t>(packed & 0xffffffffu)};
+    for (auto& [prefix, entry] : table) {
+      (void)prefix;
+      entry.accepted = import(key, entry.raw);
+    }
+  }
+
   // Deterministic order: collect and sort every prefix this router knows.
   std::vector<net::Ipv4Prefix> prefixes;
   for (const auto& [packed, table] : adj_rib_in_) {
     (void)packed;
-    for (const auto& [prefix, route] : table) {
-      (void)route;
+    for (const auto& [prefix, entry] : table) {
+      (void)entry;
       prefixes.push_back(prefix);
     }
   }
@@ -237,8 +257,8 @@ std::vector<Emission> Router::handle_session_down(const SessionKey& key) {
   std::vector<net::Ipv4Prefix> affected;
   if (const auto it = adj_rib_in_.find(key.packed()); it != adj_rib_in_.end()) {
     affected.reserve(it->second.size());
-    for (const auto& [prefix, route] : it->second) {
-      (void)route;
+    for (const auto& [prefix, entry] : it->second) {
+      (void)entry;
       affected.push_back(prefix);
     }
     adj_rib_in_.erase(it);
@@ -267,17 +287,18 @@ std::vector<Emission> Router::handle_session_up(const SessionKey& key) {
   }
   std::sort(prefixes.begin(), prefixes.end());
   for (const auto& prefix : prefixes) {
+    AdvertisePlan plan = make_plan(prefix);
     if (key.kind == SessionKind::kIbgp) {
       for (const auto& session : ibgp_sessions_) {
         if (session.peer == key.id) {
-          sync_session(prefix, session, out);
+          sync_session(prefix, session, plan, out);
           break;
         }
       }
     } else if (key.kind == SessionKind::kEbgp) {
       for (const auto& session : ebgp_sessions_) {
         if (session.info.id == key.id) {
-          sync_session(prefix, session, out);
+          sync_session(prefix, session, plan, out);
           break;
         }
       }
@@ -310,11 +331,13 @@ void Router::decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emi
   const auto routes = candidates(prefix, &dropped_unreachable);
   const DecisionContext ctx{id_, igp_};
   bool igp_sensitive = false;
-  const std::size_t best = select_best(routes, ctx, &igp_sensitive);
+  const std::size_t best =
+      select_best(std::span<const Route* const>{routes}, ctx, &igp_sensitive);
   if (best == static_cast<std::size_t>(-1)) {
     loc_rib_.erase(prefix);
   } else {
-    loc_rib_[prefix] = routes[best];
+    // One flyweight copy of the winning view; its attributes are shared.
+    loc_rib_.insert_or_assign(prefix, *routes[best]);
   }
   // A prefix stays on the IGP watchlist while its outcome could change with
   // IGP costs: a tie fell through to the IGP rung or below, or a candidate
@@ -327,36 +350,52 @@ void Router::decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emi
   sync_adj_rib_out(prefix, out);
 }
 
-std::optional<Route> Router::route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
-                                                 const IbgpSession& session) const {
-  const auto best_it = loc_rib_.find(prefix);
-  const Route* best = best_it == loc_rib_.end() ? nullptr : &best_it->second;
+Router::AdvertisePlan Router::make_plan(const net::Ipv4Prefix& prefix) const {
+  AdvertisePlan plan;
+  const auto it = loc_rib_.find(prefix);
+  plan.best = it == loc_rib_.end() ? nullptr : &it->second;
+  plan.ibgp_best = plan.best;
+  if (plan.ibgp_best != nullptr && plan.ibgp_best->attrs().has_community(kNoAdvertise)) {
+    plan.ibgp_best = nullptr;
+  }
+  if (plan.ibgp_best != nullptr && is_route_reflector_ &&
+      !plan.ibgp_best->locally_originated && !plan.ibgp_best->learned_via_ebgp) {
+    for (const auto& session : ibgp_sessions_) {
+      if (session.peer == plan.ibgp_best->advertiser) {
+        plan.learned_from_client = session.peer_is_client;
+        break;
+      }
+    }
+  }
+  return plan;
+}
 
-  if (best != nullptr && best->attrs.has_community(kNoAdvertise)) best = nullptr;
-
+const Route* Router::route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
+                                         const IbgpSession& session,
+                                         AdvertisePlan& plan) const {
+  const Route* best = plan.ibgp_best;
   if (best != nullptr) {
     if (best->locally_originated || best->learned_via_ebgp) {
       // Own/eBGP routes go to every iBGP session.
-      return *best;
+      return best;
     }
     if (is_route_reflector_) {
       // Reflection: client routes to everyone, non-client routes to clients
       // only; never back to the router we learned it from.
-      bool learned_from_client = false;
-      for (const auto& s : ibgp_sessions_) {
-        if (s.peer == best->advertiser) {
-          learned_from_client = s.peer_is_client;
-          break;
-        }
-      }
-      const bool eligible = learned_from_client || session.peer_is_client;
+      const bool eligible = plan.learned_from_client || session.peer_is_client;
       if (eligible && session.peer != best->advertiser) {
-        Route reflected = *best;
-        if (reflected.originator_id == kInvalidRouter) {
-          reflected.originator_id = reflected.advertiser;
+        if (!plan.reflected_ready) {
+          plan.reflected_ready = true;
+          Route reflected = *best;
+          reflected.update_attrs([&](Attributes& attrs) {
+            if (attrs.originator_id == kInvalidRouter) {
+              attrs.originator_id = best->advertiser;
+            }
+            attrs.cluster_list.push_back(id_);
+          });
+          plan.reflected = std::move(reflected);
         }
-        reflected.cluster_list.push_back(id_);
-        return reflected;
+        return &*plan.reflected;
       }
     }
   }
@@ -365,52 +404,61 @@ std::optional<Route> Router::route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
   // feature keeps the best eBGP-learned route visible to the RR / peers,
   // which is the paper's fix for hidden routes (§3.2).
   if (best_external_) {
-    auto external = best_external_candidate(prefix);
-    if (external &&
-        !(best != nullptr && same_advertisement(*external, *best)) &&
-        !external->attrs.has_community(kNoAdvertise)) {
-      return external;
+    if (!plan.external_ready) {
+      plan.external_ready = true;
+      const Route* external = best_external_candidate(prefix);
+      if (external != nullptr &&
+          !(best != nullptr && same_advertisement(*external, *best)) &&
+          !external->attrs().has_community(kNoAdvertise)) {
+        plan.external = *external;
+      }
     }
+    if (plan.external) return &*plan.external;
   }
-  return std::nullopt;
+  return nullptr;
 }
 
-std::optional<Route> Router::route_for_neighbor(const net::Ipv4Prefix& prefix,
-                                                const NeighborInfo& neighbor) const {
-  const auto best_it = loc_rib_.find(prefix);
-  if (best_it == loc_rib_.end()) return std::nullopt;
-  const Route& best = best_it->second;
-  if (best.attrs.has_community(kNoExport) || best.attrs.has_community(kNoAdvertise)) {
-    return std::nullopt;
+const Route* Router::route_for_neighbor(const NeighborInfo& neighbor,
+                                        AdvertisePlan& plan) const {
+  const Route* best = plan.best;
+  if (best == nullptr) return nullptr;
+  if (best->attrs().has_community(kNoExport) || best->attrs().has_community(kNoAdvertise)) {
+    return nullptr;
   }
   // Do not hand a route back to the very neighbor it came from.
-  if (best.learned_via_ebgp && best.neighbor == neighbor.id) return std::nullopt;
+  if (best->learned_via_ebgp && best->neighbor == neighbor.id) return nullptr;
   if (export_policy_) {
-    if (!export_policy_(best, neighbor.id, neighbor.kind)) return std::nullopt;
+    if (!export_policy_(*best, neighbor.id, neighbor.kind)) return nullptr;
   } else {
     // Default Gao–Rexford: originated and customer-learned routes export to
     // everyone; peer/upstream-learned routes export to customers only.
     const bool from_customer =
-        best.locally_originated || best.learned_from_kind == NeighborKind::kCustomer;
-    if (!from_customer && neighbor.kind != NeighborKind::kCustomer) return std::nullopt;
+        best->locally_originated || best->learned_from_kind == NeighborKind::kCustomer;
+    if (!from_customer && neighbor.kind != NeighborKind::kCustomer) return nullptr;
   }
-  Route exported = best;
-  exported.attrs.as_path = best.attrs.as_path.prepended(local_asn_);
-  exported.attrs.local_pref = kDefaultLocalPref;  // not carried on eBGP
-  exported.egress = id_;
-  return exported;
+  if (!plan.exported_ready) {
+    plan.exported_ready = true;
+    Route exported = *best;
+    exported.update_attrs([this](Attributes& attrs) {
+      attrs.as_path = attrs.as_path.prepended(local_asn_);
+      attrs.local_pref = kDefaultLocalPref;  // not carried on eBGP
+    });
+    exported.egress = id_;
+    plan.exported = std::move(exported);
+  }
+  return &*plan.exported;
 }
 
 void Router::sync_session(const net::Ipv4Prefix& prefix, const IbgpSession& session,
-                          std::vector<Emission>& out) {
+                          AdvertisePlan& plan, std::vector<Emission>& out) {
   const SessionKey key{SessionKind::kIbgp, session.peer};
-  auto desired = route_for_ibgp_peer(prefix, session);
+  const Route* desired = route_for_ibgp_peer(prefix, session, plan);
   auto& sent = adj_rib_out_[key.packed()];
   const auto it = sent.find(prefix);
-  if (desired) {
+  if (desired != nullptr) {
     if (it != sent.end() && same_advertisement(it->second, *desired)) return;
-    sent[prefix] = *desired;
-    out.push_back({id_, session.peer, kNoNeighbor, false, std::move(*desired)});
+    sent.insert_or_assign(prefix, *desired);
+    out.push_back({id_, session.peer, kNoNeighbor, false, *desired});
   } else if (it != sent.end()) {
     sent.erase(it);
     Route withdraw_route;
@@ -420,15 +468,15 @@ void Router::sync_session(const net::Ipv4Prefix& prefix, const IbgpSession& sess
 }
 
 void Router::sync_session(const net::Ipv4Prefix& prefix, const EbgpSession& session,
-                          std::vector<Emission>& out) {
+                          AdvertisePlan& plan, std::vector<Emission>& out) {
   const SessionKey key{SessionKind::kEbgp, session.info.id};
-  auto desired = route_for_neighbor(prefix, session.info);
+  const Route* desired = route_for_neighbor(session.info, plan);
   auto& sent = adj_rib_out_[key.packed()];
   const auto it = sent.find(prefix);
-  if (desired) {
+  if (desired != nullptr) {
     if (it != sent.end() && same_advertisement(it->second, *desired)) return;
-    sent[prefix] = *desired;
-    out.push_back({id_, kInvalidRouter, session.info.id, false, std::move(*desired)});
+    sent.insert_or_assign(prefix, *desired);
+    out.push_back({id_, kInvalidRouter, session.info.id, false, *desired});
   } else if (it != sent.end()) {
     sent.erase(it);
     Route withdraw_route;
@@ -438,11 +486,12 @@ void Router::sync_session(const net::Ipv4Prefix& prefix, const EbgpSession& sess
 }
 
 void Router::sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out) {
+  AdvertisePlan plan = make_plan(prefix);
   for (const auto& session : ibgp_sessions_) {
-    if (session.up) sync_session(prefix, session, out);
+    if (session.up) sync_session(prefix, session, plan, out);
   }
   for (const auto& session : ebgp_sessions_) {
-    if (session.up) sync_session(prefix, session, out);
+    if (session.up) sync_session(prefix, session, plan, out);
   }
 }
 
@@ -454,7 +503,8 @@ const Route* Router::best_route(const net::Ipv4Prefix& prefix) const noexcept {
 DecisionTrace Router::explain(const net::Ipv4Prefix& prefix) const {
   bool dropped_unreachable = false;
   const auto routes = candidates(prefix, &dropped_unreachable);
-  DecisionTrace trace = trace_decision(routes, DecisionContext{id_, igp_});
+  DecisionTrace trace =
+      trace_decision(std::span<const Route* const>{routes}, DecisionContext{id_, igp_});
   trace.candidates_dropped_unreachable = dropped_unreachable;
   return trace;
 }

@@ -174,7 +174,9 @@ class Router {
   /// restricts to sessions of one business relationship (e.g. upstreams).
   [[nodiscard]] std::optional<Route> best_local_exit(
       const net::Ipv4Prefix& prefix, std::optional<NeighborKind> only_kind = std::nullopt) const {
-    return best_external_candidate(prefix, only_kind);
+    const Route* route = best_external_candidate(prefix, only_kind);
+    if (route == nullptr) return std::nullopt;
+    return *route;
   }
   /// Raw (pre-policy) Adj-RIB-In entry count, for diagnostics.
   [[nodiscard]] std::size_t rib_in_size() const noexcept;
@@ -184,15 +186,43 @@ class Router {
   }
 
  private:
+  /// One Adj-RIB-In slot: the route exactly as received, plus the cached
+  /// post-import-policy view.  The cache is recomputed at receipt time and
+  /// on refresh_all (the route-refresh analog) — policies are pure functions
+  /// of (context, route), so decision-time re-evaluation would only repeat
+  /// the same work; caching it is what lets candidates() hand out views.
+  struct RibInEntry {
+    Route raw;
+    std::optional<Route> accepted;  ///< nullopt = rejected by import policy
+  };
+
+  /// Per-prefix advertisement plan shared across every session of one
+  /// sync round: the reflected / best-external / eBGP-export values are
+  /// computed (and their attributes interned) at most once per prefix, then
+  /// every receiving session copies the same flyweight.
+  struct AdvertisePlan {
+    const Route* best = nullptr;       ///< loc-RIB entry
+    const Route* ibgp_best = nullptr;  ///< best after the NO_ADVERTISE screen
+    bool learned_from_client = false;  ///< RR bookkeeping for ibgp_best
+    bool reflected_ready = false;
+    std::optional<Route> reflected;    ///< ibgp_best + ORIGINATOR_ID/CLUSTER_LIST
+    bool external_ready = false;
+    std::optional<Route> external;     ///< best-external fallback for iBGP
+    bool exported_ready = false;
+    std::optional<Route> exported;     ///< eBGP export value (prepended path)
+  };
+
   /// Applies the import policy; returns the post-policy route or nullopt.
   [[nodiscard]] std::optional<Route> import(const SessionKey& key, const Route& raw) const;
-  /// All post-policy candidates for a prefix.  Candidates whose NEXT_HOP
-  /// (egress router) is IGP-unreachable are unusable (RFC 4271 §9.1.2) and
-  /// dropped; `dropped_unreachable_out` reports that any were.
-  [[nodiscard]] std::vector<Route> candidates(const net::Ipv4Prefix& prefix,
-                                              bool* dropped_unreachable_out = nullptr) const;
-  /// Best eBGP-learned candidate only (for best-external advertisement).
-  [[nodiscard]] std::optional<Route> best_external_candidate(
+  /// All post-policy candidates for a prefix, as views into the cached
+  /// Adj-RIB-In entries (zero-copy).  Candidates whose NEXT_HOP (egress
+  /// router) is IGP-unreachable are unusable (RFC 4271 §9.1.2) and dropped;
+  /// `dropped_unreachable_out` reports that any were.
+  [[nodiscard]] std::vector<const Route*> candidates(
+      const net::Ipv4Prefix& prefix, bool* dropped_unreachable_out = nullptr) const;
+  /// Best eBGP-learned candidate only (for best-external advertisement);
+  /// a view into the Adj-RIB-In, or nullptr.
+  [[nodiscard]] const Route* best_external_candidate(
       const net::Ipv4Prefix& prefix,
       std::optional<NeighborKind> only_kind = std::nullopt) const;
 
@@ -201,20 +231,23 @@ class Router {
   /// Emits (with suppression) the route this router should currently be
   /// advertising to each *up* session for `prefix`.
   void sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out);
-  /// Same, toward one specific session.
+  /// Same, toward one specific session, sharing the round's plan.
   void sync_session(const net::Ipv4Prefix& prefix, const IbgpSession& session,
-                    std::vector<Emission>& out);
+                    AdvertisePlan& plan, std::vector<Emission>& out);
   void sync_session(const net::Ipv4Prefix& prefix, const EbgpSession& session,
-                    std::vector<Emission>& out);
+                    AdvertisePlan& plan, std::vector<Emission>& out);
   /// Flips a session's liveness; returns false when unknown or unchanged.
   bool mark_session(const SessionKey& key, bool up) noexcept;
 
-  /// The route (if any) to advertise over a given iBGP session right now.
-  [[nodiscard]] std::optional<Route> route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
-                                                         const IbgpSession& session) const;
+  [[nodiscard]] AdvertisePlan make_plan(const net::Ipv4Prefix& prefix) const;
+  /// The route (if any) to advertise over a given iBGP session right now;
+  /// points into the plan or the loc-RIB (valid for the sync round).
+  [[nodiscard]] const Route* route_for_ibgp_peer(const net::Ipv4Prefix& prefix,
+                                                 const IbgpSession& session,
+                                                 AdvertisePlan& plan) const;
   /// The route (if any) to advertise to a given eBGP neighbor right now.
-  [[nodiscard]] std::optional<Route> route_for_neighbor(const net::Ipv4Prefix& prefix,
-                                                        const NeighborInfo& neighbor) const;
+  [[nodiscard]] const Route* route_for_neighbor(const NeighborInfo& neighbor,
+                                                AdvertisePlan& plan) const;
 
   [[nodiscard]] ImportContext make_context(const SessionKey& key) const;
 
@@ -231,8 +264,10 @@ class Router {
   std::vector<IbgpSession> ibgp_sessions_;
   std::vector<EbgpSession> ebgp_sessions_;
 
-  /// Raw routes as received, keyed by packed session key then prefix.
-  std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, Route>> adj_rib_in_;
+  /// Routes as received (+ cached post-policy view), keyed by packed
+  /// session key then prefix.
+  std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, RibInEntry>>
+      adj_rib_in_;
   std::unordered_map<net::Ipv4Prefix, Route> originated_;
   std::unordered_map<net::Ipv4Prefix, Route> loc_rib_;
   /// Last advertisement per session (packed key) and prefix.
@@ -243,7 +278,10 @@ class Router {
 };
 
 /// Route equality for implicit-withdraw suppression: attributes + forwarding
-/// context (not the advertiser bookkeeping).
+/// context (not the advertiser bookkeeping).  The attribute compare is one
+/// pointer compare thanks to interning — and because interning canonicalizes
+/// community lists, a permuted community list is (correctly) the same
+/// advertisement, not a spurious re-advertise.
 [[nodiscard]] bool same_advertisement(const Route& a, const Route& b) noexcept;
 
 }  // namespace vns::bgp

@@ -4,19 +4,11 @@
 
 namespace vns::bgp {
 
-std::string AsPath::to_string() const {
-  std::ostringstream out;
-  for (std::size_t i = 0; i < hops_.size(); ++i) {
-    if (i > 0) out << ' ';
-    out << hops_[i];
-  }
-  return out.str();
-}
-
 std::string Route::to_string() const {
   std::ostringstream out;
-  out << prefix.to_string() << " lp=" << attrs.local_pref << " path=[" << attrs.as_path.to_string()
-      << "] egress=" << egress << (learned_via_ebgp ? " (eBGP)" : " (iBGP)");
+  out << prefix.to_string() << " lp=" << attrs().local_pref << " path=["
+      << attrs().as_path.to_string() << "] egress=" << egress
+      << (learned_via_ebgp ? " (eBGP)" : " (iBGP)");
   return out.str();
 }
 

@@ -1,31 +1,25 @@
-// BGP value types: path attributes, routes, neighbor descriptors.
+// BGP value types: routes and neighbor descriptors.
 //
 // We implement the subset of BGP-4 (RFC 4271) that the paper's routing
 // machinery exercises: LOCAL_PREF, AS_PATH, ORIGIN, MED, communities
 // (including NO_EXPORT, used by the management interface for static
 // more-specifics, §3.2), next-hop tracking at PoP granularity, and the
 // eBGP/iBGP distinction the decision process depends on.
+//
+// Path attributes themselves live in attr_table.hpp: `Route` is a flyweight
+// that carries a refcounted `AttrRef` into the hash-consing `AttrTable`
+// instead of owning attribute vectors, so RIB inserts, emissions and
+// decision-process scans copy a pointer, not an AS path.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <string>
-#include <vector>
+#include <utility>
 
+#include "bgp/attr_table.hpp"
 #include "net/ip.hpp"
 
 namespace vns::bgp {
-
-/// Identifier of a BGP-speaking router inside the modelled AS.
-using RouterId = std::uint32_t;
-inline constexpr RouterId kInvalidRouter = ~RouterId{0};
-
-/// Identifier of an external (eBGP) neighbor session.
-using NeighborId = std::uint32_t;
-inline constexpr NeighborId kNoNeighbor = ~NeighborId{0};
-
-/// ORIGIN attribute; lower is preferred (RFC 4271 §9.1.2.2.c).
-enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
 
 /// Business relationship with an external neighbor (Gao–Rexford roles).
 enum class NeighborKind : std::uint8_t { kUpstream, kPeer, kCustomer };
@@ -39,69 +33,12 @@ enum class NeighborKind : std::uint8_t { kUpstream, kPeer, kCustomer };
   return "unknown";
 }
 
-/// BGP community value. Well-known communities from RFC 1997.
-using Community = std::uint32_t;
-inline constexpr Community kNoExport = 0xFFFFFF01;
-inline constexpr Community kNoAdvertise = 0xFFFFFF02;
-
-/// AS_PATH as a flat sequence (AS_SEQUENCE only; AS_SET aggregation is not
-/// needed for a single-AS overlay with stub neighbors).
-class AsPath {
+/// A route as stored in a RIB: prefix + interned attributes + learning
+/// context.  Copying one is cheap (the attributes are a shared handle);
+/// mutating attributes goes through set_attrs/update_attrs, which re-intern.
+class Route {
  public:
-  AsPath() = default;
-  explicit AsPath(std::vector<net::Asn> hops) : hops_(std::move(hops)) {}
-
-  [[nodiscard]] std::size_t length() const noexcept { return hops_.size(); }
-  [[nodiscard]] bool contains(net::Asn asn) const noexcept {
-    return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
-  }
-  /// First AS on the path: the neighboring AS the route was learned from.
-  [[nodiscard]] net::Asn first_hop() const noexcept { return hops_.empty() ? 0 : hops_.front(); }
-  /// Last AS on the path: the origin AS of the prefix.
-  [[nodiscard]] net::Asn origin_as() const noexcept { return hops_.empty() ? 0 : hops_.back(); }
-
-  [[nodiscard]] AsPath prepended(net::Asn asn) const {
-    std::vector<net::Asn> hops;
-    hops.reserve(hops_.size() + 1);
-    hops.push_back(asn);
-    hops.insert(hops.end(), hops_.begin(), hops_.end());
-    return AsPath{std::move(hops)};
-  }
-
-  [[nodiscard]] const std::vector<net::Asn>& hops() const noexcept { return hops_; }
-  [[nodiscard]] std::string to_string() const;
-
-  friend bool operator==(const AsPath&, const AsPath&) = default;
-
- private:
-  std::vector<net::Asn> hops_;
-};
-
-/// Default LOCAL_PREF assigned on import when no policy overrides it.
-inline constexpr std::uint32_t kDefaultLocalPref = 100;
-
-/// Mutable path attributes carried with an announcement.
-struct Attributes {
-  std::uint32_t local_pref = kDefaultLocalPref;
-  AsPath as_path;
-  Origin origin = Origin::kIgp;
-  std::uint32_t med = 0;
-  std::vector<Community> communities;
-
-  [[nodiscard]] bool has_community(Community community) const noexcept {
-    return std::find(communities.begin(), communities.end(), community) != communities.end();
-  }
-  void add_community(Community community) {
-    if (!has_community(community)) communities.push_back(community);
-  }
-
-  friend bool operator==(const Attributes&, const Attributes&) = default;
-};
-
-/// A route as stored in a RIB: prefix + attributes + learning context.
-struct Route {
   net::Ipv4Prefix prefix;
-  Attributes attrs;
 
   /// Border router where the traffic leaves the AS (the BGP NEXT_HOP,
   /// tracked at router granularity: iBGP does not rewrite it).
@@ -119,17 +56,39 @@ struct Route {
   NeighborKind learned_from_kind = NeighborKind::kUpstream;
   /// Router that sent us this route (self for eBGP/originated routes).
   RouterId advertiser = kInvalidRouter;
-  /// RFC 4456 loop prevention: the router that injected the route into iBGP
-  /// (set on first reflection), and the reflection clusters traversed.
-  RouterId originator_id = kInvalidRouter;
-  std::vector<RouterId> cluster_list;
+
+  /// Read access to the interned path attributes.
+  [[nodiscard]] const Attributes& attrs() const noexcept { return *attrs_; }
+  /// The shared handle itself (O(1) equality; see same_advertisement).
+  [[nodiscard]] const AttrRef& attrs_ref() const noexcept { return attrs_; }
+
+  /// Adopts an already-interned handle (shares the node, no table access).
+  void set_attrs(AttrRef attrs) noexcept { attrs_ = std::move(attrs); }
+  /// Canonicalizes and interns a built attribute value.
+  void set_attrs(Attributes attrs) { attrs_ = AttrTable::global().intern(std::move(attrs)); }
+  /// Copies the current attributes, lets `fn` edit them, re-interns.
+  template <typename Fn>
+  void update_attrs(Fn&& fn) {
+    Attributes next = attrs();
+    std::forward<Fn>(fn)(next);
+    set_attrs(std::move(next));
+  }
+  /// No-op (and no table round-trip) when the value is already set.
+  void set_local_pref(std::uint32_t local_pref) {
+    if (attrs().local_pref == local_pref) return;
+    update_attrs([local_pref](Attributes& attrs) { attrs.local_pref = local_pref; });
+  }
 
   /// Full structural equality — the churn tests use it to assert that a
   /// fail→restore cycle returns every RIB bit-identical to its pre-fault
-  /// state.
+  /// state.  The attrs_ handle compare is exact: interning maps equal
+  /// canonical attributes to the same node.
   friend bool operator==(const Route&, const Route&) = default;
 
   [[nodiscard]] std::string to_string() const;
+
+ private:
+  AttrRef attrs_;
 };
 
 }  // namespace vns::bgp

@@ -226,13 +226,13 @@ void VnsNetwork::install_policies() {
             if (ctx.session == bgp::SessionKind::kEbgp) {
               switch (ctx.neighbor_kind) {
                 case bgp::NeighborKind::kCustomer:
-                  route.attrs.local_pref = config_.lp_customer;
+                  route.set_local_pref(config_.lp_customer);
                   break;
                 case bgp::NeighborKind::kPeer:
-                  route.attrs.local_pref = config_.lp_peer;
+                  route.set_local_pref(config_.lp_peer);
                   break;
                 case bgp::NeighborKind::kUpstream:
-                  route.attrs.local_pref = config_.lp_upstream;
+                  route.set_local_pref(config_.lp_upstream);
                   break;
               }
             }
@@ -253,15 +253,15 @@ void VnsNetwork::install_policies() {
         const PopId egress_pop = router_pop_[route.egress];
         if (egress_pop == kNoPop) return true;
         if (const auto it = forced_exit_.find(route.prefix); it != forced_exit_.end()) {
-          route.attrs.local_pref =
-              egress_pop == it->second ? config_.lp_max : config_.lp_floor;
+          route.set_local_pref(egress_pop == it->second ? config_.lp_max
+                                                         : config_.lp_floor);
           return true;
         }
         const auto location = geoip_.lookup(route.prefix);
         if (!location) return true;  // unresolvable: leave default behaviour
         const double km =
             geo::great_circle_km(pops_[egress_pop].city.location, *location);
-        route.attrs.local_pref = lp_from_distance(km);
+        route.set_local_pref(lp_from_distance(km));
         return true;
       });
 }
@@ -287,9 +287,12 @@ void VnsNetwork::feed_attachment_routes(std::span<const Attachment* const> selec
       asns.reserve(as_path_indices.size());
       for (const auto index : as_path_indices) asns.push_back(internet_.as_at(index).asn);
       attrs.as_path = bgp::AsPath{std::move(asns)};
+      // Intern once per (origin, attachment): every prefix of the origin AS
+      // fans out sharing the same immutable attribute node.
+      const bgp::AttrRef shared = bgp::AttrTable::global().intern(std::move(attrs));
       for (const auto prefix_id : node.prefix_ids) {
         const auto& prefix = internet_.prefix(prefix_id).prefix;
-        fabric_.announce(attachment->session, prefix, attrs);
+        fabric_.announce(attachment->session, prefix, shared);
         known_prefixes_.insert(prefix, true);
       }
     }
@@ -507,7 +510,7 @@ RouteExplanation VnsNetwork::explain_route(PopId viewpoint, net::Ipv4Address add
 
   const auto describe = [&](const bgp::Route& route) {
     EgressCandidate c;
-    c.local_pref = route.attrs.local_pref;
+    c.local_pref = route.attrs().local_pref;
     if (route.egress < router_pop_.size()) c.pop = router_pop_[route.egress];
     c.pop_name = c.pop == kNoPop ? "?" : pops_[c.pop].name;
     if (route.neighbor != bgp::kNoNeighbor) {

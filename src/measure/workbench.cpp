@@ -86,8 +86,8 @@ std::vector<topo::AsIndex> Workbench::local_exit_as_path(core::PopId pop,
   const auto route = vns_->local_exit_route(pop, info.prefix.first_host(), upstreams_only);
   std::vector<topo::AsIndex> path;
   if (!route) return path;
-  path.reserve(route->attrs.as_path.length());
-  for (const auto asn : route->attrs.as_path.hops()) {
+  path.reserve(route->attrs().as_path.length());
+  for (const auto asn : route->attrs().as_path.hops()) {
     const auto index = internet_.index_of(asn);
     if (index) path.push_back(*index);
   }

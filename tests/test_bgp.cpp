@@ -81,10 +81,12 @@ Route make_route(std::uint32_t lp, std::size_t path_len, bool ebgp, RouterId egr
                  RouterId advertiser = 1) {
   Route r;
   r.prefix = kPrefix;
-  r.attrs.local_pref = lp;
+  Attributes attrs;
+  attrs.local_pref = lp;
   std::vector<net::Asn> path;
   for (std::size_t i = 0; i < path_len; ++i) path.push_back(100 + static_cast<net::Asn>(i));
-  r.attrs.as_path = AsPath{std::move(path)};
+  attrs.as_path = AsPath{std::move(path)};
+  r.set_attrs(std::move(attrs));
   r.learned_via_ebgp = ebgp;
   r.egress = egress;
   r.advertiser = advertiser;
@@ -113,7 +115,7 @@ TEST(Decision, OriginIgpBeatsIncomplete) {
   DecisionContext ctx;
   Route igp_route = make_route(100, 2, true, 1);
   Route incomplete = make_route(100, 2, true, 2, 3);
-  incomplete.attrs.origin = Origin::kIncomplete;
+  incomplete.update_attrs([](Attributes& a) { a.origin = Origin::kIncomplete; });
   DecisionRung rung;
   EXPECT_TRUE(prefer(igp_route, incomplete, ctx, &rung));
   EXPECT_EQ(rung, DecisionRung::kOrigin);
@@ -123,14 +125,14 @@ TEST(Decision, MedComparedOnlyWithinSameNeighborAs) {
   DecisionContext ctx;
   Route a = make_route(100, 2, true, 1, 1);
   Route b = make_route(100, 2, true, 2, 2);
-  a.attrs.med = 10;
-  b.attrs.med = 5;
+  a.update_attrs([](Attributes& attrs) { attrs.med = 10; });
+  b.update_attrs([](Attributes& attrs) { attrs.med = 5; });
   // Same first-hop AS (both paths start at 100): MED applies.
   DecisionRung rung;
   EXPECT_TRUE(prefer(b, a, ctx, &rung));
   EXPECT_EQ(rung, DecisionRung::kMed);
   // Different first-hop AS: MED skipped, falls through to router-id.
-  b.attrs.as_path = AsPath{{999, 101}};
+  b.update_attrs([](Attributes& attrs) { attrs.as_path = AsPath{{999, 101}}; });
   EXPECT_TRUE(prefer(a, b, ctx, &rung));
   EXPECT_EQ(rung, DecisionRung::kRouterId);
 }
@@ -179,7 +181,7 @@ TEST(Decision, SelectBestOverSpan) {
   std::vector<Route> routes{make_route(100, 3, false, 1, 1), make_route(200, 5, false, 2, 2),
                             make_route(150, 1, true, 3, 3)};
   EXPECT_EQ(select_best(routes, ctx), 1u);
-  EXPECT_EQ(select_best({}, ctx), static_cast<std::size_t>(-1));
+  EXPECT_EQ(select_best(std::span<const Route>{}, ctx), static_cast<std::size_t>(-1));
 }
 
 TEST(Decision, PreferIsAsymmetric) {
@@ -295,7 +297,7 @@ TEST(Fabric, HiddenRouteWithoutBestExternal) {
   // converges on the first egress it happened to hear.
   RrFixture fx(/*best_external=*/false);
   fx.fabric.router(fx.rr).set_import_policy([](const ImportContext& ctx, Route& route) {
-    if (ctx.session == SessionKind::kIbgp) route.attrs.local_pref = 500;
+    if (ctx.session == SessionKind::kIbgp) route.set_local_pref(500);
     return true;
   });
   // C's announcement arrives first and is reflected at lp=500 to A and B.
@@ -318,7 +320,7 @@ TEST(Fabric, BestExternalUnhidesRoutes) {
   // route to the RR even though its overall best is the reflected route.
   RrFixture fx(/*best_external=*/true);
   fx.fabric.router(fx.rr).set_import_policy([](const ImportContext& ctx, Route& route) {
-    if (ctx.session == SessionKind::kIbgp) route.attrs.local_pref = 500;
+    if (ctx.session == SessionKind::kIbgp) route.set_local_pref(500);
     return true;
   });
   fx.fabric.announce(fx.upstream_at_c, kPrefix, attrs_with_path({3356, 400}));
@@ -339,7 +341,7 @@ TEST(Fabric, RefreshPoliciesReroutesEverything) {
   // Install a geo-like policy on the RR that pins the egress to C.
   fx.fabric.router(fx.rr).set_import_policy([&](const ImportContext& ctx, Route& route) {
     if (ctx.session == SessionKind::kIbgp) {
-      route.attrs.local_pref = route.egress == fx.c ? 900 : 400;
+      route.set_local_pref(route.egress == fx.c ? 900 : 400);
     }
     return true;
   });
@@ -372,7 +374,7 @@ TEST(Fabric, OriginatedPrefixExportsToNeighbors) {
   // Exported to the eBGP neighbor at A with our ASN prepended.
   const auto& at_upstream = fx.fabric.exported_to(fx.upstream_at_a);
   ASSERT_TRUE(at_upstream.contains(kPrefix2));
-  EXPECT_EQ(at_upstream.at(kPrefix2).attrs.as_path.first_hop(), 65000u);
+  EXPECT_EQ(at_upstream.at(kPrefix2).attrs().as_path.first_hop(), 65000u);
   // And reaches B over iBGP, which exports it to its peer too.
   EXPECT_TRUE(fx.fabric.exported_to(fx.peer_at_b).contains(kPrefix2));
 }
@@ -581,7 +583,7 @@ TEST(Fabric, ReAnnounceAfterWithdrawMatchesFreshFabric) {
       ASSERT_NE(after_churn, nullptr) << "router " << r;
       ASSERT_NE(baseline, nullptr) << "router " << r;
       EXPECT_EQ(after_churn->egress, baseline->egress) << "router " << r;
-      EXPECT_EQ(after_churn->attrs, baseline->attrs) << "router " << r;
+      EXPECT_EQ(after_churn->attrs(), baseline->attrs()) << "router " << r;
     }
   }
   const std::pair<NeighborId, NeighborId> sinks[] = {
@@ -597,9 +599,100 @@ TEST(Fabric, ReAnnounceAfterWithdrawMatchesFreshFabric) {
       const auto it = after_churn.find(prefix);
       ASSERT_NE(it, after_churn.end()) << prefix.to_string();
       EXPECT_EQ(it->second.egress, route.egress) << prefix.to_string();
-      EXPECT_EQ(it->second.attrs, route.attrs) << prefix.to_string();
+      EXPECT_EQ(it->second.attrs(), route.attrs()) << prefix.to_string();
     }
   }
+}
+
+// ---------------------------------------------------------- AttrTable ------
+
+TEST(AttrTable, InternCanonicalizesCommunities) {
+  // Permuted and duplicated community lists are the same path-attribute set:
+  // they must intern to the same node (handle equality) with communities
+  // sorted and deduplicated.
+  auto& table = AttrTable::global();
+
+  Attributes first = attrs_with_path({174, 400});
+  first.communities = {Community{7}, Community{3}, Community{5}};
+  Attributes second = attrs_with_path({174, 400});
+  second.communities = {Community{5}, Community{7}, Community{3}, Community{5}};
+
+  const AttrRef ref_a = table.intern(first);
+  const AttrRef ref_b = table.intern(second);
+  EXPECT_EQ(ref_a, ref_b);
+  EXPECT_EQ(ref_a->communities,
+            (std::vector<Community>{Community{3}, Community{5}, Community{7}}));
+
+  // A genuinely different set gets its own node.
+  Attributes third = attrs_with_path({174, 400});
+  third.communities = {Community{3}, Community{5}};
+  const AttrRef ref_c = table.intern(third);
+  EXPECT_NE(ref_a, ref_c);
+}
+
+TEST(AttrTable, DefaultAttributesShareTheSentinel) {
+  // Freshly constructed handles and interned default attributes are the same
+  // node, so default-attribute routes cost zero table entries.
+  const AttrRef fresh;
+  const AttrRef interned = AttrTable::global().intern(Attributes{});
+  EXPECT_EQ(fresh, interned);
+}
+
+TEST(AttrTable, RefcountDropShrinksTable) {
+  auto& table = AttrTable::global();
+  const auto baseline = table.stats();
+
+  Attributes attrs = attrs_with_path({64496, 64497, 64498});
+  attrs.communities = {Community{0x00010001}};
+  attrs.med = 77;
+  {
+    const AttrRef held = table.intern(attrs);
+    const AttrRef copy = held;  // refcount bump, no new node
+    EXPECT_EQ(table.stats().unique_live, baseline.unique_live + 1);
+    EXPECT_EQ(copy, held);
+  }
+  // Both handles are gone: the node must have been released and erased.
+  EXPECT_EQ(table.stats().unique_live, baseline.unique_live);
+}
+
+TEST(AttrTable, FabricChurnReturnsToBaseline) {
+  // Announce -> converge -> withdraw -> converge must free every attribute
+  // node the announcement created: live handles return to the pre-announce
+  // count and unique nodes to the pre-announce set.
+  RrFixture fx;
+  const auto baseline = AttrTable::global().stats();
+
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs_with_path({174, 400}));
+  fx.fabric.announce(fx.upstream_at_c, kPrefix2, attrs_with_path({3356, 500}));
+  fx.fabric.run_to_convergence();
+  EXPECT_GT(AttrTable::global().stats().live_refs, baseline.live_refs);
+
+  fx.fabric.withdraw(fx.upstream_at_a, kPrefix);
+  fx.fabric.withdraw(fx.upstream_at_c, kPrefix2);
+  fx.fabric.run_to_convergence();
+
+  const auto after = AttrTable::global().stats();
+  EXPECT_EQ(after.unique_live, baseline.unique_live);
+  EXPECT_EQ(after.live_refs, baseline.live_refs);
+}
+
+TEST(Fabric, PermutedCommunitiesDoNotTriggerReadvertisement) {
+  // Community-list order is not BGP semantics: a re-announcement that only
+  // permutes the communities is the same advertisement and must be
+  // suppressed exactly like a bit-identical one (the pre-canonicalization
+  // code treated it as new and re-converged the whole fabric).
+  RrFixture fx;
+  auto attrs = attrs_with_path({174, 400});
+  attrs.communities = {Community{10}, Community{20}};
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, attrs);
+  fx.fabric.run_to_convergence();
+  const auto delivered_before = fx.fabric.messages_delivered();
+
+  auto permuted = attrs_with_path({174, 400});
+  permuted.communities = {Community{20}, Community{10}, Community{20}};
+  fx.fabric.announce(fx.upstream_at_a, kPrefix, permuted);
+  fx.fabric.run_to_convergence();
+  EXPECT_EQ(fx.fabric.messages_delivered(), delivered_before);
 }
 
 }  // namespace

@@ -203,11 +203,11 @@ TEST(VnsRoutes, GeoRoutingRaisesLocalPrefAboveDefault) {
   const auto& info = w.internet.prefix(10);
   const auto* route = w.vns.route_at(0, host_of(info));
   ASSERT_NE(route, nullptr);
-  EXPECT_GE(route->attrs.local_pref, w.vns.config().lp_floor);
+  EXPECT_GE(route->attrs().local_pref, w.vns.config().lp_floor);
   w.vns.set_geo_routing(false);
   const auto* before = w.vns.route_at(0, host_of(info));
   ASSERT_NE(before, nullptr);
-  EXPECT_LE(before->attrs.local_pref, 300u);
+  EXPECT_LE(before->attrs().local_pref, 300u);
 }
 
 TEST(VnsRoutes, GeoRoutingIsReversible) {
@@ -266,7 +266,7 @@ TEST(VnsManagement, ExemptPrefixFallsBackToDefaultPolicy) {
   const auto* route = w.vns.route_at(0, host_of(info));
   ASSERT_NE(route, nullptr);
   // Exempted: local-pref stays at the relationship tier (<= 300).
-  EXPECT_LE(route->attrs.local_pref, 300u);
+  EXPECT_LE(route->attrs().local_pref, 300u);
   w.vns.clear_overrides();
   w.vns.set_geo_routing(false);
 }

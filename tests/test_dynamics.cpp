@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "bgp/attr_table.hpp"
 #include "bgp/fabric.hpp"
 #include "geo/geo.hpp"
 #include "measure/workbench.hpp"
@@ -322,6 +323,32 @@ TEST(Dynamics, LongHaulLinkFailureKeepsAllPopsReachable) {
     ASSERT_TRUE(vns.restore_pop_link(la, lb));
     EXPECT_DOUBLE_EQ(vns.internal_rtt_ms(la, lb), baseline);
   }
+}
+
+TEST(Dynamics, AttrTableStableAcrossLongHaulChurn) {
+  // The all-pairs long-haul fail/restore schedule must leave the interned
+  // path-attribute table exactly where it started: churn may only move
+  // handles around, never leak nodes (refcount bug) or grow the live set
+  // (canonicalization bug producing near-duplicate attribute sets).
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  auto& vns = world->vns();
+
+  std::vector<std::pair<core::PopId, core::PopId>> long_hauls;
+  for (const auto& link : vns.links()) {
+    if (link.long_haul) long_hauls.emplace_back(link.a, link.b);
+  }
+  ASSERT_FALSE(long_hauls.empty());
+
+  const auto before = bgp::AttrTable::global().stats();
+  for (const auto& [la, lb] : long_hauls) {
+    ASSERT_TRUE(vns.fail_pop_link(la, lb));
+    ASSERT_TRUE(vns.restore_pop_link(la, lb));
+  }
+  const auto after = bgp::AttrTable::global().stats();
+  EXPECT_EQ(after.unique_live, before.unique_live);
+  EXPECT_EQ(after.live_refs, before.live_refs);
+  EXPECT_EQ(after.peak_unique, before.peak_unique)
+      << "churn materialized attribute sets initial convergence never built";
 }
 
 TEST(Dynamics, GeoEgressFallsBackToNextNearestPop) {

@@ -87,14 +87,16 @@ TEST_P(DecisionSeeds, SelectBestIsCoherentWithPairwisePreference) {
     for (int i = 0; i < n; ++i) {
       bgp::Route route;
       route.prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000}, 8};
-      route.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 103));
+      bgp::Attributes attrs;
+      attrs.local_pref = static_cast<std::uint32_t>(rng.uniform_int(100, 103));
       std::vector<net::Asn> path;
       for (int h = 0; h < static_cast<int>(rng.uniform_int(1, 4)); ++h) {
         path.push_back(static_cast<net::Asn>(rng.uniform_int(100, 104)));
       }
-      route.attrs.as_path = bgp::AsPath{std::move(path)};
-      route.attrs.med = static_cast<std::uint32_t>(rng.uniform_int(0, 2));
-      route.attrs.origin = static_cast<bgp::Origin>(rng.uniform_int(0, 2));
+      attrs.as_path = bgp::AsPath{std::move(path)};
+      attrs.med = static_cast<std::uint32_t>(rng.uniform_int(0, 2));
+      attrs.origin = static_cast<bgp::Origin>(rng.uniform_int(0, 2));
+      route.set_attrs(std::move(attrs));
       route.learned_via_ebgp = rng.bernoulli(0.5);
       route.egress = static_cast<bgp::RouterId>(rng.uniform_int(0, 7));
       route.advertiser = static_cast<bgp::RouterId>(rng.uniform_int(0, 7));
@@ -188,7 +190,7 @@ TEST(FailureInjection, UpstreamSessionWithdrawalFailsOver) {
 
   // Re-announce: the network heals (converges back to a steady state).
   bgp::Attributes attrs;
-  attrs.as_path = route->attrs.as_path;
+  attrs.as_path = route->attrs().as_path;
   w.vns().fabric().announce(session, info.prefix, attrs);
   w.vns().fabric().run_to_convergence();
   EXPECT_NE(w.vns().route_at(0, address), nullptr);

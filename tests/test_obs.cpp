@@ -184,8 +184,10 @@ bgp::Route make_candidate(std::uint32_t local_pref, std::initializer_list<net::A
                           bgp::RouterId id) {
   bgp::Route route;
   route.prefix = net::Ipv4Prefix{net::Ipv4Address{0x0A000000}, 16};
-  route.attrs.local_pref = local_pref;
-  route.attrs.as_path = bgp::AsPath{std::vector<net::Asn>{path}};
+  bgp::Attributes attrs;
+  attrs.local_pref = local_pref;
+  attrs.as_path = bgp::AsPath{std::vector<net::Asn>{path}};
+  route.set_attrs(std::move(attrs));
   route.egress = id;
   route.advertiser = id;
   route.neighbor = id;
@@ -225,7 +227,7 @@ TEST(DecisionProvenance, LocalPrefTieFallsThroughToAsPath) {
 }
 
 TEST(DecisionProvenance, EmptyCandidateSet) {
-  const auto trace = bgp::trace_decision({}, bgp::DecisionContext{0, nullptr});
+  const auto trace = bgp::trace_decision(std::span<const bgp::Route>{}, bgp::DecisionContext{0, nullptr});
   EXPECT_FALSE(trace.has_best);
   EXPECT_TRUE(trace.eliminated.empty());
 }

@@ -96,7 +96,7 @@ TEST(BgpChurn, FinalStateIndependentOfFlapHistory) {
     ASSERT_NE(lhs, nullptr);
     ASSERT_NE(rhs, nullptr);
     EXPECT_EQ(lhs->egress, rhs->egress) << "router " << router;
-    EXPECT_EQ(lhs->attrs.as_path.to_string(), rhs->attrs.as_path.to_string());
+    EXPECT_EQ(lhs->attrs().as_path.to_string(), rhs->attrs().as_path.to_string());
   }
 }
 
@@ -112,7 +112,7 @@ TEST(BgpChurn, PolicyToggleStormIsStable) {
     fx.fabric.router(fx.rr).set_import_policy(
         [prefer_b, &fx](const bgp::ImportContext& ctx, bgp::Route& route) {
           if (ctx.session == bgp::SessionKind::kIbgp) {
-            route.attrs.local_pref = (route.egress == fx.b) == prefer_b ? 900 : 400;
+            route.set_local_pref((route.egress == fx.b) == prefer_b ? 900 : 400);
           }
           return true;
         });
@@ -132,7 +132,7 @@ TEST(BgpChurn, WithdrawDuringPolicyChangeDoesNotLeaveStaleState) {
   // Interleave (no convergence in between): policy change + withdrawal.
   fx.fabric.router(fx.rr).set_import_policy(
       [](const bgp::ImportContext& ctx, bgp::Route& route) {
-        if (ctx.session == bgp::SessionKind::kIbgp) route.attrs.local_pref = 777;
+        if (ctx.session == bgp::SessionKind::kIbgp) route.set_local_pref(777);
         return true;
       });
   fx.fabric.refresh_policies();

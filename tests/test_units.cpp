@@ -78,8 +78,10 @@ TEST(Attributes, EqualityCoversEveryField) {
 TEST(Route, ToStringMentionsKeyFields) {
   bgp::Route route;
   route.prefix = net::Ipv4Prefix::parse("10.0.0.0/8").value();
-  route.attrs.local_pref = 777;
-  route.attrs.as_path = bgp::AsPath{{174, 3356}};
+  route.update_attrs([](bgp::Attributes& attrs) {
+    attrs.local_pref = 777;
+    attrs.as_path = bgp::AsPath{{174, 3356}};
+  });
   route.egress = 4;
   route.learned_via_ebgp = true;
   const auto text = route.to_string();
@@ -111,7 +113,7 @@ TEST(SameAdvertisement, DistinguishesForwardingContext) {
   b.egress = 3;
   EXPECT_FALSE(bgp::same_advertisement(a, b));
   b = a;
-  b.attrs.local_pref = 900;
+  b.set_local_pref(900);
   EXPECT_FALSE(bgp::same_advertisement(a, b));
   b = a;
   b.advertiser = 9;  // bookkeeping only: still the same advertisement

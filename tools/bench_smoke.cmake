@@ -1,9 +1,10 @@
 # CTest driver for the bench_smoke target (invoked via `cmake -P`).
 #
 # Runs every bench listed in BENCHES with `--small --json --trace --seed 7`
-# inside WORK_DIR, then validates the BENCH_*.json it wrote with JSON_CHECK
-# and the TRACE_*.jsonl with `JSON_CHECK --jsonl`.  Any bench failure,
-# missing artifact, or malformed artifact fails the test.
+# inside WORK_DIR, then validates the BENCH_*.json it wrote with
+# `JSON_CHECK --bench` (well-formed JSON plus the required memory-accounting
+# fields) and the TRACE_*.jsonl with `JSON_CHECK --jsonl`.  Any bench
+# failure, missing artifact, or malformed artifact fails the test.
 #
 # Expected -D inputs: BENCH_DIR, JSON_CHECK, BENCHES (;-list), WORK_DIR.
 
@@ -44,7 +45,7 @@ foreach(bench IN LISTS BENCHES)
     continue()
   endif()
 
-  foreach(pair "${json_artifact}" "${trace_artifact};--jsonl")
+  foreach(pair "${json_artifact};--bench" "${trace_artifact};--jsonl")
     list(GET pair 0 artifact)
     set(mode_args "")
     list(LENGTH pair pair_len)

@@ -6,6 +6,9 @@
 //
 //   json_check FILE...            each file must be exactly one JSON value
 //   json_check --jsonl FILE...    each non-empty line must be one JSON value
+//   json_check --bench FILE...    JSON value that must also carry the bench
+//                                 record's memory-accounting fields (peak RSS
+//                                 + AttrTable intern stats)
 //
 // Exit 0 when everything parses; 1 with `file:offset: message` on the first
 // error per file.  Recursive-descent per RFC 8259: objects, arrays, strings
@@ -188,6 +191,27 @@ bool check_json(const std::string& name, std::string_view content) {
   return false;
 }
 
+/// Every key a BENCH_*.json "memory" object must carry (bench_common.hpp
+/// emits them unconditionally; a missing key means the emission regressed).
+constexpr std::string_view kBenchMemoryKeys[] = {
+    "memory",          "peak_rss_kb",      "attr_unique_live",
+    "attr_peak_unique", "attr_live_refs",  "attr_intern_calls",
+    "attr_intern_hits", "attr_bytes_allocated", "attr_bytes_requested",
+    "attr_dedup_ratio",
+};
+
+bool check_bench_record(const std::string& name, std::string_view content) {
+  if (!check_json(name, content)) return false;
+  for (const std::string_view key : kBenchMemoryKeys) {
+    const std::string quoted = '"' + std::string{key} + '"';
+    if (content.find(quoted) == std::string_view::npos) {
+      std::cerr << name << ": bench record missing memory field " << quoted << '\n';
+      return false;
+    }
+  }
+  return true;
+}
+
 bool check_jsonl(const std::string& name, std::string_view content) {
   std::size_t line_start = 0;
   std::size_t line_number = 1;
@@ -220,20 +244,23 @@ bool check_jsonl(const std::string& name, std::string_view content) {
 
 int main(int argc, char** argv) {
   bool jsonl = false;
+  bool bench = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--jsonl") {
       jsonl = true;
+    } else if (arg == "--bench") {
+      bench = true;
     } else if (arg == "--help") {
-      std::cout << "usage: json_check [--jsonl] FILE...\n";
+      std::cout << "usage: json_check [--jsonl|--bench] FILE...\n";
       return 0;
     } else {
       files.emplace_back(arg);
     }
   }
-  if (files.empty()) {
-    std::cerr << "usage: json_check [--jsonl] FILE...\n";
+  if (files.empty() || (jsonl && bench)) {
+    std::cerr << "usage: json_check [--jsonl|--bench] FILE...\n";
     return 2;
   }
   bool ok = true;
@@ -247,7 +274,10 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const std::string content = buffer.str();
-    ok = (jsonl ? check_jsonl(file, content) : check_json(file, content)) && ok;
+    const bool file_ok = jsonl   ? check_jsonl(file, content)
+                         : bench ? check_bench_record(file, content)
+                                 : check_json(file, content);
+    ok = file_ok && ok;
   }
   return ok ? 0 : 1;
 }
