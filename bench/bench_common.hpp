@@ -30,6 +30,7 @@
 
 #include "bgp/attr_table.hpp"
 #include "measure/workbench.hpp"
+#include "net/flat_fib.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -213,6 +214,15 @@ class BenchRecord {
     memory.emplace_back("attr_bytes_allocated", json_value(attr.bytes_allocated));
     memory.emplace_back("attr_bytes_requested", json_value(attr.bytes_requested));
     memory.emplace_back("attr_dedup_ratio", json_value(attr.dedup_ratio()));
+    // Compiled data plane: live footprint of every FlatFib (per-viewpoint
+    // resolution tables + the GeoIP fast path) and cumulative rebuild cost.
+    const auto fib = net::FlatFibMetrics::global().snapshot();
+    memory.emplace_back("fib",
+                        "{\"entries\": " + json_value(fib.entries) +
+                            ", \"spill_tables\": " + json_value(fib.spill_tables) +
+                            ", \"bytes\": " + json_value(fib.bytes) +
+                            ", \"rebuilds\": " + json_value(fib.rebuilds) +
+                            ", \"build_seconds\": " + json_value(fib.build_seconds) + "}");
     object("memory", memory);
     out << "\n}\n";
   }

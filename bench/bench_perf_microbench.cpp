@@ -6,9 +6,17 @@
 // claim's evidence), counter batching, trace-sink record, and provenance.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bgp/decision.hpp"
 #include "bgp/fabric.hpp"
+#include "core/vns_network.hpp"
 #include "geo/geo.hpp"
+#include "geo/geoip.hpp"
+#include "measure/workbench.hpp"
+#include "net/flat_fib.hpp"
 #include "net/prefix_trie.hpp"
 #include "obs/trace.hpp"
 #include "sim/path_model.hpp"
@@ -287,6 +295,95 @@ void BM_ConvergenceAttrBytesCopied(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvergenceAttrBytesCopied);
 
+// --- data-plane resolution: RIB walk vs compiled FIB ------------------------
+
+/// The paper-scale world (all known prefixes, 11 PoPs) shared by the
+/// resolution and GeoIP pairs; built once, on first use.
+measure::Workbench& resolve_world() {
+  static std::unique_ptr<measure::Workbench> world =
+      measure::Workbench::build(measure::WorkbenchConfig::paper_scale(1));
+  return *world;
+}
+
+/// Deterministic address stream over the world's announced prefixes: every
+/// query hits a known prefix, like the figure benches' probe loops.
+net::Ipv4Address resolve_query(const measure::Workbench& w, std::uint32_t& lcg) {
+  lcg = lcg * 1664525u + 1013904223u;
+  const auto& prefixes = w.internet().prefixes();
+  return prefixes[lcg % prefixes.size()].prefix.first_host();
+}
+
+void BM_ResolveTrie(benchmark::State& state) {
+  // The pre-FIB data plane: PrefixTrie LPM over known_prefixes_, then the
+  // viewpoint router's Loc-RIB hash, then the egress-router -> PoP map.
+  auto& w = resolve_world();
+  const auto& vns = w.vns();
+  const auto& fabric = vns.fabric();
+  std::uint32_t lcg = 0x01020304;
+  core::PopId viewpoint = 0;
+  for (auto _ : state) {
+    const auto address = resolve_query(w, lcg);
+    viewpoint = (viewpoint + 1) % static_cast<core::PopId>(vns.pops().size());
+    std::optional<core::PopId> pop;
+    if (const auto prefix = vns.match_prefix(address)) {
+      const bgp::Route* route =
+          fabric.router(vns.pop(viewpoint).routers[0]).best_route(*prefix);
+      if (route != nullptr) {
+        const core::PopId p = vns.pop_of_router(route->egress);
+        if (p != core::kNoPop) pop = p;
+      }
+    }
+    benchmark::DoNotOptimize(pop);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveTrie);
+
+void BM_ResolveFib(benchmark::State& state) {
+  // Same queries through the compiled per-viewpoint FIB: one lookup answers
+  // {matched prefix, best route, egress PoP}.
+  auto& w = resolve_world();
+  const auto& vns = w.vns();
+  // Warm every viewpoint's FIB so the loop measures probes, not compiles.
+  for (core::PopId p = 0; p < vns.pops().size(); ++p) {
+    benchmark::DoNotOptimize(vns.egress_pop(p, net::Ipv4Address{0x01000000u}));
+  }
+  std::uint32_t lcg = 0x01020304;
+  core::PopId viewpoint = 0;
+  for (auto _ : state) {
+    const auto address = resolve_query(w, lcg);
+    viewpoint = (viewpoint + 1) % static_cast<core::PopId>(vns.pops().size());
+    benchmark::DoNotOptimize(vns.egress_pop(viewpoint, address));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ResolveFib);
+
+void BM_GeoIpTrie(benchmark::State& state) {
+  // GeoIP resolution through the reference trie walk.
+  auto& w = resolve_world();
+  std::uint32_t lcg = 0xdeadbeef;
+  for (auto _ : state) {
+    const auto address = resolve_query(w, lcg);
+    benchmark::DoNotOptimize(w.geoip().lookup_uncompiled(address));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GeoIpTrie);
+
+void BM_GeoIpFib(benchmark::State& state) {
+  // Same lookups through the database's compiled FIB fast path.
+  auto& w = resolve_world();
+  benchmark::DoNotOptimize(w.geoip().lookup(net::Ipv4Address{0x01000000u}));  // warm
+  std::uint32_t lcg = 0xdeadbeef;
+  for (auto _ : state) {
+    const auto address = resolve_query(w, lcg);
+    benchmark::DoNotOptimize(w.geoip().lookup(address));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GeoIpFib);
+
 void BM_CountersGlobalAdd(benchmark::State& state) {
   // One mutex round-trip per increment: what the hot loops used to do.
   util::Counters counters;
@@ -310,4 +407,21 @@ BENCHMARK(BM_CountersBatchAdd);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the repo-wide bench convention
+// accepts --json (bench_smoke passes it everywhere), which google-benchmark
+// would reject as unrecognized.  Translate it to the native JSON reporter.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (auto& arg : args) {
+    if (arg == "--json") arg = "--benchmark_format=json";
+  }
+  std::vector<char*> argp;
+  argp.reserve(args.size());
+  for (auto& arg : args) argp.push_back(arg.data());
+  int benchmark_argc = static_cast<int>(argp.size());
+  benchmark::Initialize(&benchmark_argc, argp.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc, argp.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

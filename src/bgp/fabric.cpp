@@ -96,6 +96,7 @@ void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, const Attr
     throw std::logic_error("announce on downed eBGP session " + info.name);
   }
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kAnnounce, from, info.attached_to, prefix);
   Route route;
   route.prefix = prefix;
@@ -112,6 +113,7 @@ void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
     throw std::logic_error("withdraw on downed eBGP session " + info.name);
   }
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kWithdrawIn, from, info.attached_to, prefix);
   Route route;
   route.prefix = prefix;
@@ -122,6 +124,7 @@ void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
 
 void Fabric::originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes attrs) {
   ++logical_time_;
+  ++rib_generation_;
   // Locally originated: no external neighbor, so the `a` slot is empty.
   trace_event(obs::TraceEventKind::kAnnounce, obs::kNoTraceId, at, prefix);
   Router& target = router(at);
@@ -131,6 +134,7 @@ void Fabric::originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes at
 }
 
 void Fabric::refresh_policies() {
+  ++rib_generation_;
   for (auto& r : routers_) enqueue(r->refresh_all());
 }
 
@@ -143,6 +147,7 @@ void Fabric::notify_igp_change() {
 bool Fabric::fail_link(RouterId a, RouterId b) {
   if (!igp_.remove_link(a, b)) return false;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kLinkDown, a, b);
   notify_igp_change();
   return true;
@@ -151,6 +156,7 @@ bool Fabric::fail_link(RouterId a, RouterId b) {
 bool Fabric::restore_link(RouterId a, RouterId b) {
   if (!igp_.restore_link(a, b)) return false;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kLinkUp, a, b);
   notify_igp_change();
   return true;
@@ -161,6 +167,7 @@ bool Fabric::fail_session(RouterId a, RouterId b) {
   Router& rb = router(b);
   if (!ra.session_is_up(SessionKind::kIbgp, b)) return false;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kIbgpSessionDown, a, b);
   // Both sides flush synchronously; whatever was in flight between them is
   // dropped at delivery time because the receiving side is already down.
@@ -174,6 +181,7 @@ bool Fabric::restore_session(RouterId a, RouterId b) {
   Router& rb = router(b);
   if (!has_ibgp_session(ra, b) || ra.session_is_up(SessionKind::kIbgp, b)) return false;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kIbgpSessionUp, a, b);
   enqueue(ra.handle_session_up({SessionKind::kIbgp, b}));
   enqueue(rb.handle_session_up({SessionKind::kIbgp, a}));
@@ -185,6 +193,7 @@ bool Fabric::fail_session(NeighborId neighbor_id) {
   Router& r = router(info.attached_to);
   if (!r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kEbgpSessionDown, info.attached_to, neighbor_id);
   enqueue(r.handle_session_down({SessionKind::kEbgp, neighbor_id}));
   // The neighbor's view of us dies with the TCP session.
@@ -197,6 +206,7 @@ bool Fabric::restore_session(NeighborId neighbor_id) {
   Router& r = router(info.attached_to);
   if (r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kEbgpSessionUp, info.attached_to, neighbor_id);
   enqueue(r.handle_session_up({SessionKind::kEbgp, neighbor_id}));
   return true;
@@ -205,6 +215,7 @@ bool Fabric::restore_session(NeighborId neighbor_id) {
 void Fabric::fail_router(RouterId id) {
   if (router_down_.at(id)) return;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kRouterDown, id, obs::kNoTraceId);
   DownedRouter record;
   for (const auto& session : router(id).ibgp_sessions()) {
@@ -231,6 +242,7 @@ void Fabric::restore_router(RouterId id) {
   const auto it = downed_routers_.find(id);
   if (it == downed_routers_.end()) return;
   ++logical_time_;
+  ++rib_generation_;
   trace_event(obs::TraceEventKind::kRouterUp, id, obs::kNoTraceId);
   DownedRouter record = std::move(it->second);
   downed_routers_.erase(it);
@@ -321,6 +333,10 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
     trace_event(obs::TraceEventKind::kConvergeEnd,
                 static_cast<std::uint32_t>(processed), obs::kNoTraceId);
   }
+  // Deliveries mutate Loc-RIBs too: a FIB compiled from a mid-convergence
+  // snapshot must not be mistaken for the converged state, so the generation
+  // moves again once the storm has been fully processed.
+  if (processed > 0) ++rib_generation_;
   return processed;
 }
 

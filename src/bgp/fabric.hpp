@@ -126,6 +126,14 @@ class Fabric {
   [[nodiscard]] obs::TraceSink* trace() const noexcept { return trace_; }
   [[nodiscard]] std::uint64_t logical_time() const noexcept { return logical_time_; }
 
+  /// Monotonic generation of the Loc-RIB state, bumped by every operation
+  /// that can change any router's RIB (announce/withdraw/originate, policy
+  /// refresh, every fault/restore that acts, and each convergence run that
+  /// delivered messages).  Compiled-FIB caches compare their recorded
+  /// generation against this to decide whether they are stale; it is never
+  /// part of routing state itself, so determinism suites are unaffected.
+  [[nodiscard]] std::uint64_t rib_generation() const noexcept { return rib_generation_; }
+
   // --- inspection -----------------------------------------------------------
   /// Everything VNS currently exports to an external neighbor.
   [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& exported_to(
@@ -166,6 +174,7 @@ class Fabric {
   std::unordered_map<RouterId, DownedRouter> downed_routers_;
   obs::TraceSink* trace_ = nullptr;  ///< not owned; null = tracing disabled
   std::uint64_t logical_time_ = 0;
+  std::uint64_t rib_generation_ = 1;
 };
 
 }  // namespace vns::bgp

@@ -56,6 +56,10 @@ VnsNetwork::VnsNetwork(const topo::Internet& internet, const geo::GeoIpDatabase&
   attach_neighbors();
   install_policies();
   pop_down_.assign(pops_.size(), false);
+  fibs_.reserve(pops_.size());
+  for (std::size_t i = 0; i < pops_.size(); ++i) {
+    fibs_.push_back(std::make_unique<ViewpointFib>());
+  }
 }
 
 void VnsNetwork::build_pops() {
@@ -72,6 +76,7 @@ void VnsNetwork::build_pops() {
       router_pop_.push_back(id);
       fabric_.router(router).set_advertise_best_external(config_.best_external);
     }
+    pop_by_name_.emplace(pop.name, id);
     pops_.push_back(std::move(pop));
   }
   rr_ = fabric_.add_router("RR");
@@ -89,6 +94,7 @@ void VnsNetwork::build_links() {
     link.km = geo::great_circle_km(pops_[a].city.location, pops_[b].city.location);
     link.rtt_ms = link.km * config_.delay.rtt_ms_per_km * config_.delay.path_inflation;
     link.long_haul = long_haul;
+    link_index_.emplace(pop_pair_key(a, b), links_.size());
     links_.push_back(link);
     const auto metric =
         static_cast<bgp::IgpMetric>(std::max(1.0, std::round(link.rtt_ms * 10.0)));
@@ -365,31 +371,29 @@ void VnsNetwork::clear_overrides() {
 }
 
 bool VnsNetwork::fail_pop_link(PopId a, PopId b) {
-  for (auto& link : links_) {
-    if (!((link.a == a && link.b == b) || (link.a == b && link.b == a))) continue;
-    if (!link.up) return false;
-    if (!fabric_.fail_link(pops_.at(link.a).routers[0], pops_.at(link.b).routers[0])) {
-      return false;
-    }
-    link.up = false;
-    fabric_.run_to_convergence();
-    return true;
+  const auto it = link_index_.find(pop_pair_key(a, b));
+  if (it == link_index_.end()) return false;
+  auto& link = links_[it->second];
+  if (!link.up) return false;
+  if (!fabric_.fail_link(pops_.at(link.a).routers[0], pops_.at(link.b).routers[0])) {
+    return false;
   }
-  return false;
+  link.up = false;
+  fabric_.run_to_convergence();
+  return true;
 }
 
 bool VnsNetwork::restore_pop_link(PopId a, PopId b) {
-  for (auto& link : links_) {
-    if (!((link.a == a && link.b == b) || (link.a == b && link.b == a))) continue;
-    if (link.up) return false;
-    if (!fabric_.restore_link(pops_.at(link.a).routers[0], pops_.at(link.b).routers[0])) {
-      return false;
-    }
-    link.up = true;
-    fabric_.run_to_convergence();
-    return true;
+  const auto it = link_index_.find(pop_pair_key(a, b));
+  if (it == link_index_.end()) return false;
+  auto& link = links_[it->second];
+  if (link.up) return false;
+  if (!fabric_.restore_link(pops_.at(link.a).routers[0], pops_.at(link.b).routers[0])) {
+    return false;
   }
-  return false;
+  link.up = true;
+  fabric_.run_to_convergence();
+  return true;
 }
 
 void VnsNetwork::fail_pop(PopId pop_id) {
@@ -444,17 +448,14 @@ bool VnsNetwork::restore_upstream(PopId pop_id, int which) {
 }
 
 bool VnsNetwork::link_is_up(PopId a, PopId b) const noexcept {
-  for (const auto& link : links_) {
-    if ((link.a == a && link.b == b) || (link.a == b && link.b == a)) return link.up;
-  }
-  return false;
+  const auto it = link_index_.find(pop_pair_key(a, b));
+  return it != link_index_.end() && links_[it->second].up;
 }
 
 std::optional<PopId> VnsNetwork::find_pop(std::string_view name) const noexcept {
-  for (const auto& pop : pops_) {
-    if (pop.name == name) return pop.id;
-  }
-  return std::nullopt;
+  const auto it = pop_by_name_.find(name);
+  if (it == pop_by_name_.end()) return std::nullopt;
+  return it->second;
 }
 
 PopId VnsNetwork::geo_closest_pop(const geo::GeoPoint& where) const noexcept {
@@ -476,17 +477,50 @@ std::optional<net::Ipv4Prefix> VnsNetwork::match_prefix(net::Ipv4Address address
   return hit->first;
 }
 
+const VnsNetwork::ViewpointFib& VnsNetwork::viewpoint_fib(PopId viewpoint) const {
+  ViewpointFib& slot = *fibs_.at(viewpoint);
+  const std::uint64_t want = fabric_.rib_generation();
+  if (slot.generation.load(std::memory_order_acquire) == want) return slot;
+  std::lock_guard<std::mutex> lock(fib_mutex_);
+  if (slot.generation.load(std::memory_order_relaxed) == want) return slot;
+  // Compile the viewpoint's resolution table from the converged RIB: one
+  // leaf per known prefix, carrying the router's current best route and its
+  // egress PoP.  Prefixes whose longest match has no installed route keep a
+  // null Resolution so the FIB reproduces the trie-then-hash answer exactly
+  // (no fallback to a shorter routed prefix).
+  const bgp::Router& router = fabric_.router(pops_.at(viewpoint).routers[0]);
+  std::vector<net::FlatFib::Leaf> leaves;
+  leaves.reserve(known_prefixes_.size());
+  std::vector<Resolution> values;
+  values.reserve(known_prefixes_.size());
+  known_prefixes_.for_each([&](const net::Ipv4Prefix& prefix, const bool&) {
+    Resolution resolution;
+    resolution.route = router.best_route(prefix);
+    if (resolution.route != nullptr && resolution.route->egress < router_pop_.size()) {
+      resolution.pop = router_pop_[resolution.route->egress];
+    }
+    leaves.push_back({prefix, static_cast<std::uint32_t>(values.size())});
+    values.push_back(resolution);
+  });
+  slot.values = std::move(values);
+  slot.fib = net::FlatFib::compile(std::move(leaves));
+  slot.generation.store(want, std::memory_order_release);
+  return slot;
+}
+
 const bgp::Route* VnsNetwork::route_at(PopId viewpoint, net::Ipv4Address address) const {
-  const auto prefix = match_prefix(address);
-  if (!prefix) return nullptr;
-  return fabric_.router(pops_.at(viewpoint).routers[0]).best_route(*prefix);
+  const ViewpointFib& fib = viewpoint_fib(viewpoint);
+  const net::FlatFib::Leaf* leaf = fib.fib.lookup(address);
+  return leaf == nullptr ? nullptr : fib.values[leaf->value].route;
 }
 
 std::optional<PopId> VnsNetwork::egress_pop(PopId viewpoint, net::Ipv4Address address) const {
-  const auto* route = route_at(viewpoint, address);
-  if (route == nullptr || route->egress >= router_pop_.size()) return std::nullopt;
-  const PopId pop = router_pop_[route->egress];
-  return pop == kNoPop ? std::nullopt : std::optional<PopId>{pop};
+  const ViewpointFib& fib = viewpoint_fib(viewpoint);
+  const net::FlatFib::Leaf* leaf = fib.fib.lookup(address);
+  if (leaf == nullptr) return std::nullopt;
+  const Resolution& resolution = fib.values[leaf->value];
+  if (resolution.route == nullptr || resolution.pop == kNoPop) return std::nullopt;
+  return resolution.pop;
 }
 
 RouteExplanation VnsNetwork::explain_route(PopId viewpoint, net::Ipv4Address address) const {
@@ -626,8 +660,11 @@ std::string RouteExplanation::json() const {
 
 std::optional<bgp::Route> VnsNetwork::local_exit_route(PopId pop, net::Ipv4Address address,
                                                        bool upstreams_only) const {
-  const auto prefix = match_prefix(address);
-  if (!prefix) return std::nullopt;
+  // LPM through the compiled FIB (same leaf set as known_prefixes_), so the
+  // probe campaigns' "exit locally" path shares the data-plane fast path.
+  const net::FlatFib::Leaf* leaf = viewpoint_fib(pop).fib.lookup(address);
+  if (leaf == nullptr) return std::nullopt;
+  const std::optional<net::Ipv4Prefix> prefix{leaf->prefix};
   const auto& site = pops_.at(pop);
   std::optional<bgp::Route> best;
   const bgp::DecisionContext ctx{site.routers[0], &fabric_.igp()};
@@ -657,13 +694,8 @@ double VnsNetwork::internal_rtt_ms(PopId a, PopId b) const {
   const auto path = internal_path(a, b);
   double rtt = 0.0;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    for (const auto& link : links_) {
-      if (link.up && ((link.a == path[i] && link.b == path[i + 1]) ||
-                      (link.b == path[i] && link.a == path[i + 1]))) {
-        rtt += link.rtt_ms;
-        break;
-      }
-    }
+    const auto it = link_index_.find(pop_pair_key(path[i], path[i + 1]));
+    if (it != link_index_.end() && links_[it->second].up) rtt += links_[it->second].rtt_ms;
   }
   return rtt;
 }
@@ -673,16 +705,13 @@ std::vector<sim::SegmentProfile> VnsNetwork::internal_segments(
   std::vector<sim::SegmentProfile> segments;
   const auto path = internal_path(a, b);
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    for (const auto& link : links_) {
-      if (link.up && ((link.a == path[i] && link.b == path[i + 1]) ||
-                      (link.b == path[i] && link.a == path[i + 1]))) {
-        auto seg = catalog.vns_link(pops_[link.a].city.location, pops_[link.b].city.location,
-                                    link.long_haul);
-        seg.rtt_ms = link.rtt_ms;
-        segments.push_back(std::move(seg));
-        break;
-      }
-    }
+    const auto it = link_index_.find(pop_pair_key(path[i], path[i + 1]));
+    if (it == link_index_.end() || !links_[it->second].up) continue;
+    const auto& link = links_[it->second];
+    auto seg = catalog.vns_link(pops_[link.a].city.location, pops_[link.b].city.location,
+                                link.long_haul);
+    seg.rtt_ms = link.rtt_ms;
+    segments.push_back(std::move(seg));
   }
   return segments;
 }

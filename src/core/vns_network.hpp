@@ -21,8 +21,11 @@
 //     in ingress selection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -33,6 +36,7 @@
 
 #include "bgp/fabric.hpp"
 #include "geo/geoip.hpp"
+#include "net/flat_fib.hpp"
 #include "net/prefix_trie.hpp"
 #include "topo/internet.hpp"
 #include "topo/segments.hpp"
@@ -289,6 +293,42 @@ class VnsNetwork {
   /// Fills reach_cache_ for every attachment so const queries never write.
   void warm_reach_cache() const;
   [[nodiscard]] std::uint32_t lp_from_distance(double km) const noexcept;
+  /// Transparent hasher so find_pop(string_view) probes without allocating.
+  struct NameHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  /// Order-independent key for the (a, b) PoP pair of a link.
+  [[nodiscard]] static constexpr std::uint64_t pop_pair_key(PopId a, PopId b) noexcept {
+    return a < b ? (std::uint64_t{a} << 32) | b : (std::uint64_t{b} << 32) | a;
+  }
+
+  // --- compiled data plane ----------------------------------------------------
+  /// Payload of one resolution-FIB leaf: the viewpoint router's best route
+  /// for the leaf prefix and its egress PoP, precomputed at compile time so
+  /// route_at/egress_pop are a single FIB probe.  `route` points into the
+  /// router's Loc-RIB (node-stable); any RIB mutation bumps the fabric
+  /// generation and retires this FIB before the pointer can dangle.
+  struct Resolution {
+    const bgp::Route* route = nullptr;
+    PopId pop = kNoPop;
+  };
+  /// One viewpoint's compiled FIB.  `generation` is the fabric
+  /// rib_generation() it was compiled from (0 = never); readers acquire it,
+  /// the rebuilder release-stores it after publishing fib/values, so
+  /// concurrent campaign threads either see a complete compile or take the
+  /// rebuild mutex themselves.
+  struct ViewpointFib {
+    std::atomic<std::uint64_t> generation{0};
+    net::FlatFib fib;
+    std::vector<Resolution> values;
+  };
+  /// Returns the viewpoint's FIB, recompiling it first if the fabric's
+  /// rib_generation() has moved since it was last built.
+  [[nodiscard]] const ViewpointFib& viewpoint_fib(PopId viewpoint) const;
+
   /// Reachability of neighbor AS `as` from every AS (lazily cached).
   struct NeighborReach {
     std::vector<std::uint16_t> hops;     ///< AS hops to the neighbor
@@ -306,6 +346,12 @@ class VnsNetwork {
   std::vector<VnsLink> links_;
   std::vector<PopId> router_pop_;  ///< indexed by RouterId
   std::vector<Attachment> attachments_;
+  std::unordered_map<std::string, PopId, NameHash, std::equal_to<>> pop_by_name_;
+  std::unordered_map<std::uint64_t, std::size_t> link_index_;  ///< pop_pair_key -> links_
+
+  /// Lazily compiled per-viewpoint FIBs (pure caches of fabric RIB state).
+  mutable std::vector<std::unique_ptr<ViewpointFib>> fibs_;
+  mutable std::mutex fib_mutex_;  ///< serializes rebuilds (rare; probes are lock-free)
 
   bool geo_enabled_ = false;
   topo::AsIndex us_centred_ltp_ = topo::kNoAs;

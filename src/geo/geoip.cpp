@@ -47,18 +47,47 @@ void GeoIpDatabase::add_with_report(const net::Ipv4Prefix& prefix, const GeoPoin
   const bool inserted =
       table_.insert(prefix, GeoIpEntry{reported, truth, error_class});
   if (inserted) ++class_counts_[static_cast<std::size_t>(error_class)];
+  ++version_;  // any write (insert or overwrite) retires the compiled FIB
 }
 
-std::optional<GeoPoint> GeoIpDatabase::lookup(net::Ipv4Address address) const noexcept {
-  const auto match = table_.longest_match(address);
-  if (!match) return std::nullopt;
-  return match->second->reported;
+const GeoIpDatabase::Fib& GeoIpDatabase::compiled() const {
+  Fib& fib = *fib_;
+  const std::uint64_t want = version_;
+  if (fib.version.load(std::memory_order_acquire) == want) return fib;
+  std::lock_guard<std::mutex> lock(fib.mutex);
+  if (fib.version.load(std::memory_order_relaxed) == want) return fib;
+  // Leaves point at the trie's own entries (node-stable while the trie is
+  // unmodified; any modification bumps version_ and recompiles).
+  std::vector<const GeoIpEntry*> entries;
+  entries.reserve(table_.size());
+  fib.fib = net::FlatFib::compile_from(
+      table_, [&entries](const net::Ipv4Prefix&, const GeoIpEntry& entry) {
+        entries.push_back(&entry);
+        return static_cast<std::uint32_t>(entries.size() - 1);
+      });
+  fib.entries = std::move(entries);
+  fib.version.store(want, std::memory_order_release);
+  return fib;
 }
 
-std::optional<GeoPoint> GeoIpDatabase::lookup(const net::Ipv4Prefix& prefix) const noexcept {
+std::optional<GeoPoint> GeoIpDatabase::lookup(net::Ipv4Address address) const {
+  const Fib& fib = compiled();
+  const net::FlatFib::Leaf* leaf = fib.fib.lookup(address);
+  if (leaf == nullptr) return std::nullopt;
+  return fib.entries[leaf->value]->reported;
+}
+
+std::optional<GeoPoint> GeoIpDatabase::lookup(const net::Ipv4Prefix& prefix) const {
   // A prefix locates like its first host: real databases answer per-IP, and
   // the RR queries them with the NLRI's network address.
   return lookup(prefix.first_host());
+}
+
+std::optional<GeoPoint> GeoIpDatabase::lookup_uncompiled(
+    net::Ipv4Address address) const noexcept {
+  const auto match = table_.longest_match(address);
+  if (!match) return std::nullopt;
+  return match->second->reported;
 }
 
 const GeoIpEntry* GeoIpDatabase::entry(const net::Ipv4Prefix& prefix) const noexcept {

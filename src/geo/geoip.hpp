@@ -10,13 +10,17 @@
 // failure modes the deployed system saw.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "geo/geo.hpp"
+#include "net/flat_fib.hpp"
 #include "net/ip.hpp"
 #include "net/prefix_trie.hpp"
 #include "util/rng.hpp"
@@ -81,9 +85,15 @@ class GeoIpDatabase {
                        const GeoPoint& reported, GeoIpErrorClass error_class);
 
   /// Reported location of the longest matching prefix, as the RR would see
-  /// it when it queries the database (§3.2 "obtained on the fly").
-  [[nodiscard]] std::optional<GeoPoint> lookup(net::Ipv4Address address) const noexcept;
-  [[nodiscard]] std::optional<GeoPoint> lookup(const net::Ipv4Prefix& prefix) const noexcept;
+  /// it when it queries the database (§3.2 "obtained on the fly").  Served
+  /// from a compiled FlatFib that is lazily (re)built on first lookup after
+  /// an add(); concurrent first lookups race only for the rebuild mutex.
+  [[nodiscard]] std::optional<GeoPoint> lookup(net::Ipv4Address address) const;
+  [[nodiscard]] std::optional<GeoPoint> lookup(const net::Ipv4Prefix& prefix) const;
+
+  /// Reference trie path, bypassing the compiled FIB (equivalence tests and
+  /// the BM_GeoIpTrie microbench baseline).
+  [[nodiscard]] std::optional<GeoPoint> lookup_uncompiled(net::Ipv4Address address) const noexcept;
 
   /// Full record (reported + truth + class) for evaluation.
   [[nodiscard]] const GeoIpEntry* entry(const net::Ipv4Prefix& prefix) const noexcept;
@@ -94,7 +104,20 @@ class GeoIpDatabase {
   [[nodiscard]] std::size_t count(GeoIpErrorClass error_class) const noexcept;
 
  private:
+  /// Compiled lookup cache.  Lives behind a unique_ptr so the database stays
+  /// movable (Internet::build_geoip returns it by value) despite the mutex
+  /// and atomic; the cache is rebuilt, never moved, so that is safe.
+  struct Fib {
+    std::mutex mutex;
+    std::atomic<std::uint64_t> version{0};  ///< table_ version compiled (0 = never)
+    net::FlatFib fib;
+    std::vector<const GeoIpEntry*> entries;  ///< leaf value -> trie node entry
+  };
+  [[nodiscard]] const Fib& compiled() const;
+
   net::PrefixTrie<GeoIpEntry> table_;
+  std::uint64_t version_ = 1;  ///< bumped by every add*, compared by compiled()
+  std::unique_ptr<Fib> fib_ = std::make_unique<Fib>();
   std::size_t class_counts_[4] = {0, 0, 0, 0};
 };
 

@@ -1,0 +1,158 @@
+#include "net/flat_fib.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+namespace vns::net {
+
+FlatFibMetrics& FlatFibMetrics::global() noexcept {
+  static FlatFibMetrics instance;
+  return instance;
+}
+
+void FlatFibMetrics::record_build(const FlatFibStats& stats) noexcept {
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(stats.entries, std::memory_order_relaxed);
+  spill_tables_.fetch_add(stats.spill_tables, std::memory_order_relaxed);
+  bytes_.fetch_add(stats.bytes, std::memory_order_relaxed);
+  build_nanos_.fetch_add(static_cast<std::uint64_t>(stats.build_seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+void FlatFibMetrics::release(const FlatFibStats& stats) noexcept {
+  entries_.fetch_sub(stats.entries, std::memory_order_relaxed);
+  spill_tables_.fetch_sub(stats.spill_tables, std::memory_order_relaxed);
+  bytes_.fetch_sub(stats.bytes, std::memory_order_relaxed);
+}
+
+FlatFibMetrics::Snapshot FlatFibMetrics::snapshot() const noexcept {
+  Snapshot snap;
+  snap.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  snap.entries = entries_.load(std::memory_order_relaxed);
+  snap.spill_tables = spill_tables_.load(std::memory_order_relaxed);
+  snap.bytes = bytes_.load(std::memory_order_relaxed);
+  snap.build_seconds =
+      static_cast<double>(build_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+FlatFib::~FlatFib() { release_footprint(); }
+
+FlatFib::FlatFib(FlatFib&& other) noexcept
+    : root_(std::move(other.root_)),
+      tables_(std::move(other.tables_)),
+      leaves_(std::move(other.leaves_)),
+      stats_(other.stats_) {
+  other.root_.clear();
+  other.tables_.clear();
+  other.leaves_.clear();
+  other.stats_ = FlatFibStats{};
+}
+
+FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
+  if (this != &other) {
+    release_footprint();
+    root_ = std::move(other.root_);
+    tables_ = std::move(other.tables_);
+    leaves_ = std::move(other.leaves_);
+    stats_ = other.stats_;
+    other.root_.clear();
+    other.tables_.clear();
+    other.leaves_.clear();
+    other.stats_ = FlatFibStats{};
+  }
+  return *this;
+}
+
+void FlatFib::release_footprint() noexcept {
+  if (stats_.entries != 0 || stats_.spill_tables != 0 || stats_.bytes != 0) {
+    FlatFibMetrics::global().release(stats_);
+    stats_ = FlatFibStats{};
+  }
+}
+
+FlatFib FlatFib::compile(std::vector<Leaf> leaves) {
+  const auto start = std::chrono::steady_clock::now();
+  assert(leaves.size() < static_cast<std::size_t>(kEmpty));
+
+  FlatFib fib;
+  fib.leaves_ = std::move(leaves);
+  fib.root_.assign(1u << 16, kEmpty);
+
+  // Insert shortest-first: each longer prefix overwrites the slot range of
+  // any shorter covering prefix, freezing LPM into the arrays.  Prefixes of
+  // equal length are disjoint, so order within a length never matters; the
+  // (length, address) sort keys only keep the compile deterministic.
+  std::vector<std::uint32_t> order(fib.leaves_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const Leaf& la = fib.leaves_[a];
+    const Leaf& lb = fib.leaves_[b];
+    if (la.prefix.length() != lb.prefix.length())
+      return la.prefix.length() < lb.prefix.length();
+    return la.prefix.address().value() < lb.prefix.address().value();
+  });
+
+  // Allocates a spill table whose every slot starts as the parent slot's
+  // current resolution, so addresses outside the longer prefix keep
+  // resolving to the shorter covering one.
+  const auto spawn_table = [&fib](std::uint32_t backfill) -> std::uint32_t {
+    fib.tables_.emplace_back();
+    fib.tables_.back().fill(backfill);
+    return static_cast<std::uint32_t>(fib.tables_.size() - 1) | kTableBit;
+  };
+
+  for (const std::uint32_t index : order) {
+    const Leaf& leaf = fib.leaves_[index];
+    const std::uint32_t addr = leaf.prefix.address().value();
+    const std::uint8_t len = leaf.prefix.length();
+    if (len <= 16) {
+      // No spill tables exist yet under a /<=16 range: tables are only
+      // spawned by longer prefixes, which all sort after this one.
+      const std::uint32_t first = addr >> 16;
+      const std::uint32_t count = 1u << (16 - len);
+      std::fill_n(fib.root_.begin() + first, count, index);
+    } else if (len <= 24) {
+      const std::uint32_t rslot = addr >> 16;
+      if (!(fib.root_[rslot] & kTableBit)) {
+        const std::uint32_t table = spawn_table(fib.root_[rslot]);
+        fib.root_[rslot] = table;
+      }
+      auto& table = fib.tables_[fib.root_[rslot] & kIndexMask];
+      const std::uint32_t first = (addr >> 8) & 0xffu;
+      const std::uint32_t count = 1u << (24 - len);
+      std::fill_n(table.begin() + first, count, index);
+    } else {
+      const std::uint32_t rslot = addr >> 16;
+      if (!(fib.root_[rslot] & kTableBit)) {
+        const std::uint32_t table = spawn_table(fib.root_[rslot]);
+        fib.root_[rslot] = table;
+      }
+      const std::uint32_t mid_table = fib.root_[rslot] & kIndexMask;
+      const std::uint32_t mslot = (addr >> 8) & 0xffu;
+      if (!(fib.tables_[mid_table][mslot] & kTableBit)) {
+        const std::uint32_t table = spawn_table(fib.tables_[mid_table][mslot]);
+        fib.tables_[mid_table][mslot] = table;
+      }
+      auto& table = fib.tables_[fib.tables_[mid_table][mslot] & kIndexMask];
+      const std::uint32_t first = addr & 0xffu;
+      const std::uint32_t count = 1u << (32 - len);
+      std::fill_n(table.begin() + first, count, index);
+    }
+  }
+
+  fib.stats_.entries = fib.leaves_.size();
+  fib.stats_.spill_tables = fib.tables_.size();
+  fib.stats_.bytes = fib.root_.capacity() * sizeof(std::uint32_t) +
+                     fib.tables_.capacity() * sizeof(std::array<std::uint32_t, 256>) +
+                     fib.leaves_.capacity() * sizeof(Leaf);
+  fib.stats_.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  FlatFibMetrics::global().record_build(fib.stats_);
+  return fib;
+}
+
+}  // namespace vns::net

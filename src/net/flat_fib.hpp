@@ -1,0 +1,132 @@
+// Compiled forwarding table: a DIR-16-8-8 multi-stride flattening of a
+// PrefixTrie snapshot that answers longest-prefix match in at most three
+// array indexations instead of up to 32 pointer chases.
+//
+// Layout.  The root level is a 2^16 slot array indexed by the top 16 address
+// bits; prefixes longer than /16 spill into 256-slot second-level tables
+// (bits 8..15) and, past /24, third-level tables (bits 0..7).  A slot either
+// names a leaf (index into the leaf array), names a spill table (high bit
+// set), or is empty.  Real-world tables are dominated by /16../24 prefixes,
+// so the footprint is 256 KiB for the root plus ~1 KiB per populated /16
+// (DIR-24-8 would cost a flat 64 MiB per instance; we compile one FIB per
+// viewpoint plus one for GeoIP, so the small-root layout wins — see
+// DESIGN.md §9 for the full trade-off).
+//
+// A FlatFib is a pure cache: it is compiled from a converged RIB snapshot
+// and rebuilt from scratch when the owner detects a stale generation.  It
+// never answers differently from the trie it was compiled from (the
+// equivalence property is enforced by tests/test_fib.cpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace vns::net {
+
+/// Footprint and build cost of one compiled instance.
+struct FlatFibStats {
+  std::size_t entries = 0;       ///< leaves: distinct (prefix, value) pairs
+  std::size_t spill_tables = 0;  ///< 256-slot second/third-level tables
+  std::size_t bytes = 0;         ///< resident bytes of the compiled arrays
+  double build_seconds = 0.0;    ///< wall-clock cost of this compile
+};
+
+/// Process-wide FIB accounting, mirroring bgp::AttrTable::global(): live
+/// footprint of every compiled FlatFib plus monotonic rebuild counters.
+/// Benches surface a snapshot in the BENCH_*.json memory object.
+class FlatFibMetrics {
+ public:
+  struct Snapshot {
+    std::uint64_t rebuilds = 0;      ///< total compiles since process start
+    std::uint64_t entries = 0;       ///< live leaves across live instances
+    std::uint64_t spill_tables = 0;  ///< live spill tables
+    std::uint64_t bytes = 0;         ///< live compiled bytes
+    double build_seconds = 0.0;      ///< cumulative compile wall-clock
+  };
+
+  static FlatFibMetrics& global() noexcept;
+
+  void record_build(const FlatFibStats& stats) noexcept;
+  void release(const FlatFibStats& stats) noexcept;
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> rebuilds_{0};
+  std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> spill_tables_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> build_nanos_{0};
+};
+
+/// DIR-16-8-8 compiled longest-prefix-match table.  Move-only; the live
+/// footprint is registered with FlatFibMetrics for the instance's lifetime.
+class FlatFib {
+ public:
+  /// One compiled entry: the stored prefix and the caller's payload index.
+  struct Leaf {
+    Ipv4Prefix prefix;
+    std::uint32_t value = 0;
+  };
+
+  FlatFib() = default;
+  ~FlatFib();
+  FlatFib(FlatFib&& other) noexcept;
+  FlatFib& operator=(FlatFib&& other) noexcept;
+  FlatFib(const FlatFib&) = delete;
+  FlatFib& operator=(const FlatFib&) = delete;
+
+  /// Compiles a leaf set (prefixes must be distinct).  Longer prefixes
+  /// overwrite the slot ranges of shorter covering ones, which is exactly
+  /// longest-prefix-match semantics frozen into the arrays.
+  [[nodiscard]] static FlatFib compile(std::vector<Leaf> leaves);
+
+  /// Compiles from a trie snapshot; `map(prefix, value)` chooses the
+  /// uint32 payload recorded in each leaf.
+  template <typename T, typename Map>
+  [[nodiscard]] static FlatFib compile_from(const PrefixTrie<T>& trie, Map&& map) {
+    std::vector<Leaf> leaves;
+    leaves.reserve(trie.size());
+    trie.for_each([&](const Ipv4Prefix& prefix, const T& value) {
+      leaves.push_back(Leaf{prefix, map(prefix, value)});
+    });
+    return compile(std::move(leaves));
+  }
+
+  /// Longest-prefix match in one to three array probes; nullptr when no
+  /// stored prefix covers the address.
+  [[nodiscard]] const Leaf* lookup(Ipv4Address address) const noexcept {
+    if (root_.empty()) return nullptr;
+    const std::uint32_t addr = address.value();
+    std::uint32_t slot = root_[addr >> 16];
+    if (slot & kTableBit) slot = tables_[slot & kIndexMask][(addr >> 8) & 0xffu];
+    if (slot & kTableBit) slot = tables_[slot & kIndexMask][addr & 0xffu];
+    if (slot == kEmpty) return nullptr;
+    return &leaves_[slot];
+  }
+
+  [[nodiscard]] bool compiled() const noexcept { return !root_.empty(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return leaves_.size(); }
+  [[nodiscard]] const FlatFibStats& stats() const noexcept { return stats_; }
+
+ private:
+  // Slot encoding: high bit set => spill-table index in the low 31 bits;
+  // kEmpty => no covering prefix; otherwise a leaf index.
+  static constexpr std::uint32_t kTableBit = 0x8000'0000u;
+  static constexpr std::uint32_t kIndexMask = 0x7fff'ffffu;
+  static constexpr std::uint32_t kEmpty = kIndexMask;
+
+  void release_footprint() noexcept;
+
+  std::vector<std::uint32_t> root_;                    // 2^16 once compiled
+  std::vector<std::array<std::uint32_t, 256>> tables_;  // spill levels 2 and 3
+  std::vector<Leaf> leaves_;
+  FlatFibStats stats_;
+};
+
+}  // namespace vns::net

@@ -97,17 +97,43 @@ class PrefixTrie {
     return std::make_pair(Ipv4Prefix{Ipv4Address{masked}, best_depth}, &*best->value);
   }
 
-  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  /// Visits every (prefix, value) pair in lexicographic prefix order.  The
+  /// visitor is a template parameter so the per-node dispatch inlines; the
+  /// std::function overload below serves callers that hold a type-erased
+  /// visitor (non-template partial ordering prefers it for exact matches).
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    walk(root_.get(), 0, 0, visit);
+  }
   void for_each(const std::function<void(const Ipv4Prefix&, const T&)>& visit) const {
     walk(root_.get(), 0, 0, visit);
   }
 
   /// Collects every stored prefix covered by `covering` (including itself).
-  [[nodiscard]] std::vector<Ipv4Prefix> covered_by(const Ipv4Prefix& covering) const {
+  /// Descends to the covering prefix's node and enumerates only its subtree,
+  /// so the cost is O(covering.length() + subtree), not O(trie).  When
+  /// `nodes_visited` is given it receives the number of nodes touched
+  /// (descent chain plus subtree) for instrumentation.
+  [[nodiscard]] std::vector<Ipv4Prefix> covered_by(
+      const Ipv4Prefix& covering, std::size_t* nodes_visited = nullptr) const {
     std::vector<Ipv4Prefix> result;
-    for_each([&](const Ipv4Prefix& prefix, const T&) {
-      if (covering.contains(prefix)) result.push_back(prefix);
-    });
+    std::size_t visited = 0;
+    const Node* node = root_.get();
+    std::uint32_t bits = covering.address().value();
+    for (std::uint8_t depth = 0; depth < covering.length(); ++depth) {
+      ++visited;
+      const std::size_t branch = (bits >> 31) & 1u;
+      bits <<= 1;
+      node = node->children[branch].get();
+      // A stored prefix covered by `covering` shares its leading bits, so
+      // its path runs through this chain; a broken chain means none exist.
+      if (node == nullptr) {
+        if (nodes_visited != nullptr) *nodes_visited = visited;
+        return result;
+      }
+    }
+    walk_counted(node, covering.address().value(), covering.length(), result, visited);
+    if (nodes_visited != nullptr) *nodes_visited = visited;
     return result;
   }
 
@@ -163,8 +189,9 @@ class PrefixTrie {
     return total;
   }
 
+  template <typename Visitor>
   static void walk(const Node* node, std::uint32_t bits, std::uint8_t depth,
-                   const std::function<void(const Ipv4Prefix&, const T&)>& visit) {
+                   Visitor&& visit) {
     if (node->value) {
       visit(Ipv4Prefix{Ipv4Address{bits}, depth}, *node->value);
     }
@@ -173,6 +200,19 @@ class PrefixTrie {
         const std::uint32_t child_bits =
             bits | (branch ? (1u << (31 - depth)) : 0u);
         walk(node->children[branch].get(), child_bits, depth + 1, visit);
+      }
+    }
+  }
+
+  static void walk_counted(const Node* node, std::uint32_t bits, std::uint8_t depth,
+                           std::vector<Ipv4Prefix>& out, std::size_t& visited) {
+    ++visited;
+    if (node->value) out.emplace_back(Ipv4Address{bits}, depth);
+    for (std::size_t branch = 0; branch < 2; ++branch) {
+      if (node->children[branch]) {
+        const std::uint32_t child_bits =
+            bits | (branch ? (1u << (31 - depth)) : 0u);
+        walk_counted(node->children[branch].get(), child_bits, depth + 1, out, visited);
       }
     }
   }

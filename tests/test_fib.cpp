@@ -1,0 +1,439 @@
+// Tests for the compiled data plane (net::FlatFib): unit-level DIR-16-8-8
+// behaviour, FIB/trie longest-prefix-match equivalence, churn-safe
+// invalidation through Fabric::rib_generation(), concurrent lazy rebuilds
+// (the TSan target), and the GeoIP fast path.  The FIB is a pure cache —
+// every test here asserts it never answers differently from the trie + RIB
+// state it was compiled from.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bgp/fabric.hpp"
+#include "bgp/router.hpp"
+#include "core/vns_network.hpp"
+#include "geo/geoip.hpp"
+#include "measure/workbench.hpp"
+#include "net/flat_fib.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace vns {
+namespace {
+
+using core::PopId;
+using net::FlatFib;
+using net::FlatFibMetrics;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+// ------------------------------------------------ FlatFib unit level --------
+
+TEST(Fib, EmptyAndUncompiledLookupsReturnNull) {
+  const FlatFib uncompiled;
+  EXPECT_FALSE(uncompiled.compiled());
+  EXPECT_EQ(uncompiled.lookup(Ipv4Address{192, 0, 2, 1}), nullptr);
+
+  const FlatFib empty = FlatFib::compile({});
+  EXPECT_TRUE(empty.compiled());
+  EXPECT_EQ(empty.entry_count(), 0u);
+  EXPECT_EQ(empty.lookup(Ipv4Address{192, 0, 2, 1}), nullptr);
+  EXPECT_EQ(empty.lookup(Ipv4Address{0}), nullptr);
+  EXPECT_EQ(empty.lookup(Ipv4Address{~0u}), nullptr);
+}
+
+TEST(Fib, NestedPrefixesResolveToLongestMatchAcrossStrides) {
+  // One prefix per stride level, all nested: /8 (root), /16 (root), /24
+  // (level-2 spill), /32 (level-3 spill).
+  std::vector<FlatFib::Leaf> leaves = {
+      {Ipv4Prefix::parse("10.0.0.0/8").value(), 8},
+      {Ipv4Prefix::parse("10.1.0.0/16").value(), 16},
+      {Ipv4Prefix::parse("10.1.2.0/24").value(), 24},
+      {Ipv4Prefix::parse("10.1.2.3/32").value(), 32},
+  };
+  const FlatFib fib = FlatFib::compile(std::move(leaves));
+  ASSERT_TRUE(fib.compiled());
+  EXPECT_EQ(fib.entry_count(), 4u);
+  // The /24 and /32 force spill tables under 10.1.0.0/16.
+  EXPECT_GE(fib.stats().spill_tables, 2u);
+  EXPECT_GE(fib.stats().bytes, std::size_t{1} << 18);  // 2^16 root slots
+
+  const auto value_at = [&](const char* addr) -> std::uint32_t {
+    const auto* leaf = fib.lookup(Ipv4Address::parse(addr).value());
+    return leaf == nullptr ? 0u : leaf->value;
+  };
+  EXPECT_EQ(value_at("10.200.0.1"), 8u);   // only the /8 covers
+  EXPECT_EQ(value_at("10.1.99.1"), 16u);   // /16 beats /8
+  EXPECT_EQ(value_at("10.1.2.200"), 24u);  // /24 beats /16
+  EXPECT_EQ(value_at("10.1.2.3"), 32u);    // exact host route wins
+  EXPECT_EQ(fib.lookup(Ipv4Address{11, 0, 0, 1}), nullptr);
+  // Backfill check: addresses in the /16 but outside the /24 still resolve
+  // through the spill tables to the /16 leaf.
+  EXPECT_EQ(value_at("10.1.2.2"), 24u);
+  EXPECT_EQ(value_at("10.1.3.1"), 16u);
+}
+
+TEST(Fib, LookupMatchesTrieLongestMatchOnRandomTable) {
+  util::Rng rng{0xF1BF1BULL};
+  net::PrefixTrie<std::uint32_t> trie;
+  std::uint32_t next_value = 0;
+  while (trie.size() < 4000) {
+    const auto length = static_cast<std::uint8_t>(rng.uniform_int(4, 32));
+    const auto bits = static_cast<std::uint32_t>(rng());
+    trie.insert(Ipv4Prefix{Ipv4Address{bits}, length}, next_value++);
+  }
+  const FlatFib fib = FlatFib::compile_from(
+      trie, [](const Ipv4Prefix&, const std::uint32_t& value) { return value; });
+  ASSERT_EQ(fib.entry_count(), trie.size());
+
+  for (int i = 0; i < 200'000; ++i) {
+    // Half purely random, half biased near stored prefixes via short flips.
+    std::uint32_t probe = static_cast<std::uint32_t>(rng());
+    if (i % 2 == 1) probe ^= (1u << (i % 32));
+    const Ipv4Address address{probe};
+    const auto* leaf = fib.lookup(address);
+    const auto match = trie.longest_match(address);
+    if (!match.has_value()) {
+      ASSERT_EQ(leaf, nullptr) << address.to_string();
+      continue;
+    }
+    ASSERT_NE(leaf, nullptr) << address.to_string();
+    EXPECT_EQ(leaf->prefix, match->first) << address.to_string();
+    EXPECT_EQ(leaf->value, *match->second) << address.to_string();
+  }
+}
+
+TEST(Fib, MetricsTrackLiveFootprintAndSurviveMoves) {
+  net::PrefixTrie<std::uint32_t> trie;
+  ASSERT_TRUE(trie.insert(Ipv4Prefix::parse("198.51.100.0/24").value(), 1));
+  ASSERT_TRUE(trie.insert(Ipv4Prefix::parse("203.0.113.0/24").value(), 2));
+  ASSERT_TRUE(trie.insert(Ipv4Prefix::parse("192.0.2.128/25").value(), 3));
+
+  const auto before = FlatFibMetrics::global().snapshot();
+  {
+    FlatFib fib = FlatFib::compile_from(
+        trie, [](const Ipv4Prefix&, const std::uint32_t& value) { return value; });
+    const auto during = FlatFibMetrics::global().snapshot();
+    EXPECT_EQ(during.rebuilds, before.rebuilds + 1);
+    EXPECT_EQ(during.entries, before.entries + trie.size());
+    EXPECT_GE(during.spill_tables, before.spill_tables + 1);
+    EXPECT_GT(during.bytes, before.bytes);
+    EXPECT_GE(during.build_seconds, before.build_seconds);
+
+    // Moving the instance must not double-count or early-release.
+    FlatFib moved = std::move(fib);
+    FlatFib assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(FlatFibMetrics::global().snapshot().entries, during.entries);
+    EXPECT_NE(assigned.lookup(Ipv4Address{198, 51, 100, 7}), nullptr);
+  }
+  const auto after = FlatFibMetrics::global().snapshot();
+  EXPECT_EQ(after.rebuilds, before.rebuilds + 1);  // rebuild count is monotonic
+  EXPECT_EQ(after.entries, before.entries);        // footprint fully released
+  EXPECT_EQ(after.spill_tables, before.spill_tables);
+  EXPECT_EQ(after.bytes, before.bytes);
+}
+
+// --------------------------------------- VNS data-plane equivalence ---------
+
+/// Deterministic probe pool: biased toward announced prefixes (including
+/// more-specific interiors, not just first hosts) with a random-miss tail.
+std::vector<Ipv4Address> make_probe_pool(const measure::Workbench& w, std::size_t count) {
+  util::Rng rng{0xD1'F1BULL};
+  const auto prefixes = w.internet().prefixes();
+  std::vector<Ipv4Address> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!prefixes.empty() && rng.uniform() < 0.75) {
+      const auto& prefix =
+          prefixes[static_cast<std::size_t>(rng.uniform_int(
+                       0, static_cast<std::int64_t>(prefixes.size()) - 1))]
+              .prefix;
+      const auto offset = static_cast<std::uint32_t>(rng() % prefix.size());
+      pool.emplace_back(prefix.address().value() + offset);
+    } else {
+      pool.emplace_back(static_cast<std::uint32_t>(rng()));
+    }
+  }
+  return pool;
+}
+
+/// Trie + Loc-RIB reference resolution, bypassing the compiled FIB entirely.
+struct Reference {
+  const bgp::Route* route = nullptr;
+  std::optional<PopId> egress;
+};
+
+Reference reference_resolve(const core::VnsNetwork& vns, PopId viewpoint, Ipv4Address address) {
+  Reference ref;
+  const auto prefix = vns.match_prefix(address);
+  if (prefix.has_value()) {
+    ref.route = vns.fabric().router(vns.pop(viewpoint).routers[0]).best_route(*prefix);
+  }
+  if (ref.route != nullptr) {
+    const PopId pop = vns.pop_of_router(ref.route->egress);
+    if (pop != core::kNoPop) ref.egress = pop;
+  }
+  return ref;
+}
+
+/// Asserts FIB resolution == reference for every viewpoint over `probes`.
+void expect_fib_matches_reference(const core::VnsNetwork& vns,
+                                  std::span<const Ipv4Address> probes, const char* stage) {
+  for (PopId viewpoint = 0; viewpoint < vns.pops().size(); ++viewpoint) {
+    std::size_t routed = 0;
+    for (const Ipv4Address address : probes) {
+      const Reference want = reference_resolve(vns, viewpoint, address);
+      ASSERT_EQ(vns.route_at(viewpoint, address), want.route)
+          << stage << ": route_at diverged at " << vns.pop(viewpoint).name << " for "
+          << address.to_string();
+      ASSERT_EQ(vns.egress_pop(viewpoint, address), want.egress)
+          << stage << ": egress_pop diverged at " << vns.pop(viewpoint).name << " for "
+          << address.to_string();
+      if (want.route != nullptr) ++routed;
+    }
+    if (!vns.pop_is_down(viewpoint)) {
+      ASSERT_GT(routed, probes.size() / 4)
+          << stage << ": probe pool barely exercises routed state at "
+          << vns.pop(viewpoint).name;
+    }
+  }
+}
+
+/// A deterministic per-stage slice so each churn window checks fresh probes.
+std::span<const Ipv4Address> slice(const std::vector<Ipv4Address>& pool, std::size_t stage,
+                                   std::size_t width) {
+  const std::size_t start = (stage * width) % (pool.size() - width);
+  return std::span<const Ipv4Address>{pool}.subspan(start, width);
+}
+
+TEST(Fib, ResolutionMatchesTrieBeforeDuringAfterChurn) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  auto& vns = world->vns();
+
+  // >= 100k deterministic probes per viewpoint (the full pool is swept for
+  // every viewpoint in the before/after states).
+  const auto pool = make_probe_pool(*world, 100'000);
+
+  expect_fib_matches_reference(vns, pool, "before churn (hot-potato)");
+  if (HasFatalFailure()) return;
+
+  vns.set_geo_routing(true);
+  expect_fib_matches_reference(vns, slice(pool, 0, 16'384), "geo-routing enabled");
+  if (HasFatalFailure()) return;
+
+  // The existing all-pairs long-haul churn schedule, with the FIB queried
+  // inside every degraded window.
+  std::vector<std::pair<PopId, PopId>> long_hauls;
+  for (const auto& link : vns.links()) {
+    if (link.long_haul) long_hauls.emplace_back(link.a, link.b);
+  }
+  ASSERT_FALSE(long_hauls.empty());
+  std::size_t stage = 1;
+  for (const auto& [la, lb] : long_hauls) {
+    ASSERT_TRUE(vns.fail_pop_link(la, lb));
+    expect_fib_matches_reference(vns, slice(pool, stage++, 4'096), "long-haul link down");
+    if (HasFatalFailure()) return;
+    ASSERT_TRUE(vns.restore_pop_link(la, lb));
+  }
+
+  // Fault schedule: a whole-PoP outage and an upstream session loss.
+  const PopId osl = *vns.find_pop("OSL");
+  vns.fail_pop(osl);
+  expect_fib_matches_reference(vns, slice(pool, stage++, 4'096), "PoP down");
+  if (HasFatalFailure()) return;
+  const PopId lon = *vns.find_pop("LON");
+  ASSERT_TRUE(vns.fail_upstream(lon, 0));
+  expect_fib_matches_reference(vns, slice(pool, stage++, 4'096), "PoP + upstream down");
+  if (HasFatalFailure()) return;
+  ASSERT_TRUE(vns.restore_upstream(lon, 0));
+  vns.restore_pop(osl);
+
+  // Full sweep again after complete restoration.
+  expect_fib_matches_reference(vns, pool, "after restoration");
+}
+
+TEST(Fib, RibGenerationAdvancesOnEveryMutation) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  auto& vns = world->vns();
+  std::uint64_t generation = vns.fabric().rib_generation();
+  EXPECT_GT(generation, 0u);
+
+  const auto expect_bumped = [&](const char* what) {
+    const std::uint64_t now = vns.fabric().rib_generation();
+    EXPECT_GT(now, generation) << what << " did not advance rib_generation()";
+    generation = now;
+  };
+
+  std::pair<PopId, PopId> long_haul{core::kNoPop, core::kNoPop};
+  for (const auto& link : vns.links()) {
+    if (link.long_haul) {
+      long_haul = {link.a, link.b};
+      break;
+    }
+  }
+  ASSERT_NE(long_haul.first, core::kNoPop);
+
+  ASSERT_TRUE(vns.fail_pop_link(long_haul.first, long_haul.second));
+  expect_bumped("fail_pop_link");
+  ASSERT_TRUE(vns.restore_pop_link(long_haul.first, long_haul.second));
+  expect_bumped("restore_pop_link");
+  vns.set_geo_routing(true);
+  expect_bumped("set_geo_routing(true)");
+  vns.set_geo_routing(false);
+  expect_bumped("set_geo_routing(false)");
+  const PopId lon = *vns.find_pop("LON");
+  ASSERT_TRUE(vns.fail_upstream(lon, 0));
+  expect_bumped("fail_upstream");
+  ASSERT_TRUE(vns.restore_upstream(lon, 0));
+  expect_bumped("restore_upstream");
+}
+
+TEST(Fib, ResolutionNeverServesStaleStateAfterGenerationBump) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  auto& vns = world->vns();
+  vns.set_geo_routing(true);
+  const PopId viewpoint = *vns.find_pop("AMS");
+
+  // Pick a probe whose pre-fault egress is a *remote* PoP we can fail.
+  Ipv4Address probe{};
+  PopId egress_before = core::kNoPop;
+  for (const auto& info : world->internet().prefixes()) {
+    const auto egress = vns.egress_pop(viewpoint, info.prefix.first_host());
+    if (egress.has_value() && *egress != viewpoint &&
+        vns.pop_of_router(vns.reflector()) != *egress) {
+      probe = info.prefix.first_host();
+      egress_before = *egress;
+      break;
+    }
+  }
+  ASSERT_NE(egress_before, core::kNoPop) << "no remotely-egressing prefix in the sample";
+
+  // Warm the viewpoint FIB, then record where we are.
+  const auto warm = vns.egress_pop(viewpoint, probe);
+  ASSERT_EQ(warm, egress_before);
+  const std::uint64_t generation_before = vns.fabric().rib_generation();
+  const std::uint64_t rebuilds_before = FlatFibMetrics::global().snapshot().rebuilds;
+
+  // Fault: the egress PoP goes dark.  The generation must move and the very
+  // next resolution must be computed from post-fault state — a stale FIB
+  // would still name the dead PoP.
+  vns.fail_pop(egress_before);
+  EXPECT_GT(vns.fabric().rib_generation(), generation_before);
+  const auto egress_during = vns.egress_pop(viewpoint, probe);
+  const Reference want_during = reference_resolve(vns, viewpoint, probe);
+  EXPECT_EQ(egress_during, want_during.egress);
+  if (egress_during.has_value()) {
+    EXPECT_NE(*egress_during, egress_before);
+  }
+  EXPECT_GT(FlatFibMetrics::global().snapshot().rebuilds, rebuilds_before)
+      << "resolution after a generation bump must recompile, not reuse";
+
+  // Repair: resolution converges back to the pre-fault answer.
+  vns.restore_pop(egress_before);
+  const auto egress_after = vns.egress_pop(viewpoint, probe);
+  EXPECT_EQ(egress_after, reference_resolve(vns, viewpoint, probe).egress);
+  EXPECT_EQ(egress_after, warm);
+}
+
+TEST(Fib, ConcurrentLazyRebuildIsRaceFree) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  auto& vns = world->vns();
+
+  // Invalidate every viewpoint FIB, then resolve concurrently: the first
+  // probes of each viewpoint race to recompile (TSan checks the publish).
+  vns.set_geo_routing(true);
+  const auto pool = make_probe_pool(*world, 2'048);
+
+  // Trie-side reference answers, computed single-threaded without touching
+  // any FIB (match_prefix and best_route are the uncompiled paths).
+  std::vector<std::vector<std::optional<PopId>>> want(vns.pops().size());
+  for (PopId viewpoint = 0; viewpoint < vns.pops().size(); ++viewpoint) {
+    want[viewpoint].reserve(pool.size());
+    for (const Ipv4Address address : pool) {
+      want[viewpoint].push_back(reference_resolve(vns, viewpoint, address).egress);
+    }
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::vector<std::optional<PopId>>>> got(
+      kThreads, std::vector<std::vector<std::optional<PopId>>>(vns.pops().size()));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&vns, &pool, &got, t] {
+      // Stagger viewpoint order per thread so rebuilds collide.
+      const auto viewpoints = static_cast<PopId>(vns.pops().size());
+      for (PopId shift = 0; shift < viewpoints; ++shift) {
+        const PopId viewpoint = (shift + static_cast<PopId>(t)) % viewpoints;
+        auto& mine = got[static_cast<std::size_t>(t)][viewpoint];
+        mine.reserve(pool.size());
+        for (const Ipv4Address address : pool) {
+          mine.push_back(vns.egress_pop(viewpoint, address));
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (PopId viewpoint = 0; viewpoint < vns.pops().size(); ++viewpoint) {
+      // Threads filled viewpoints in shifted order; reorder by viewpoint id.
+      const auto& mine = got[static_cast<std::size_t>(t)][viewpoint];
+      ASSERT_EQ(mine.size(), pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        ASSERT_EQ(mine[i], want[viewpoint][i])
+            << "thread " << t << " viewpoint " << vns.pop(viewpoint).name << " probe "
+            << pool[i].to_string();
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ GeoIP fast path -----------
+
+TEST(Fib, GeoIpCompiledLookupMatchesUncompiled) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  const auto& geoip = world->geoip();
+  const auto pool = make_probe_pool(*world, 100'000);
+
+  std::size_t located = 0;
+  for (const Ipv4Address address : pool) {
+    const auto fast = geoip.lookup(address);
+    const auto reference = geoip.lookup_uncompiled(address);
+    ASSERT_EQ(fast, reference) << address.to_string();
+    if (fast.has_value()) ++located;
+  }
+  EXPECT_GT(located, pool.size() / 4) << "probe pool barely exercises the database";
+}
+
+TEST(Fib, GeoIpLookupSeesWritesAfterCompile) {
+  geo::GeoIpDatabase db;
+  const auto coarse = Ipv4Prefix::parse("203.0.113.0/24").value();
+  db.add_with_report(coarse, geo::GeoPoint{52.37, 4.90}, geo::GeoPoint{52.37, 4.90},
+                     geo::GeoIpErrorClass::kAccurate);
+
+  const Ipv4Address probe{203, 0, 113, 77};
+  const auto first = db.lookup(probe);  // compiles the FIB
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, (geo::GeoPoint{52.37, 4.90}));
+
+  // A more-specific added after the compile must be served immediately —
+  // the write retires the compiled table.
+  const auto fine = Ipv4Prefix::parse("203.0.113.64/26").value();
+  db.add_with_report(fine, geo::GeoPoint{59.91, 10.75}, geo::GeoPoint{59.91, 10.75},
+                     geo::GeoIpErrorClass::kAccurate);
+  const auto second = db.lookup(probe);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, (geo::GeoPoint{59.91, 10.75}));
+  EXPECT_EQ(db.lookup(probe), db.lookup_uncompiled(probe));
+  // Addresses outside the more-specific still resolve to the covering /24.
+  EXPECT_EQ(*db.lookup(Ipv4Address{203, 0, 113, 10}), (geo::GeoPoint{52.37, 4.90}));
+}
+
+}  // namespace
+}  // namespace vns

@@ -164,6 +164,57 @@ TEST(PrefixTrie, CoveredByEnumeratesSubtree) {
   EXPECT_EQ(covered.size(), 2u);
 }
 
+TEST(PrefixTrie, CoveredByWalksOnlySubtree) {
+  // A large sibling subtree outside the covering prefix must not be visited:
+  // covered_by descends to the covering node and walks its subtree only.
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16").value(), 0);
+  trie.insert(Ipv4Prefix::parse("10.1.2.0/24").value(), 1);
+  trie.insert(Ipv4Prefix::parse("10.1.3.0/24").value(), 2);
+  // The big sibling forest under 192.0.0.0/8: 256 deep /24s.
+  for (int i = 0; i < 256; ++i) {
+    trie.insert(Ipv4Prefix{Ipv4Address(192, 0, static_cast<std::uint8_t>(i), 0), 24}, 100 + i);
+  }
+  const auto covering = Ipv4Prefix::parse("10.1.0.0/16").value();
+  std::size_t visited = 0;
+  const auto covered = trie.covered_by(covering, &visited);
+  EXPECT_EQ(covered.size(), 3u);
+  // Visit budget: the 16-node descent chain plus the covering node's own
+  // subtree (two 8-level chains below it) — nowhere near the whole trie.
+  const std::size_t total_nodes = trie.node_count();
+  EXPECT_LT(visited, 16u + 1u + 2u * 8u + 1u);
+  EXPECT_LT(visited * 10, total_nodes);  // sibling forest untouched
+
+  // A covering prefix whose descent chain breaks covers nothing and touches
+  // at most its own chain length.
+  std::size_t miss_visited = 0;
+  EXPECT_TRUE(trie.covered_by(Ipv4Prefix::parse("172.16.0.0/12").value(), &miss_visited).empty());
+  EXPECT_LE(miss_visited, 12u);
+}
+
+TEST(PrefixTrie, ForEachTemplateVisitorMatchesTypeErased) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.insert(Ipv4Prefix::parse("10.1.0.0/16").value(), 2);
+  trie.insert(Ipv4Prefix::parse("192.168.0.0/16").value(), 3);
+  // Template path: a plain struct callable (never convertible overhead).
+  struct Collector {
+    std::vector<std::pair<std::string, int>>* out;
+    void operator()(const Ipv4Prefix& p, const int& v) const {
+      out->emplace_back(p.to_string(), v);
+    }
+  };
+  std::vector<std::pair<std::string, int>> from_template;
+  trie.for_each(Collector{&from_template});
+  // Type-erased path: an explicit std::function still binds the overload.
+  std::vector<std::pair<std::string, int>> from_function;
+  const std::function<void(const Ipv4Prefix&, const int&)> visit =
+      [&](const Ipv4Prefix& p, const int& v) { from_function.emplace_back(p.to_string(), v); };
+  trie.for_each(visit);
+  EXPECT_EQ(from_template, from_function);
+  EXPECT_EQ(from_template.size(), 3u);
+}
+
 TEST(PrefixTrie, ClearResets) {
   PrefixTrie<int> trie;
   trie.insert(Ipv4Prefix::parse("10.0.0.0/8").value(), 1);

@@ -198,6 +198,8 @@ constexpr std::string_view kBenchMemoryKeys[] = {
     "attr_peak_unique", "attr_live_refs",  "attr_intern_calls",
     "attr_intern_hits", "attr_bytes_allocated", "attr_bytes_requested",
     "attr_dedup_ratio",
+    // Compiled data-plane stats (nested "fib" object).
+    "fib", "entries", "spill_tables", "bytes", "rebuilds", "build_seconds",
 };
 
 bool check_bench_record(const std::string& name, std::string_view content) {
