@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bgp/attr_table.hpp"
+#include "bgp/fabric.hpp"
 #include "measure/workbench.hpp"
 #include "net/flat_fib.hpp"
 #include "obs/json.hpp"
@@ -224,6 +225,21 @@ class BenchRecord {
                             ", \"rebuilds\": " + json_value(fib.rebuilds) +
                             ", \"build_seconds\": " + json_value(fib.build_seconds) + "}");
     object("memory", memory);
+    out << ",\n";
+    // Control-plane convergence engine: cumulative across every fabric this
+    // process ran (world build plus any fault churn the bench injected).
+    const auto conv = bgp::ConvergenceMetrics::global().snapshot();
+    std::vector<std::pair<std::string, std::string>> convergence;
+    convergence.emplace_back("runs", json_value(conv.runs));
+    convergence.emplace_back("messages", json_value(conv.messages));
+    convergence.emplace_back("batches", json_value(conv.batches));
+    convergence.emplace_back("messages_per_sec", json_value(conv.messages_per_sec()));
+    convergence.emplace_back("shard_limit", json_value(conv.shard_limit));
+    convergence.emplace_back("shard_occupancy_mean", json_value(conv.mean_shard_occupancy()));
+    convergence.emplace_back("shard_occupancy_max", json_value(conv.max_shards_occupied));
+    convergence.emplace_back("max_batch_messages", json_value(conv.max_batch_messages));
+    convergence.emplace_back("seconds", json_value(conv.seconds));
+    object("convergence", convergence);
     out << "\n}\n";
   }
 

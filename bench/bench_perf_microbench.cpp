@@ -156,6 +156,58 @@ void BM_FabricAnnouncementConvergenceTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_FabricAnnouncementConvergenceTraced);
 
+/// Churn-and-converge loop shared by the serial and sharded variants: a
+/// wider fabric (8 RR clients, 2 upstreams per client) announcing prefix
+/// blocks so each batch spreads across many shards.  The pair's ratio is
+/// the sharded engine's throughput claim; results are bit-identical for
+/// any thread count, so only wall-clock may differ.
+void run_sharded_convergence(benchmark::State& state, int threads) {
+  bgp::Fabric fabric{65000};
+  const auto rr = fabric.add_router("RR");
+  std::vector<bgp::NeighborId> uplinks;
+  for (int i = 0; i < 8; ++i) {
+    const auto client = fabric.add_router("C" + std::to_string(i));
+    fabric.add_rr_client_session(rr, client);
+    fabric.add_igp_link(rr, client, 10 + i);
+    uplinks.push_back(fabric.add_neighbor(client, static_cast<net::Asn>(100 + i),
+                                          bgp::NeighborKind::kUpstream,
+                                          "up" + std::to_string(i)));
+  }
+  fabric.set_threads(threads);
+
+  std::uint32_t block = 1;
+  for (auto _ : state) {
+    for (std::uint32_t p = 0; p < 16; ++p) {
+      const net::Ipv4Prefix prefix{
+          net::Ipv4Address{((block * 16u + p) % 60000u + 1024u) << 12}, 20};
+      bgp::Attributes attrs;
+      attrs.as_path = bgp::AsPath{{static_cast<net::Asn>(100 + p % 8),
+                                   static_cast<net::Asn>(4000 + p)}};
+      fabric.announce(uplinks[p % uplinks.size()], prefix, attrs);
+    }
+    ++block;
+    benchmark::DoNotOptimize(fabric.run_to_convergence());
+  }
+  const auto stats = fabric.convergence_stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.messages));
+  state.counters["msgs_per_sec"] =
+      benchmark::Counter(static_cast<double>(stats.messages),
+                         benchmark::Counter::kIsRate);
+  state.counters["shard_occupancy_mean"] = stats.mean_shard_occupancy();
+}
+
+void BM_ConvergenceSerial(benchmark::State& state) {
+  // threads=1: the inline drain, same batch algorithm, no pool hand-off.
+  run_sharded_convergence(state, 1);
+}
+BENCHMARK(BM_ConvergenceSerial);
+
+void BM_ConvergenceSharded(benchmark::State& state) {
+  // threads=4: per-shard worklists processed across the pool.
+  run_sharded_convergence(state, 4);
+}
+BENCHMARK(BM_ConvergenceSharded);
+
 void BM_TraceSinkRecord(benchmark::State& state) {
   obs::TraceSink sink{1u << 16};
   obs::TraceEvent event;

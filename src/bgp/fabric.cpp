@@ -1,6 +1,7 @@
 #include "bgp/fabric.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -16,7 +17,60 @@ bool has_ibgp_session(const Router& r, RouterId peer) {
   return false;
 }
 
+/// Fixed shard fan-out of the convergence engine.  Deliberately independent
+/// of the thread knob: the shard walk order defines the frontier merge order,
+/// so changing it would change traces.  64 keeps shards busy well past the
+/// thread counts the contract is tested at (1..8) at negligible merge cost.
+constexpr std::size_t kConvergenceShards = 64;
+
+/// splitmix64 finisher over (address, length).  Deliberately not std::hash:
+/// the shard walk is part of the deterministic merge order, so the partition
+/// must be identical across platforms and standard libraries.
+std::size_t shard_of(const net::Ipv4Prefix& prefix) noexcept {
+  std::uint64_t x = (std::uint64_t{prefix.address().value()} << 8) | prefix.length();
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % kConvergenceShards);
+}
+
 }  // namespace
+
+ConvergenceMetrics& ConvergenceMetrics::global() noexcept {
+  static ConvergenceMetrics instance;
+  return instance;
+}
+
+void ConvergenceMetrics::record(const ConvergenceStats& run) noexcept {
+  runs_.fetch_add(1, std::memory_order_relaxed);
+  messages_.fetch_add(run.messages, std::memory_order_relaxed);
+  batches_.fetch_add(run.batches, std::memory_order_relaxed);
+  occupied_shard_sum_.fetch_add(run.occupied_shard_sum, std::memory_order_relaxed);
+  nanos_.fetch_add(static_cast<std::uint64_t>(run.seconds * 1e9),
+                   std::memory_order_relaxed);
+  const auto raise = [](std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+    std::uint64_t seen = slot.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  };
+  raise(max_batch_messages_, run.max_batch_messages);
+  raise(max_shards_occupied_, run.max_shards_occupied);
+}
+
+ConvergenceStats ConvergenceMetrics::snapshot() const noexcept {
+  ConvergenceStats snap;
+  snap.runs = runs_.load(std::memory_order_relaxed);
+  snap.messages = messages_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.shard_limit = kConvergenceShards;
+  snap.max_batch_messages = max_batch_messages_.load(std::memory_order_relaxed);
+  snap.max_shards_occupied = max_shards_occupied_.load(std::memory_order_relaxed);
+  snap.occupied_shard_sum = occupied_shard_sum_.load(std::memory_order_relaxed);
+  snap.seconds = static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
 
 void Fabric::trace_event(obs::TraceEventKind kind, std::uint32_t a, std::uint32_t b,
                          const net::Ipv4Prefix& prefix) {
@@ -31,17 +85,16 @@ void Fabric::trace_event(obs::TraceEventKind kind, std::uint32_t a, std::uint32_
   trace_->record(event);
 }
 
-template <typename Fn>
-void Fabric::deliver_with_rib_watch(Router& target, const net::Ipv4Prefix& prefix,
-                                    Fn&& deliver) {
-  if (trace_ == nullptr) {
-    deliver();
-    return;
-  }
+std::optional<Route> Fabric::capture_best(const Router& target,
+                                          const net::Ipv4Prefix& prefix) const {
   // Copy (not point at) the pre-delivery best: the handler mutates loc_rib_.
   std::optional<Route> before;
   if (const Route* r = target.best_route(prefix); r != nullptr) before = *r;
-  deliver();
+  return before;
+}
+
+void Fabric::trace_rib_change(const Router& target, const net::Ipv4Prefix& prefix,
+                              const std::optional<Route>& before) {
   const Route* after = target.best_route(prefix);
   const bool changed = before.has_value() != (after != nullptr) ||
                        (before.has_value() && after != nullptr && !(*before == *after));
@@ -97,13 +150,16 @@ void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, const Attr
   }
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kAnnounce, from, info.attached_to, prefix);
   Route route;
   route.prefix = prefix;
   route.set_attrs(attrs);
-  deliver_with_rib_watch(target, prefix, [&] {
-    enqueue(target.handle_ebgp_update(info, /*withdraw=*/false, std::move(route)));
-  });
+  const std::optional<Route> before =
+      trace_ != nullptr ? capture_best(target, prefix) : std::nullopt;
+  enqueue(target.handle_ebgp_update(info, /*withdraw=*/false, std::move(route)));
+  // Stamped after the enqueue so queue_depth covers the emissions this
+  // announce triggered, matching what delivery events report.
+  trace_event(obs::TraceEventKind::kAnnounce, from, info.attached_to, prefix);
+  if (trace_ != nullptr) trace_rib_change(target, prefix, before);
 }
 
 void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
@@ -114,23 +170,25 @@ void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
   }
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kWithdrawIn, from, info.attached_to, prefix);
   Route route;
   route.prefix = prefix;
-  deliver_with_rib_watch(target, prefix, [&] {
-    enqueue(target.handle_ebgp_update(info, /*withdraw=*/true, std::move(route)));
-  });
+  const std::optional<Route> before =
+      trace_ != nullptr ? capture_best(target, prefix) : std::nullopt;
+  enqueue(target.handle_ebgp_update(info, /*withdraw=*/true, std::move(route)));
+  trace_event(obs::TraceEventKind::kWithdrawIn, from, info.attached_to, prefix);
+  if (trace_ != nullptr) trace_rib_change(target, prefix, before);
 }
 
 void Fabric::originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes attrs) {
   ++logical_time_;
   ++rib_generation_;
+  Router& target = router(at);
+  const std::optional<Route> before =
+      trace_ != nullptr ? capture_best(target, prefix) : std::nullopt;
+  enqueue(target.originate(prefix, std::move(attrs)));
   // Locally originated: no external neighbor, so the `a` slot is empty.
   trace_event(obs::TraceEventKind::kAnnounce, obs::kNoTraceId, at, prefix);
-  Router& target = router(at);
-  deliver_with_rib_watch(target, prefix, [&] {
-    enqueue(target.originate(prefix, std::move(attrs)));
-  });
+  if (trace_ != nullptr) trace_rib_change(target, prefix, before);
 }
 
 void Fabric::refresh_policies() {
@@ -148,8 +206,8 @@ bool Fabric::fail_link(RouterId a, RouterId b) {
   if (!igp_.remove_link(a, b)) return false;
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kLinkDown, a, b);
   notify_igp_change();
+  trace_event(obs::TraceEventKind::kLinkDown, a, b);
   return true;
 }
 
@@ -157,8 +215,8 @@ bool Fabric::restore_link(RouterId a, RouterId b) {
   if (!igp_.restore_link(a, b)) return false;
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kLinkUp, a, b);
   notify_igp_change();
+  trace_event(obs::TraceEventKind::kLinkUp, a, b);
   return true;
 }
 
@@ -168,11 +226,11 @@ bool Fabric::fail_session(RouterId a, RouterId b) {
   if (!ra.session_is_up(SessionKind::kIbgp, b)) return false;
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kIbgpSessionDown, a, b);
   // Both sides flush synchronously; whatever was in flight between them is
   // dropped at delivery time because the receiving side is already down.
   enqueue(ra.handle_session_down({SessionKind::kIbgp, b}));
   enqueue(rb.handle_session_down({SessionKind::kIbgp, a}));
+  trace_event(obs::TraceEventKind::kIbgpSessionDown, a, b);
   return true;
 }
 
@@ -182,9 +240,9 @@ bool Fabric::restore_session(RouterId a, RouterId b) {
   if (!has_ibgp_session(ra, b) || ra.session_is_up(SessionKind::kIbgp, b)) return false;
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kIbgpSessionUp, a, b);
   enqueue(ra.handle_session_up({SessionKind::kIbgp, b}));
   enqueue(rb.handle_session_up({SessionKind::kIbgp, a}));
+  trace_event(obs::TraceEventKind::kIbgpSessionUp, a, b);
   return true;
 }
 
@@ -194,8 +252,8 @@ bool Fabric::fail_session(NeighborId neighbor_id) {
   if (!r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kEbgpSessionDown, info.attached_to, neighbor_id);
   enqueue(r.handle_session_down({SessionKind::kEbgp, neighbor_id}));
+  trace_event(obs::TraceEventKind::kEbgpSessionDown, info.attached_to, neighbor_id);
   // The neighbor's view of us dies with the TCP session.
   neighbor_exports_.at(neighbor_id).clear();
   return true;
@@ -207,8 +265,8 @@ bool Fabric::restore_session(NeighborId neighbor_id) {
   if (r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
   ++logical_time_;
   ++rib_generation_;
-  trace_event(obs::TraceEventKind::kEbgpSessionUp, info.attached_to, neighbor_id);
   enqueue(r.handle_session_up({SessionKind::kEbgp, neighbor_id}));
+  trace_event(obs::TraceEventKind::kEbgpSessionUp, info.attached_to, neighbor_id);
   return true;
 }
 
@@ -258,7 +316,7 @@ void Fabric::enqueue(std::vector<Emission> emissions) {
   for (auto& emission : emissions) queue_.push_back(std::move(emission));
 }
 
-std::string Fabric::convergence_diagnostics(std::size_t processed) const {
+std::string Fabric::convergence_diagnostics(std::size_t pending) const {
   std::unordered_map<net::Ipv4Prefix, std::size_t> per_prefix;
   for (const auto& emission : queue_) ++per_prefix[emission.route.prefix];
   std::vector<std::pair<net::Ipv4Prefix, std::size_t>> hottest(per_prefix.begin(),
@@ -267,7 +325,7 @@ std::string Fabric::convergence_diagnostics(std::size_t processed) const {
     return x.second != y.second ? x.second > y.second : x.first < y.first;
   });
   std::ostringstream msg;
-  msg << "BGP fabric failed to converge within message budget: " << processed
+  msg << "BGP fabric failed to converge within message budget: " << pending
       << " messages this run, " << delivered_ << " delivered in total, queue depth "
       << queue_.size() << " across " << routers_.size() << " routers";
   if (!hottest.empty()) {
@@ -279,56 +337,183 @@ std::string Fabric::convergence_diagnostics(std::size_t processed) const {
   return msg.str();
 }
 
+void Fabric::set_threads(int requested) {
+  const unsigned resolved = util::resolve_thread_count(requested);
+  if (resolved == threads_) return;
+  threads_ = resolved;
+  pool_.reset();  // rebuilt lazily with the new lane count
+}
+
+util::ThreadPool& Fabric::convergence_pool() {
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  return *pool_;
+}
+
+void Fabric::process_emission(const Emission& emission, ShardState& shard) {
+  const bool tracing = trace_ != nullptr;
+  // Stages an event into the shard buffer; `when` and `queue_depth` are
+  // filled in at merge time, where the deterministic order is known.
+  const auto stage = [&](obs::TraceEventKind kind, std::uint32_t a, std::uint32_t b) {
+    if (!tracing) return;
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.a = a;
+    event.b = b;
+    event.prefix = emission.route.prefix;
+    shard.events.push_back(event);
+  };
+  if (emission.to_neighbor != kNoNeighbor) {
+    const NeighborInfo& info = neighbor(emission.to_neighbor);
+    if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, emission.to_neighbor)) {
+      ++shard.dropped;  // session went down with the update in flight
+      stage(obs::TraceEventKind::kMessageDropped, emission.from, emission.to_neighbor);
+      return;
+    }
+    ++shard.delivered;
+    stage(emission.withdraw ? obs::TraceEventKind::kExportWithdraw
+                            : obs::TraceEventKind::kExportUpdate,
+          emission.from, emission.to_neighbor);
+    // External neighbors are passive sinks: record the export.  Emissions
+    // shard by prefix, so another shard may hold a different prefix bound
+    // for the same neighbor's map — hence the striped lock.
+    auto& sink = neighbor_exports_.at(emission.to_neighbor);
+    std::lock_guard<std::mutex> lock{
+        export_locks_[emission.to_neighbor % export_locks_.size()]};
+    if (emission.withdraw) {
+      sink.erase(emission.route.prefix);
+    } else {
+      sink[emission.route.prefix] = emission.route;
+    }
+  } else {
+    Router& target = router(emission.to_router);
+    // One lock around the liveness check, the best-route reads and the
+    // handler: the router's maps are shared across every prefix it carries.
+    std::lock_guard<std::mutex> lock{target.delivery_mutex()};
+    if (!target.session_is_up(SessionKind::kIbgp, emission.from)) {
+      ++shard.dropped;  // receiving side tore the session down first
+      stage(obs::TraceEventKind::kMessageDropped, emission.from, emission.to_router);
+      return;
+    }
+    ++shard.delivered;
+    stage(emission.withdraw ? obs::TraceEventKind::kWithdrawDelivered
+                            : obs::TraceEventKind::kUpdateDelivered,
+          emission.from, emission.to_router);
+    std::optional<Route> before;
+    if (tracing) before = capture_best(target, emission.route.prefix);
+    auto emitted =
+        target.handle_ibgp_update(emission.from, emission.withdraw, emission.route);
+    if (tracing) {
+      const Route* after = target.best_route(emission.route.prefix);
+      const bool changed = before.has_value() != (after != nullptr) ||
+                           (before.has_value() && after != nullptr && !(*before == *after));
+      if (changed) {
+        stage(obs::TraceEventKind::kLocRibChanged, target.id(),
+              after != nullptr ? after->egress : obs::kNoTraceId);
+      }
+    }
+    for (auto& em : emitted) shard.out.push_back(std::move(em));
+  }
+}
+
 std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
   const bool had_work = !queue_.empty();
   if (had_work) {
     trace_event(obs::TraceEventKind::kConvergeBegin,
                 static_cast<std::uint32_t>(queue_.size()), obs::kNoTraceId);
   }
+  const auto start = std::chrono::steady_clock::now();
+  // The decision path's only lazily-filled shared cache: warm every source's
+  // SPF tree now, while single-threaded.  The topology is static for the
+  // whole run (faults happen between runs), so metric() is a pure read
+  // inside the shard fan-out.
+  if (had_work) igp_.warm_spf();
+  util::ThreadPool& pool = convergence_pool();
+  std::vector<ShardState> shards(kConvergenceShards);
+  const bool tracing = trace_ != nullptr;
   std::size_t processed = 0;
+  ConvergenceStats run;
+  run.shard_limit = kConvergenceShards;
+
   while (!queue_.empty()) {
-    if (++processed > max_messages) {
-      throw std::runtime_error(convergence_diagnostics(processed));
+    const std::size_t batch_size = queue_.size();
+    // Batch-atomic budget check: a batch runs in full or the run aborts with
+    // the frontier intact, so exhaustion behaves identically for every
+    // thread count (no partial batch a serial engine could have squeezed in).
+    if (processed + batch_size > max_messages) {
+      throw std::runtime_error(convergence_diagnostics(processed + batch_size));
     }
-    const Emission emission = std::move(queue_.front());
-    queue_.pop_front();
+    ++run.batches;
+    run.max_batch_messages = std::max(run.max_batch_messages,
+                                      static_cast<std::uint64_t>(batch_size));
+    // One logical tick per batch: a per-message clock would encode shard
+    // interleaving, which is exactly what must not leak into traces.
     ++logical_time_;
-    if (emission.to_neighbor != kNoNeighbor) {
-      const NeighborInfo& info = neighbor(emission.to_neighbor);
-      if (!router(info.attached_to).session_is_up(SessionKind::kEbgp, emission.to_neighbor)) {
-        ++dropped_;  // session went down with the update in flight
-        trace_event(obs::TraceEventKind::kMessageDropped, emission.from,
-                    emission.to_neighbor, emission.route.prefix);
-        continue;
-      }
-      ++delivered_;
-      trace_event(emission.withdraw ? obs::TraceEventKind::kExportWithdraw
-                                    : obs::TraceEventKind::kExportUpdate,
-                  emission.from, emission.to_neighbor, emission.route.prefix);
-      // External neighbors are passive sinks: record the export.
-      auto& sink = neighbor_exports_.at(emission.to_neighbor);
-      if (emission.withdraw) {
-        sink.erase(emission.route.prefix);
-      } else {
-        sink[emission.route.prefix] = emission.route;
-      }
-    } else {
-      Router& target = router(emission.to_router);
-      if (!target.session_is_up(SessionKind::kIbgp, emission.from)) {
-        ++dropped_;  // receiving side tore the session down first
-        trace_event(obs::TraceEventKind::kMessageDropped, emission.from,
-                    emission.to_router, emission.route.prefix);
-        continue;
-      }
-      ++delivered_;
-      trace_event(emission.withdraw ? obs::TraceEventKind::kWithdrawDelivered
-                                    : obs::TraceEventKind::kUpdateDelivered,
-                  emission.from, emission.to_router, emission.route.prefix);
-      deliver_with_rib_watch(target, emission.route.prefix, [&] {
-        enqueue(target.handle_ibgp_update(emission.from, emission.withdraw, emission.route));
-      });
+
+    // Partition the frontier by prefix hash, preserving sequence order
+    // within each shard.  All state a shard touches while processing is
+    // either shard-local, per-prefix (and prefixes never span shards), or
+    // guarded (router mutex / export stripe).
+    for (auto& shard : shards) {
+      shard.work.clear();
+      shard.out.clear();
+      shard.delivered = 0;
+      shard.dropped = 0;
+      shard.events.clear();
+      shard.marks.clear();
     }
+    for (auto& emission : queue_) {
+      shards[shard_of(emission.route.prefix)].work.push_back(std::move(emission));
+    }
+    queue_.clear();
+    std::uint64_t occupied = 0;
+    for (const auto& shard : shards) occupied += shard.work.empty() ? 0 : 1;
+    run.occupied_shard_sum += occupied;
+    run.max_shards_occupied = std::max(run.max_shards_occupied, occupied);
+
+    pool.parallel_for(kConvergenceShards, [&](std::size_t s) {
+      ShardState& shard = shards[s];
+      for (const Emission& emission : shard.work) {
+        process_emission(emission, shard);
+        if (tracing) {
+          shard.marks.emplace_back(static_cast<std::uint32_t>(shard.events.size()),
+                                   static_cast<std::uint32_t>(shard.out.size()));
+        }
+      }
+    });
+
+    // Deterministic merge: walk shards 0..N-1, messages in sequence order,
+    // appending each message's emissions to the next frontier and replaying
+    // its staged events with the queue depth a one-lane walk in this exact
+    // order would have seen (messages still pending in this batch plus the
+    // frontier grown so far).
+    std::size_t remaining = batch_size;
+    for (auto& shard : shards) {
+      delivered_ += shard.delivered;
+      dropped_ += shard.dropped;
+      if (!tracing) {
+        for (auto& emission : shard.out) queue_.push_back(std::move(emission));
+        continue;
+      }
+      std::uint32_t event_begin = 0;
+      std::uint32_t out_begin = 0;
+      for (const auto& [event_end, out_end] : shard.marks) {
+        --remaining;
+        for (std::uint32_t i = out_begin; i < out_end; ++i) {
+          queue_.push_back(std::move(shard.out[i]));
+        }
+        const auto depth = static_cast<std::uint32_t>(remaining + queue_.size());
+        for (std::uint32_t i = event_begin; i < event_end; ++i) {
+          shard.events[i].when = logical_time_;
+          shard.events[i].queue_depth = depth;
+          trace_->record(shard.events[i]);
+        }
+        event_begin = event_end;
+        out_begin = out_end;
+      }
+    }
+    processed += batch_size;
   }
+
   if (had_work) {
     trace_event(obs::TraceEventKind::kConvergeEnd,
                 static_cast<std::uint32_t>(processed), obs::kNoTraceId);
@@ -337,6 +522,24 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
   // snapshot must not be mistaken for the converged state, so the generation
   // moves again once the storm has been fully processed.
   if (processed > 0) ++rib_generation_;
+
+  run.messages = processed;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (processed > 0) {
+    run.runs = 1;
+    convergence_stats_.runs += 1;
+    convergence_stats_.messages += run.messages;
+    convergence_stats_.batches += run.batches;
+    convergence_stats_.shard_limit = kConvergenceShards;
+    convergence_stats_.max_batch_messages =
+        std::max(convergence_stats_.max_batch_messages, run.max_batch_messages);
+    convergence_stats_.max_shards_occupied =
+        std::max(convergence_stats_.max_shards_occupied, run.max_shards_occupied);
+    convergence_stats_.occupied_shard_sum += run.occupied_shard_sum;
+    convergence_stats_.seconds += run.seconds;
+    ConvergenceMetrics::global().record(run);
+  }
   return processed;
 }
 

@@ -17,8 +17,12 @@
 // time, exactly as a TCP session teardown discards undelivered updates.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -28,8 +32,55 @@
 #include "bgp/router.hpp"
 #include "bgp/types.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vns::bgp {
+
+/// Per-fabric cumulative convergence-engine statistics (reset never; the
+/// fabric is built once per world).  `shard_limit` is the fixed shard count —
+/// it never varies with the thread knob, because the shard walk order defines
+/// the deterministic frontier merge.
+struct ConvergenceStats {
+  std::uint64_t runs = 0;        ///< run_to_convergence calls that found work
+  std::uint64_t messages = 0;    ///< messages consumed (delivered + dropped)
+  std::uint64_t batches = 0;     ///< frontier iterations across all runs
+  std::uint64_t shard_limit = 0;      ///< compile-time shard count
+  std::uint64_t max_batch_messages = 0;   ///< largest single batch
+  std::uint64_t max_shards_occupied = 0;  ///< peak non-empty shards in a batch
+  std::uint64_t occupied_shard_sum = 0;   ///< Σ non-empty shards per batch
+  double seconds = 0.0;          ///< wall-clock inside run_to_convergence
+
+  [[nodiscard]] double messages_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(messages) / seconds : 0.0;
+  }
+  [[nodiscard]] double mean_shard_occupancy() const noexcept {
+    return batches > 0 ? static_cast<double>(occupied_shard_sum) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+};
+
+/// Process-wide convergence accounting, mirroring net::FlatFibMetrics: every
+/// fabric's run_to_convergence adds its run here, so benches can surface a
+/// `convergence` block in BENCH_*.json without threading a fabric handle
+/// through the bench scaffolding.  Wall-clock only lives here and in
+/// ConvergenceStats — never in routing state — so determinism is unaffected.
+class ConvergenceMetrics {
+ public:
+  static ConvergenceMetrics& global() noexcept;
+
+  void record(const ConvergenceStats& run) noexcept;
+  [[nodiscard]] ConvergenceStats snapshot() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> runs_{0};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> max_batch_messages_{0};
+  std::atomic<std::uint64_t> max_shards_occupied_{0};
+  std::atomic<std::uint64_t> occupied_shard_sum_{0};
+  std::atomic<std::uint64_t> nanos_{0};
+};
 
 class Fabric {
  public:
@@ -104,23 +155,49 @@ class Fabric {
   void restore_router(RouterId id);
   [[nodiscard]] bool router_is_down(RouterId id) const { return router_down_.at(id); }
 
-  /// Processes queued updates until quiescent.  Returns the number of
-  /// messages delivered; throws std::runtime_error (with diagnostics:
-  /// messages delivered, queue depth, hottest queued prefixes) if
-  /// `max_messages` is exceeded (a non-converging configuration).
+  /// Processes queued updates until quiescent, as a sequence of frontier
+  /// batches: each iteration takes everything currently queued, partitions
+  /// it by prefix hash into a fixed number of shards, processes the shards
+  /// across the fabric's thread pool (per-prefix RIB updates are
+  /// independent; per-router delivery serializes on the router's mutex), and
+  /// merges the emitted frontier in stable shard-then-sequence order into
+  /// the next batch.  The shard count and merge order never depend on the
+  /// thread knob, so results — Loc-RIBs, exports, traces — are bit-identical
+  /// for any `set_threads` value, including 1 (which runs the same batch
+  /// algorithm inline).  Returns the number of messages consumed; throws
+  /// std::runtime_error (with diagnostics: messages delivered, queue depth,
+  /// hottest queued prefixes) if the next batch would exceed `max_messages`
+  /// (a non-converging configuration).  The budget check is batch-atomic —
+  /// a batch either runs in full or not at all — so budget exhaustion is
+  /// also identical for every thread count.
   std::size_t run_to_convergence(std::size_t max_messages = 20'000'000);
+
+  /// Convergence worker-lane count: `requested` resolves through
+  /// util::resolve_thread_count (>0 as-is, else VNS_THREADS, else hardware).
+  /// Purely a throughput knob — see run_to_convergence for the determinism
+  /// contract.
+  void set_threads(int requested);
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
 
   [[nodiscard]] bool converged() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t messages_delivered() const noexcept { return delivered_; }
   /// Messages discarded in flight because their target session was down.
   [[nodiscard]] std::size_t messages_dropped() const noexcept { return dropped_; }
+  /// Cumulative engine statistics across this fabric's convergence runs.
+  [[nodiscard]] const ConvergenceStats& convergence_stats() const noexcept {
+    return convergence_stats_;
+  }
 
   // --- observability --------------------------------------------------------
   /// Attaches (or detaches, with nullptr) a trace sink.  The fabric stamps
   /// every recorded event with its logical clock — one tick per external
-  /// announce/withdraw/originate, per fault operation, and per queue message
-  /// processed — so traces are reproducible byte-for-byte: the fabric is a
-  /// serial message bus and never sees wall-clock or thread scheduling.
+  /// announce/withdraw/originate, per fault operation, and per convergence
+  /// *batch* (every message of one frontier iteration shares a tick; a
+  /// per-message clock would depend on shard interleaving) — so traces are
+  /// reproducible byte-for-byte for any thread count.  Every event's
+  /// queue_depth is stamped *after* the triggering emissions are enqueued
+  /// (announce/withdraw/fault events used to under-report by stamping
+  /// first), replayed in deterministic merge order for batched deliveries.
   /// With no sink attached the only cost is a null check per event site.
   void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
   [[nodiscard]] obs::TraceSink* trace() const noexcept { return trace_; }
@@ -147,19 +224,41 @@ class Fabric {
     std::vector<NeighborId> ebgp_neighbors;
   };
 
+  /// One shard's worklist and outputs for a single frontier batch.  Shards
+  /// never share mutable state with each other: emissions, tallies and
+  /// staged trace events stay shard-local until the deterministic merge.
+  struct ShardState {
+    std::vector<Emission> work;
+    std::vector<Emission> out;  ///< frontier this shard emitted, in order
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    /// Staged trace events (when/queue_depth filled in at merge time) plus
+    /// per-message high-water marks (events_end, out_end) so the merge can
+    /// replay exactly the depths a one-lane run would have stamped.
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> marks;
+  };
+
   void enqueue(std::vector<Emission> emissions);
   /// Queues the IGP-change hook of every live router, in router-id order.
   void notify_igp_change();
-  [[nodiscard]] std::string convergence_diagnostics(std::size_t processed) const;
+  [[nodiscard]] std::string convergence_diagnostics(std::size_t pending) const;
 
   /// Records a trace event stamped with the logical clock and current queue
   /// depth; no-op (one branch) when no sink is attached.
   void trace_event(obs::TraceEventKind kind, std::uint32_t a, std::uint32_t b,
                    const net::Ipv4Prefix& prefix = net::Ipv4Prefix{});
-  /// Runs `deliver` and, when tracing, records a kLocRibChanged event if the
-  /// router's best route for `prefix` changed across the call.
-  template <typename Fn>
-  void deliver_with_rib_watch(Router& target, const net::Ipv4Prefix& prefix, Fn&& deliver);
+  /// Copies `target`'s current best route for `prefix` (tracing only).
+  [[nodiscard]] std::optional<Route> capture_best(const Router& target,
+                                                  const net::Ipv4Prefix& prefix) const;
+  /// Records kLocRibChanged when the best route differs from `before`.
+  void trace_rib_change(const Router& target, const net::Ipv4Prefix& prefix,
+                        const std::optional<Route>& before);
+  /// Delivers one queued emission inside a shard: export-sink writes take a
+  /// striped neighbor lock, router deliveries take the router's mutex.
+  void process_emission(const Emission& emission, ShardState& shard);
+  /// Lazily (re)builds the convergence pool for the current thread knob.
+  [[nodiscard]] util::ThreadPool& convergence_pool();
 
   net::Asn local_asn_;
   std::vector<std::unique_ptr<Router>> routers_;
@@ -170,11 +269,17 @@ class Fabric {
   std::size_t dropped_ = 0;
   /// Export sink per neighbor (what the neighbor has been sent).
   std::vector<std::unordered_map<net::Ipv4Prefix, Route>> neighbor_exports_;
+  /// Striped locks for the export sinks: emissions shard by prefix, so two
+  /// shards can write the same neighbor's sink concurrently.
+  std::array<std::mutex, 16> export_locks_;
   std::vector<bool> router_down_;
   std::unordered_map<RouterId, DownedRouter> downed_routers_;
   obs::TraceSink* trace_ = nullptr;  ///< not owned; null = tracing disabled
   std::uint64_t logical_time_ = 0;
   std::uint64_t rib_generation_ = 1;
+  unsigned threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< built on first convergence run
+  ConvergenceStats convergence_stats_;
 };
 
 }  // namespace vns::bgp

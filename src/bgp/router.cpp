@@ -90,26 +90,45 @@ std::optional<Route> Router::import(const SessionKey& key, const Route& raw) con
   return route;
 }
 
+const Route* Router::accepted_from(const SessionKey& key,
+                                   const net::Ipv4Prefix& prefix) const noexcept {
+  const auto table = adj_rib_in_.find(key.packed());
+  if (table == adj_rib_in_.end()) return nullptr;
+  const auto it = table->second.find(prefix);
+  if (it == table->second.end() || !it->second.accepted) return nullptr;
+  return &*it->second.accepted;
+}
+
 std::vector<const Route*> Router::candidates(const net::Ipv4Prefix& prefix,
                                              bool* dropped_unreachable_out) const {
   if (dropped_unreachable_out != nullptr) *dropped_unreachable_out = false;
   std::vector<const Route*> result;
-  result.reserve(adj_rib_in_.size() + 1);
-  for (const auto& [packed, table] : adj_rib_in_) {
-    (void)packed;
-    const auto it = table.find(prefix);
-    if (it == table.end() || !it->second.accepted) continue;
-    const Route& route = *it->second.accepted;
+  result.reserve(ibgp_sessions_.size() + ebgp_sessions_.size() + 1);
+  // Enumerate in configured-session order, never Adj-RIB-In map order: the
+  // MED rung of `prefer` only compares within one neighbor AS, so the pick
+  // can depend on enumeration order, and the map's bucket order depends on
+  // which delivery first created each session slot — under the sharded
+  // convergence engine that would vary with scheduling.  Session config
+  // order is fixed at topology build time for every thread count.
+  const auto consider = [&](const SessionKey& key) {
+    const Route* route = accepted_from(key, prefix);
+    if (route == nullptr) return;
     // RFC 4271 §9.1.2: a route whose NEXT_HOP is unresolvable is unusable.
     // With the IGP carrying next-hop reachability, an iBGP route through an
     // egress the IGP cannot reach must be excluded — this is what makes
     // link/router failures actually divert traffic.
-    if (igp_ != nullptr && route.egress != id_ && route.egress != kInvalidRouter &&
-        igp_->metric(id_, route.egress) == kUnreachable) {
+    if (igp_ != nullptr && route->egress != id_ && route->egress != kInvalidRouter &&
+        igp_->metric(id_, route->egress) == kUnreachable) {
       if (dropped_unreachable_out != nullptr) *dropped_unreachable_out = true;
-      continue;
+      return;
     }
-    result.push_back(&route);
+    result.push_back(route);
+  };
+  for (const auto& session : ibgp_sessions_) {
+    consider({SessionKind::kIbgp, session.peer});
+  }
+  for (const auto& session : ebgp_sessions_) {
+    consider({SessionKind::kEbgp, session.info.id});
   }
   if (const auto it = originated_.find(prefix); it != originated_.end()) {
     result.push_back(&it->second);
@@ -121,13 +140,11 @@ const Route* Router::best_external_candidate(const net::Ipv4Prefix& prefix,
                                              std::optional<NeighborKind> only_kind) const {
   const Route* best = nullptr;
   const DecisionContext ctx{id_, igp_};
-  for (const auto& [packed, table] : adj_rib_in_) {
-    if (static_cast<SessionKind>(packed >> 32) != SessionKind::kEbgp) continue;
-    const auto it = table.find(prefix);
-    if (it == table.end() || !it->second.accepted) continue;
-    const Route& route = *it->second.accepted;
-    if (only_kind && route.learned_from_kind != *only_kind) continue;
-    if (best == nullptr || prefer(route, *best, ctx)) best = &route;
+  for (const auto& session : ebgp_sessions_) {
+    const Route* route = accepted_from({SessionKind::kEbgp, session.info.id}, prefix);
+    if (route == nullptr) continue;
+    if (only_kind && route->learned_from_kind != *only_kind) continue;
+    if (best == nullptr || prefer(*route, *best, ctx)) best = route;
   }
   return best;
 }

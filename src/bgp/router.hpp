@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -185,6 +186,15 @@ class Router {
     return igp_dependent_.size();
   }
 
+  /// Serializes concurrent deliveries to this router.  The sharded
+  /// convergence engine partitions work by prefix, so two shards may deliver
+  /// different prefixes to the same router at once; the RIB maps are shared
+  /// containers, so each delivery (handler plus any best-route reads around
+  /// it) must hold this.  Per-prefix handler effects commute — every map
+  /// iteration in this class either sorts first or enumerates the fixed
+  /// session vectors — so lock-acquisition order cannot leak into results.
+  [[nodiscard]] std::mutex& delivery_mutex() const noexcept { return delivery_mutex_; }
+
  private:
   /// One Adj-RIB-In slot: the route exactly as received, plus the cached
   /// post-import-policy view.  The cache is recomputed at receipt time and
@@ -214,6 +224,10 @@ class Router {
 
   /// Applies the import policy; returns the post-policy route or nullopt.
   [[nodiscard]] std::optional<Route> import(const SessionKey& key, const Route& raw) const;
+  /// The cached post-policy route one session contributes for a prefix, or
+  /// nullptr (unknown session / unknown prefix / rejected by policy).
+  [[nodiscard]] const Route* accepted_from(const SessionKey& key,
+                                           const net::Ipv4Prefix& prefix) const noexcept;
   /// All post-policy candidates for a prefix, as views into the cached
   /// Adj-RIB-In entries (zero-copy).  Candidates whose NEXT_HOP (egress
   /// router) is IGP-unreachable are unusable (RFC 4271 §9.1.2) and dropped;
@@ -275,6 +289,7 @@ class Router {
   /// Prefixes whose last decision was IGP-sensitive — the exact set
   /// handle_igp_change must revisit.
   std::unordered_set<net::Ipv4Prefix> igp_dependent_;
+  mutable std::mutex delivery_mutex_;
 };
 
 /// Route equality for implicit-withdraw suppression: attributes + forwarding

@@ -75,6 +75,9 @@ std::unique_ptr<Workbench> Workbench::build(const WorkbenchConfig& config) {
   auto bench = std::unique_ptr<Workbench>(new Workbench(config));
   // Attach the sink before the feed storm so traces cover initial convergence.
   if (config.trace != nullptr) bench->vns_->fabric().set_trace(config.trace);
+  // Same knob as the campaigns; convergence results are bit-identical for
+  // any value, so this is purely a build-time throughput lever.
+  bench->vns_->fabric().set_threads(config.threads);
   if (config.feed_routes) bench->vns_->feed_routes();
   return bench;
 }

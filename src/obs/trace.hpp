@@ -4,12 +4,15 @@
 // convergence boundaries.
 //
 // Events are stamped with *logical* time: the bgp::Fabric's monotonic event
-// counter (one tick per external announce/withdraw, per queue message
-// processed, and per fault operation), never wall-clock.  The fabric is a
-// deterministic serial message bus and the measurement thread pools never
-// touch it concurrently, so a trace is bit-identical across runs and across
-// any `--threads` value — the PR 1 determinism contract extends to
-// observability.
+// counter (one tick per external announce/withdraw and per fault operation;
+// inside run_to_convergence, one tick per *batch* — every message of a
+// frontier batch shares its batch's tick), never wall-clock.  `queue_depth`
+// is always stamped *after* the event's own emissions are enqueued (for
+// in-batch events: messages remaining in the batch plus the next frontier
+// so far).  The sharded convergence engine replays each batch's staged
+// events in deterministic shard-then-sequence order, so a trace is
+// bit-identical across runs and across any `--threads` value — the PR 1
+// determinism contract extends to observability.
 //
 // Cost model: a fabric with no sink attached pays exactly one null-pointer
 // test per message (verified by BM_FabricAnnouncementConvergence[Traced] in
@@ -62,7 +65,7 @@ struct TraceEvent {
   std::uint32_t a = kNoTraceId;
   std::uint32_t b = kNoTraceId;
   net::Ipv4Prefix prefix{};        ///< 0.0.0.0/0 when not prefix-scoped
-  std::uint32_t queue_depth = 0;   ///< fabric queue depth when recorded
+  std::uint32_t queue_depth = 0;   ///< pending work after this event's emissions enqueued
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };

@@ -31,6 +31,7 @@ struct ThreadPool::State {
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
+  std::size_t arrived = 0;    ///< workers that have observed the current batch
   std::size_t in_flight = 0;  ///< workers still draining the current batch
   std::exception_ptr first_error;
   bool shutdown = false;
@@ -57,12 +58,14 @@ struct ThreadPool::State {
         work_ready.wait(lock, [&] { return shutdown || generation != seen_generation; });
         if (shutdown) return;
         seen_generation = generation;
+        ++arrived;
         ++in_flight;
       }
       drain();
       {
         std::lock_guard<std::mutex> lock{mutex};
-        if (--in_flight == 0) batch_done.notify_all();
+        --in_flight;
+        batch_done.notify_all();
       }
     }
   }
@@ -100,12 +103,20 @@ void ThreadPool::parallel_for(std::size_t count,
     state_->fn = &fn;
     state_->next.store(0, std::memory_order_relaxed);
     state_->first_error = nullptr;
+    state_->arrived = 0;
     ++state_->generation;
   }
   state_->work_ready.notify_all();
   state_->drain();  // the caller is a lane too
+  // Wait until every worker has both observed this batch and finished
+  // draining it.  Requiring arrival (not just in_flight == 0) closes a
+  // use-after-reset race: a worker that wakes late could otherwise read
+  // count/fn — or store its exception into first_error — while the caller is
+  // already setting up the next batch.
   std::unique_lock<std::mutex> lock{state_->mutex};
-  state_->batch_done.wait(lock, [&] { return state_->in_flight == 0; });
+  state_->batch_done.wait(lock, [&] {
+    return state_->arrived == state_->workers.size() && state_->in_flight == 0;
+  });
   state_->fn = nullptr;
   if (state_->first_error) std::rethrow_exception(state_->first_error);
 }

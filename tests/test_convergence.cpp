@@ -1,0 +1,389 @@
+// Determinism contract of the sharded frontier convergence engine: for any
+// `set_threads` value the fabric must produce bit-identical Loc-RIBs, export
+// sinks, rib_generation sequences and trace JSONL.  The fuzz below replays
+// 50+ seeded churn schedules (announce/withdraw/link/session/router faults)
+// at 1, 2, 4 and 8 threads and compares every observable byte-for-byte;
+// goldens pin the queue-depth stamp point and the engine statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/fabric.hpp"
+#include "obs/trace.hpp"
+
+namespace vns {
+namespace {
+
+using bgp::Fabric;
+using bgp::NeighborId;
+using bgp::NeighborKind;
+using bgp::RouterId;
+using net::Ipv4Prefix;
+
+bgp::Attributes attrs_with_path(std::vector<net::Asn> path) {
+  bgp::Attributes attrs;
+  attrs.as_path = bgp::AsPath{std::move(path)};
+  return attrs;
+}
+
+/// Fig. 2 shape plus one extra client so router faults leave survivors:
+/// four border routers under one RR, two upstreams and a peer.
+struct ConvergenceFixture {
+  Fabric fabric{65000};
+  obs::TraceSink sink{1u << 18};
+  std::vector<RouterId> borders;
+  RouterId rr;
+  std::vector<NeighborId> uplinks;
+
+  explicit ConvergenceFixture(int threads, bool traced = true) {
+    for (int i = 0; i < 4; ++i) {
+      borders.push_back(fabric.add_router("B" + std::to_string(i)));
+    }
+    rr = fabric.add_router("RR");
+    for (std::size_t i = 0; i < borders.size(); ++i) {
+      fabric.add_rr_client_session(rr, borders[i]);
+      fabric.add_igp_link(rr, borders[i], 1);
+      fabric.router(borders[i]).set_advertise_best_external(true);
+    }
+    fabric.add_igp_link(borders[0], borders[1], 10);
+    fabric.add_igp_link(borders[1], borders[2], 10);
+    fabric.add_igp_link(borders[2], borders[3], 10);
+    uplinks.push_back(fabric.add_neighbor(borders[0], 174, NeighborKind::kUpstream, "up0"));
+    uplinks.push_back(fabric.add_neighbor(borders[1], 3356, NeighborKind::kUpstream, "up1"));
+    uplinks.push_back(fabric.add_neighbor(borders[2], 6939, NeighborKind::kPeer, "peer2"));
+    uplinks.push_back(fabric.add_neighbor(borders[3], 1299, NeighborKind::kUpstream, "up3"));
+    if (traced) fabric.set_trace(&sink);
+    fabric.set_threads(threads);
+  }
+
+  [[nodiscard]] bool neighbor_session_up(NeighborId n) const {
+    const auto& info = fabric.neighbor(n);
+    return fabric.router(info.attached_to)
+        .session_is_up(bgp::SessionKind::kEbgp, n);
+  }
+};
+
+/// Sorted, fully materialized control-plane state: every router's Loc-RIB
+/// and every neighbor's export sink rendered through Route::to_string.
+std::string dump_state(const Fabric& fabric) {
+  std::ostringstream out;
+  for (RouterId r = 0; r < fabric.router_count(); ++r) {
+    out << "router " << r << "\n";
+    std::map<Ipv4Prefix, std::string> rows;
+    for (const auto& [prefix, route] : fabric.router(r).loc_rib()) {
+      rows[prefix] = route.to_string();
+    }
+    for (const auto& [prefix, row] : rows) {
+      out << "  " << prefix.to_string() << " " << row << "\n";
+    }
+  }
+  for (NeighborId n = 0; n < fabric.neighbor_count(); ++n) {
+    out << "neighbor " << n << "\n";
+    std::map<Ipv4Prefix, std::string> rows;
+    for (const auto& [prefix, route] : fabric.exported_to(n)) {
+      rows[prefix] = route.to_string();
+    }
+    for (const auto& [prefix, row] : rows) {
+      out << "  " << prefix.to_string() << " " << row << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// Everything one churn replay observes, for byte-comparison across thread
+/// counts.
+struct ReplayObservation {
+  std::string state;             ///< dump_state at the end of the schedule
+  std::string trace_jsonl;       ///< full trace, byte-for-byte
+  std::vector<std::uint64_t> generations;  ///< rib_generation after each step
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+};
+
+/// A tiny deterministic LCG: the schedule generator must not depend on
+/// util::Rng internals so the op sequence is stable even if the RNG evolves.
+struct ScheduleRng {
+  std::uint64_t state;
+  std::uint32_t next(std::uint32_t bound) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>((state >> 33) % bound);
+  }
+};
+
+/// Replays `steps` pseudo-random churn operations.  Op choices consume RNG
+/// draws unconditionally (guards are applied afterwards), so two replicas
+/// walk the same op sequence as long as their fabric state is identical —
+/// exactly the property under test.
+ReplayObservation replay_schedule(std::uint64_t seed, int threads, int steps = 14) {
+  ConvergenceFixture fx{threads};
+  ScheduleRng rng{seed * 0x9e3779b97f4a7c15ull + 1};
+  ReplayObservation obs;
+
+  const auto prefix_at = [](std::uint32_t i) {
+    return Ipv4Prefix{net::Ipv4Address{(0xC600u + i * 7u) << 16}, 24};
+  };
+
+  // Seed routes so the first fault ops have something to tear down.
+  for (std::uint32_t p = 0; p < 6; ++p) {
+    const auto n = fx.uplinks[p % fx.uplinks.size()];
+    fx.fabric.announce(n, prefix_at(p),
+                       attrs_with_path({fx.fabric.neighbor(n).asn,
+                                        static_cast<net::Asn>(4000 + p)}));
+  }
+  fx.fabric.run_to_convergence();
+  obs.generations.push_back(fx.fabric.rib_generation());
+
+  for (int step = 0; step < steps; ++step) {
+    const std::uint32_t op = rng.next(8);
+    const std::uint32_t p = rng.next(8);
+    const std::uint32_t n = rng.next(static_cast<std::uint32_t>(fx.uplinks.size()));
+    const std::uint32_t r = rng.next(static_cast<std::uint32_t>(fx.borders.size()));
+    const NeighborId neighbor = fx.uplinks[n];
+    const RouterId border = fx.borders[r];
+    switch (op) {
+      case 0:
+      case 1:  // announces are twice as likely as any single fault op
+        if (fx.neighbor_session_up(neighbor)) {
+          fx.fabric.announce(neighbor, prefix_at(p),
+                             attrs_with_path({fx.fabric.neighbor(neighbor).asn,
+                                              static_cast<net::Asn>(5000 + p)}));
+        }
+        break;
+      case 2:
+        if (fx.neighbor_session_up(neighbor)) fx.fabric.withdraw(neighbor, prefix_at(p));
+        break;
+      case 3:
+        fx.fabric.fail_link(fx.rr, border);
+        break;
+      case 4:
+        fx.fabric.restore_link(fx.rr, border);
+        break;
+      case 5:
+        if (!fx.fabric.router_is_down(border)) {
+          if (fx.fabric.router(border).session_is_up(bgp::SessionKind::kIbgp, fx.rr)) {
+            fx.fabric.fail_session(border, fx.rr);
+          } else {
+            fx.fabric.restore_session(border, fx.rr);
+          }
+        }
+        break;
+      case 6:
+        if (fx.neighbor_session_up(neighbor)) {
+          fx.fabric.fail_session(neighbor);
+        } else if (!fx.fabric.router_is_down(fx.fabric.neighbor(neighbor).attached_to)) {
+          fx.fabric.restore_session(neighbor);
+        }
+        break;
+      default:
+        if (fx.fabric.router_is_down(border)) {
+          fx.fabric.restore_router(border);
+        } else {
+          fx.fabric.fail_router(border);
+        }
+        break;
+    }
+    // Converge only every other step so some schedules build multi-op storms
+    // (deeper batches exercise the shard merge harder).
+    if (step % 2 == 1 || step == steps - 1) fx.fabric.run_to_convergence();
+    obs.generations.push_back(fx.fabric.rib_generation());
+  }
+
+  obs.state = dump_state(fx.fabric);
+  obs.trace_jsonl = fx.sink.to_jsonl();
+  obs.delivered = fx.fabric.messages_delivered();
+  obs.dropped = fx.fabric.messages_dropped();
+  return obs;
+}
+
+// ------------------------------------------- churn fuzz ---------------------
+
+TEST(Convergence, ChurnSchedulesAreBitIdenticalAcrossThreadCounts) {
+  constexpr std::uint64_t kSeeds = 52;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const ReplayObservation baseline = replay_schedule(seed, /*threads=*/1);
+    EXPECT_GT(baseline.delivered, 0u) << "seed " << seed << " exercised nothing";
+    for (const int threads : {2, 4, 8}) {
+      const ReplayObservation candidate = replay_schedule(seed, threads);
+      ASSERT_EQ(candidate.state, baseline.state)
+          << "Loc-RIB/export divergence at seed " << seed << ", threads " << threads;
+      ASSERT_EQ(candidate.trace_jsonl, baseline.trace_jsonl)
+          << "trace divergence at seed " << seed << ", threads " << threads;
+      ASSERT_EQ(candidate.generations, baseline.generations)
+          << "rib_generation divergence at seed " << seed << ", threads " << threads;
+      ASSERT_EQ(candidate.delivered, baseline.delivered) << "seed " << seed;
+      ASSERT_EQ(candidate.dropped, baseline.dropped) << "seed " << seed;
+    }
+  }
+}
+
+// ------------------------------------------- trace stamp goldens ------------
+
+TEST(Convergence, AnnounceQueueDepthCountsItsOwnEmissions) {
+  // The stamp-point contract: an announce's queue_depth covers the emissions
+  // it just enqueued (it used to be stamped before the enqueue and read 0).
+  ConvergenceFixture fx{1};
+  fx.fabric.announce(fx.uplinks[0], Ipv4Prefix::parse("203.0.113.0/24").value(),
+                     attrs_with_path({174, 400}));
+  const auto events = fx.sink.events();
+  ASSERT_FALSE(events.empty());
+  const auto announce =
+      std::find_if(events.begin(), events.end(), [](const obs::TraceEvent& e) {
+        return e.kind == obs::TraceEventKind::kAnnounce;
+      });
+  ASSERT_NE(announce, events.end());
+  // Border 0 advertises to the RR (and best-external handling may add more):
+  // at least one emission must be visible in the announce's depth.
+  EXPECT_GT(announce->queue_depth, 0u);
+
+  // The depth the announce reported is exactly what convergence then finds.
+  fx.fabric.run_to_convergence();
+  const auto all = fx.sink.events();
+  const auto begin =
+      std::find_if(all.begin(), all.end(), [](const obs::TraceEvent& e) {
+        return e.kind == obs::TraceEventKind::kConvergeBegin;
+      });
+  ASSERT_NE(begin, all.end());
+  EXPECT_EQ(begin->a, announce->queue_depth);
+  EXPECT_EQ(begin->queue_depth, announce->queue_depth);
+}
+
+TEST(Convergence, FaultEventsStampDepthAfterTheirStorm) {
+  ConvergenceFixture fx{1};
+  fx.fabric.announce(fx.uplinks[0], Ipv4Prefix::parse("203.0.113.0/24").value(),
+                     attrs_with_path({174, 400}));
+  fx.fabric.run_to_convergence();
+  fx.sink.clear();
+
+  ASSERT_TRUE(fx.fabric.fail_session(fx.uplinks[0]));
+  const auto events = fx.sink.events();
+  const auto down =
+      std::find_if(events.begin(), events.end(), [](const obs::TraceEvent& e) {
+        return e.kind == obs::TraceEventKind::kEbgpSessionDown;
+      });
+  ASSERT_NE(down, events.end());
+  // The border router flushed the neighbor's route and queued the withdraw
+  // storm before the event was cut: the depth covers it.
+  EXPECT_GT(down->queue_depth, 0u);
+  fx.fabric.run_to_convergence();
+}
+
+TEST(Convergence, LastBatchMessageReportsEmptyQueue) {
+  ConvergenceFixture fx{4};
+  fx.fabric.announce(fx.uplinks[0], Ipv4Prefix::parse("203.0.113.0/24").value(),
+                     attrs_with_path({174, 400}));
+  fx.fabric.announce(fx.uplinks[1], Ipv4Prefix::parse("198.51.100.0/24").value(),
+                     attrs_with_path({3356, 500}));
+  fx.fabric.run_to_convergence();
+  const auto events = fx.sink.events();
+  const auto end =
+      std::find_if(events.begin(), events.end(), [](const obs::TraceEvent& e) {
+        return e.kind == obs::TraceEventKind::kConvergeEnd;
+      });
+  ASSERT_NE(end, events.end());
+  ASSERT_NE(end, events.begin());
+  // The event replayed immediately before quiescence saw nothing pending.
+  EXPECT_EQ(std::prev(end)->queue_depth, 0u);
+}
+
+TEST(Convergence, BatchMessagesShareOneLogicalTick) {
+  ConvergenceFixture fx{4};
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    fx.fabric.announce(fx.uplinks[p], Ipv4Prefix{net::Ipv4Address{(0xC000u + p) << 16}, 24},
+                       attrs_with_path({fx.fabric.neighbor(fx.uplinks[p]).asn,
+                                        static_cast<net::Asn>(900 + p)}));
+  }
+  fx.fabric.run_to_convergence();
+  // Collect the logical times of delivery events: within one batch every
+  // message shares a tick, and ticks never decrease in replay order.
+  std::uint64_t last = 0;
+  std::size_t delivery_ticks = 0;
+  for (const auto& event : fx.sink.events()) {
+    if (event.kind != obs::TraceEventKind::kUpdateDelivered &&
+        event.kind != obs::TraceEventKind::kExportUpdate) {
+      continue;
+    }
+    EXPECT_GE(event.when, last) << "logical clock went backwards";
+    if (event.when != last) ++delivery_ticks;
+    last = event.when;
+  }
+  const auto& stats = fx.fabric.convergence_stats();
+  EXPECT_LE(delivery_ticks, stats.batches)
+      << "deliveries used more distinct ticks than batches ran";
+}
+
+// ------------------------------------------- budget + stats -----------------
+
+TEST(Convergence, BudgetDiagnosticsSurviveSharding) {
+  ConvergenceFixture fx{4, /*traced=*/false};
+  for (int i = 0; i < 8; ++i) {
+    const Ipv4Prefix prefix{net::Ipv4Address{static_cast<std::uint32_t>((i + 1) << 16)}, 24};
+    fx.fabric.announce(fx.uplinks[0], prefix,
+                       attrs_with_path({174, static_cast<net::Asn>(900 + i)}));
+  }
+  try {
+    fx.fabric.run_to_convergence(1);
+    FAIL() << "expected budget exhaustion";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("queue depth"), std::string::npos) << message;
+    EXPECT_NE(message.find("delivered"), std::string::npos) << message;
+    EXPECT_NE(message.find("hottest queued prefixes"), std::string::npos) << message;
+  }
+  // Batch-atomic abort: the frontier survives, so a real budget converges.
+  EXPECT_FALSE(fx.fabric.converged());
+  EXPECT_GT(fx.fabric.run_to_convergence(), 0u);
+  EXPECT_TRUE(fx.fabric.converged());
+}
+
+TEST(Convergence, EngineStatsAccountShardsAndMessages) {
+  const auto global_before = bgp::ConvergenceMetrics::global().snapshot();
+  ConvergenceFixture fx{2, /*traced=*/false};
+  for (std::uint32_t p = 0; p < 12; ++p) {
+    fx.fabric.announce(fx.uplinks[p % fx.uplinks.size()],
+                       Ipv4Prefix{net::Ipv4Address{(0xC800u + p * 3u) << 16}, 24},
+                       attrs_with_path({fx.fabric.neighbor(fx.uplinks[p % 4]).asn,
+                                        static_cast<net::Asn>(700 + p)}));
+  }
+  const std::size_t processed = fx.fabric.run_to_convergence();
+  ASSERT_GT(processed, 0u);
+
+  const auto& stats = fx.fabric.convergence_stats();
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.messages, processed);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.shard_limit, 64u);
+  EXPECT_GE(stats.max_batch_messages, 1u);
+  EXPECT_LE(stats.max_batch_messages, stats.messages);
+  EXPECT_GE(stats.max_shards_occupied, 1u);
+  EXPECT_LE(stats.max_shards_occupied, stats.shard_limit);
+  EXPECT_GE(stats.occupied_shard_sum, stats.batches);  // every batch has work
+  EXPECT_GT(stats.mean_shard_occupancy(), 0.0);
+  EXPECT_LE(stats.mean_shard_occupancy(), 64.0);
+  EXPECT_GE(stats.messages_per_sec(), 0.0);
+
+  // The process-global registry absorbed this fabric's run.
+  const auto global_after = bgp::ConvergenceMetrics::global().snapshot();
+  EXPECT_GE(global_after.runs, global_before.runs + 1);
+  EXPECT_GE(global_after.messages, global_before.messages + processed);
+  EXPECT_EQ(global_after.shard_limit, 64u);
+}
+
+TEST(Convergence, ThreadKnobResolvesAndRebuilds) {
+  ConvergenceFixture fx{1, /*traced=*/false};
+  EXPECT_EQ(fx.fabric.threads(), 1u);
+  fx.fabric.set_threads(8);
+  EXPECT_EQ(fx.fabric.threads(), 8u);
+  fx.fabric.set_threads(0);  // falls back to VNS_THREADS / hardware
+  EXPECT_GE(fx.fabric.threads(), 1u);
+  // The knob is usable mid-life: converge again after a resize.
+  fx.fabric.announce(fx.uplinks[0], Ipv4Prefix::parse("203.0.113.0/24").value(),
+                     attrs_with_path({174, 400}));
+  EXPECT_GT(fx.fabric.run_to_convergence(), 0u);
+}
+
+}  // namespace
+}  // namespace vns

@@ -138,6 +138,46 @@ TEST(Fib, MetricsTrackLiveFootprintAndSurviveMoves) {
   EXPECT_EQ(after.bytes, before.bytes);
 }
 
+TEST(Fib, MetricsSurviveMoveAssignOverCompiledInstance) {
+  // The hazard the audit chased: move-assigning one compiled FIB over
+  // *another* compiled FIB must release exactly the overwritten footprint —
+  // not leak it (assign without release) nor double-release (count the moved
+  // footprint twice).  Re-publishing a viewpoint FIB does exactly this.
+  net::PrefixTrie<std::uint32_t> small;
+  ASSERT_TRUE(small.insert(Ipv4Prefix::parse("198.51.100.0/24").value(), 1));
+  net::PrefixTrie<std::uint32_t> large;
+  ASSERT_TRUE(large.insert(Ipv4Prefix::parse("198.51.100.0/24").value(), 1));
+  ASSERT_TRUE(large.insert(Ipv4Prefix::parse("203.0.113.0/24").value(), 2));
+  ASSERT_TRUE(large.insert(Ipv4Prefix::parse("192.0.2.128/25").value(), 3));
+  const auto map = [](const Ipv4Prefix&, const std::uint32_t& value) { return value; };
+
+  const auto before = FlatFibMetrics::global().snapshot();
+  {
+    FlatFib current = FlatFib::compile_from(small, map);
+    const auto first = FlatFibMetrics::global().snapshot();
+    EXPECT_EQ(first.rebuilds, before.rebuilds + 1);
+    EXPECT_EQ(first.entries, before.entries + small.size());
+
+    // The re-publish: a fresh compile replaces the live one.
+    current = FlatFib::compile_from(large, map);
+    const auto second = FlatFibMetrics::global().snapshot();
+    EXPECT_EQ(second.rebuilds, before.rebuilds + 2);  // one compile, one bump
+    EXPECT_EQ(second.entries, before.entries + large.size())
+        << "overwritten instance's footprint leaked or double-released";
+    EXPECT_NE(current.lookup(Ipv4Address{203, 0, 113, 9}), nullptr);
+
+    // Repeated re-publish never drifts.
+    current = FlatFib::compile_from(large, map);
+    EXPECT_EQ(FlatFibMetrics::global().snapshot().entries,
+              before.entries + large.size());
+  }
+  const auto after = FlatFibMetrics::global().snapshot();
+  EXPECT_EQ(after.entries, before.entries);
+  EXPECT_EQ(after.spill_tables, before.spill_tables);
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.rebuilds, before.rebuilds + 3);
+}
+
 // --------------------------------------- VNS data-plane equivalence ---------
 
 /// Deterministic probe pool: biased toward announced prefixes (including

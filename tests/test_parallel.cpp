@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "measure/prober.hpp"
@@ -52,6 +54,39 @@ TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
                                  }),
                std::runtime_error);
   // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, WorkerThrownExceptionReachesTheCaller) {
+  // FirstExceptionPropagates above can be satisfied by the caller's own lane
+  // hitting the throwing index.  Pin the throw to an index claimed by a
+  // *worker* thread: the pool must hand the exception_ptr across threads and
+  // rethrow it on the submitting thread, not swallow it in worker_loop.
+  util::ThreadPool pool{2};
+  ASSERT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> worker_throws{0};
+  for (int round = 0; round < 20 && worker_throws.load() == 0; ++round) {
+    bool threw = false;
+    try {
+      pool.parallel_for(32, [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) {
+          ++worker_throws;
+          throw std::runtime_error("worker shard failed");
+        }
+        // Slow the caller's lane down so the worker claims a share even on a
+        // single hardware thread.
+        std::this_thread::sleep_for(std::chrono::milliseconds{1});
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    // Whenever a worker lane threw, the caller must have seen it.
+    if (worker_throws.load() > 0) EXPECT_TRUE(threw);
+  }
+  EXPECT_GT(worker_throws.load(), 0);
   std::atomic<int> count{0};
   pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 10);

@@ -200,6 +200,10 @@ constexpr std::string_view kBenchMemoryKeys[] = {
     "attr_dedup_ratio",
     // Compiled data-plane stats (nested "fib" object).
     "fib", "entries", "spill_tables", "bytes", "rebuilds", "build_seconds",
+    // Sharded convergence engine stats (the "convergence" object).
+    "convergence", "runs", "messages", "batches", "messages_per_sec",
+    "shard_limit", "shard_occupancy_mean", "shard_occupancy_max",
+    "max_batch_messages",
 };
 
 bool check_bench_record(const std::string& name, std::string_view content) {
