@@ -2,7 +2,9 @@
 //
 // Every bench binary regenerates one table or figure from the paper's
 // evaluation.  They accept:
-//   --small        tiny topology (CI smoke runs)
+//   --small        tiny topology (CI smoke runs); alias for --scale small
+//   --scale S      world tier: small | paper (default) | full (10k ASes,
+//                  100k+ prefixes, full-table scale)
 //   --seed N       world seed (default 1)
 //   --days D       campaign length where applicable (scaled-down defaults)
 //   --threads N    campaign worker count (default: VNS_THREADS, then
@@ -71,9 +73,10 @@ namespace vns::bench {
 }
 
 struct BenchArgs {
-  bool small = false;
+  bool small = false;  ///< kept as an alias for --scale small
   bool json = false;   ///< also emit BENCH_<name>.json
   bool trace = false;  ///< attach a TraceSink and emit TRACE_<name>.jsonl
+  topo::InternetScale scale = topo::InternetScale::kPaper;
   std::uint64_t seed = 1;
   double days = 0.0;  ///< 0: bench-specific default
   int threads = 0;    ///< 0: VNS_THREADS env, then hardware concurrency
@@ -84,6 +87,20 @@ struct BenchArgs {
       const std::string_view arg = argv[i];
       if (arg == "--small") {
         args.small = true;
+        args.scale = topo::InternetScale::kSmall;
+      } else if (arg == "--scale" && i + 1 < argc) {
+        const std::string_view tier = argv[++i];
+        if (tier == "small") {
+          args.scale = topo::InternetScale::kSmall;
+          args.small = true;
+        } else if (tier == "paper") {
+          args.scale = topo::InternetScale::kPaper;
+        } else if (tier == "full") {
+          args.scale = topo::InternetScale::kFull;
+        } else {
+          std::cerr << "unknown --scale '" << tier << "' (small|paper|full)\n";
+          std::exit(2);
+        }
       } else if (arg == "--json") {
         args.json = true;
       } else if (arg == "--trace") {
@@ -95,7 +112,8 @@ struct BenchArgs {
       } else if (arg == "--threads" && i + 1 < argc) {
         args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       } else if (arg == "--help") {
-        std::cout << "flags: --small --seed N --days D --threads N --json --trace\n";
+        std::cout << "flags: --scale {small,paper,full} --small --seed N --days D "
+                     "--threads N --json --trace\n";
         std::exit(0);
       }
     }
@@ -103,8 +121,7 @@ struct BenchArgs {
   }
 
   [[nodiscard]] measure::WorkbenchConfig workbench_config() const {
-    auto config = small ? measure::WorkbenchConfig::small(seed)
-                        : measure::WorkbenchConfig::paper_scale(seed);
+    auto config = measure::WorkbenchConfig::at_scale(scale, seed);
     config.threads = threads;
     if (trace) config.trace = &trace_sink();
     return config;
@@ -161,6 +178,10 @@ class BenchRecord {
 
   void set_build_seconds(double seconds) { build_seconds_ = seconds; }
 
+  /// Route (prefix) count of the world, the denominator of
+  /// memory.rss_per_route (set by build_world).
+  void set_route_count(std::size_t count) { route_count_ = count; }
+
   /// `BENCH_fig9_video_loss.json` for `bench_fig9_video_loss`.
   [[nodiscard]] std::string output_path() const {
     std::string_view stem = name_;
@@ -206,7 +227,16 @@ class BenchRecord {
     // BENCH_*.json instead of only in the microbench.
     const auto attr = bgp::AttrTable::global().stats();
     std::vector<std::pair<std::string, std::string>> memory;
-    memory.emplace_back("peak_rss_kb", json_value(peak_rss_kb()));
+    const std::uint64_t rss_kb = peak_rss_kb();
+    memory.emplace_back("peak_rss_kb", json_value(rss_kb));
+    // Scale-normalized footprint: peak RSS bytes per routed prefix.  Lets
+    // small / paper / full runs of the same bench compare directly and makes
+    // per-route memory regressions visible at every tier.
+    memory.emplace_back("rss_per_route",
+                        json_value(route_count_ ? static_cast<double>(rss_kb) * 1024.0 /
+                                                      static_cast<double>(route_count_)
+                                                : 0.0));
+    memory.emplace_back("routes", json_value(route_count_));
     memory.emplace_back("attr_unique_live", json_value(attr.unique_live));
     memory.emplace_back("attr_peak_unique", json_value(attr.peak_unique));
     memory.emplace_back("attr_live_refs", json_value(attr.live_refs));
@@ -223,6 +253,9 @@ class BenchRecord {
                             ", \"spill_tables\": " + json_value(fib.spill_tables) +
                             ", \"bytes\": " + json_value(fib.bytes) +
                             ", \"rebuilds\": " + json_value(fib.rebuilds) +
+                            ", \"full_rebuilds\": " + json_value(fib.full_rebuilds) +
+                            ", \"patches\": " + json_value(fib.patches) +
+                            ", \"slots_touched\": " + json_value(fib.slots_touched) +
                             ", \"build_seconds\": " + json_value(fib.build_seconds) + "}");
     object("memory", memory);
     out << ",\n";
@@ -247,6 +280,7 @@ class BenchRecord {
   std::string name_, paper_ref_;
   std::vector<std::pair<std::string, std::string>> config_, metrics_;
   double build_seconds_ = 0.0;
+  std::size_t route_count_ = 0;
 };
 
 /// Shorthand the benches use to register a key metric for the JSON record.
@@ -263,6 +297,7 @@ inline void begin_bench(const BenchArgs& args, const std::string& bench_name,
   auto& record = BenchRecord::global();
   record.begin(bench_name, paper_ref);
   record.config("small", args.small);
+  record.config("scale", topo::to_string(args.scale));
   record.config("seed", args.seed);
   record.config("days", args.days);
   record.config("threads", util::resolve_thread_count(args.threads));
@@ -285,6 +320,7 @@ inline std::unique_ptr<measure::Workbench> build_world(const BenchArgs& args,
                                world->vns().fabric().messages_delivered());
   auto& record = BenchRecord::global();
   record.set_build_seconds(elapsed);
+  record.set_route_count(world->internet().prefixes().size());
   record.config("ases", world->internet().as_count());
   record.config("prefixes", world->internet().prefixes().size());
   record.config("ebgp_sessions", world->vns().fabric().neighbor_count());

@@ -1,7 +1,8 @@
 // Performance microbenchmarks (google-benchmark) for the hot paths: the
 // routing-table trie, great-circle math, the BGP decision process,
 // Gao–Rexford route computation, path-model sampling, and full fabric
-// convergence per announced prefix — plus the observability paths: fabric
+// convergence per announced prefix, and incremental FIB patching vs a full
+// recompile at full-table scale — plus the observability paths: fabric
 // convergence with tracing off vs on (the off variant is the zero-cost
 // claim's evidence), counter batching, trace-sink record, and provenance.
 #include <benchmark/benchmark.h>
@@ -435,6 +436,73 @@ void BM_GeoIpFib(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_GeoIpFib);
+
+// --- incremental FIB patching vs full recompile -----------------------------
+
+/// A synthetic full table at the `--scale full` size: the /16 pool runs out
+/// partway through so the tail is /20s, exercising the spill tables exactly
+/// like topo::Internet's allocator cascade does.
+std::vector<net::FlatFib::Leaf> make_full_table(std::uint32_t count) {
+  std::vector<net::FlatFib::Leaf> leaves;
+  leaves.reserve(count);
+  std::uint32_t b16 = 11, s20 = 0, s24 = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (b16 <= 0xffffu) {
+      leaves.push_back({net::Ipv4Prefix{net::Ipv4Address{b16 << 16}, 16}, i});
+      ++b16;
+      if ((b16 >> 8) == 127) b16 = 128 << 8;
+    } else if (s20 < 10u * 256u * 16u) {
+      leaves.push_back({net::Ipv4Prefix{net::Ipv4Address{(1u << 24) + (s20 << 12)}, 20}, i});
+      ++s20;
+    } else {
+      leaves.push_back({net::Ipv4Prefix{net::Ipv4Address{s24 << 8}, 24}, i});
+      ++s24;
+    }
+  }
+  return leaves;
+}
+
+/// Routes changed per churn event: a realistic convergence batch touches a
+/// handful of prefixes out of the 100k-entry table.
+constexpr int kChurnPerEvent = 64;
+constexpr std::uint32_t kFullTableSize = 100000;
+
+void BM_FibPatch(benchmark::State& state) {
+  // One churn event via the RIB-delta path: patch only the changed leaves.
+  const auto leaves = make_full_table(kFullTableSize);
+  net::FlatFib fib = net::FlatFib::compile(leaves.begin(), leaves.end(), leaves.size());
+  std::vector<net::FlatFib::Leaf> deltas(kChurnPerEvent);
+  std::uint32_t lcg = 0x12345678;
+  for (auto _ : state) {
+    for (auto& delta : deltas) {
+      lcg = lcg * 1664525u + 1013904223u;
+      const auto& leaf = leaves[lcg % leaves.size()];
+      delta = {leaf.prefix, leaf.value ^ 1u};
+    }
+    benchmark::DoNotOptimize(fib.patch(deltas));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["routes_per_event"] = kChurnPerEvent;
+}
+
+void BM_FibFullRebuild(benchmark::State& state) {
+  // Same churn event through the old contract: recompile all 100k leaves.
+  auto leaves = make_full_table(kFullTableSize);
+  std::uint32_t lcg = 0x12345678;
+  for (auto _ : state) {
+    for (int k = 0; k < kChurnPerEvent; ++k) {
+      lcg = lcg * 1664525u + 1013904223u;
+      leaves[lcg % leaves.size()].value ^= 1u;
+    }
+    net::FlatFib fib = net::FlatFib::compile(leaves.begin(), leaves.end(), leaves.size());
+    benchmark::DoNotOptimize(fib.lookup(net::Ipv4Address{11u << 16}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["routes_per_event"] = kChurnPerEvent;
+}
+
+BENCHMARK(BM_FibPatch);
+BENCHMARK(BM_FibFullRebuild);
 
 void BM_CountersGlobalAdd(benchmark::State& state) {
   // One mutex round-trip per increment: what the hot loops used to do.

@@ -155,7 +155,7 @@ void Fabric::announce(NeighborId from, const net::Ipv4Prefix& prefix, const Attr
   route.set_attrs(attrs);
   const std::optional<Route> before =
       trace_ != nullptr ? capture_best(target, prefix) : std::nullopt;
-  enqueue(target.handle_ebgp_update(info, /*withdraw=*/false, std::move(route)));
+  enqueue(target.handle_ebgp_update(info, /*withdraw=*/false, std::move(route), &delta_log_));
   // Stamped after the enqueue so queue_depth covers the emissions this
   // announce triggered, matching what delivery events report.
   trace_event(obs::TraceEventKind::kAnnounce, from, info.attached_to, prefix);
@@ -174,7 +174,7 @@ void Fabric::withdraw(NeighborId from, const net::Ipv4Prefix& prefix) {
   route.prefix = prefix;
   const std::optional<Route> before =
       trace_ != nullptr ? capture_best(target, prefix) : std::nullopt;
-  enqueue(target.handle_ebgp_update(info, /*withdraw=*/true, std::move(route)));
+  enqueue(target.handle_ebgp_update(info, /*withdraw=*/true, std::move(route), &delta_log_));
   trace_event(obs::TraceEventKind::kWithdrawIn, from, info.attached_to, prefix);
   if (trace_ != nullptr) trace_rib_change(target, prefix, before);
 }
@@ -185,7 +185,7 @@ void Fabric::originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes at
   Router& target = router(at);
   const std::optional<Route> before =
       trace_ != nullptr ? capture_best(target, prefix) : std::nullopt;
-  enqueue(target.originate(prefix, std::move(attrs)));
+  enqueue(target.originate(prefix, std::move(attrs), &delta_log_));
   // Locally originated: no external neighbor, so the `a` slot is empty.
   trace_event(obs::TraceEventKind::kAnnounce, obs::kNoTraceId, at, prefix);
   if (trace_ != nullptr) trace_rib_change(target, prefix, before);
@@ -193,12 +193,12 @@ void Fabric::originate(RouterId at, const net::Ipv4Prefix& prefix, Attributes at
 
 void Fabric::refresh_policies() {
   ++rib_generation_;
-  for (auto& r : routers_) enqueue(r->refresh_all());
+  for (auto& r : routers_) enqueue(r->refresh_all(&delta_log_));
 }
 
 void Fabric::notify_igp_change() {
   for (auto& r : routers_) {
-    if (!router_down_.at(r->id())) enqueue(r->handle_igp_change());
+    if (!router_down_.at(r->id())) enqueue(r->handle_igp_change(&delta_log_));
   }
 }
 
@@ -228,8 +228,8 @@ bool Fabric::fail_session(RouterId a, RouterId b) {
   ++rib_generation_;
   // Both sides flush synchronously; whatever was in flight between them is
   // dropped at delivery time because the receiving side is already down.
-  enqueue(ra.handle_session_down({SessionKind::kIbgp, b}));
-  enqueue(rb.handle_session_down({SessionKind::kIbgp, a}));
+  enqueue(ra.handle_session_down({SessionKind::kIbgp, b}, &delta_log_));
+  enqueue(rb.handle_session_down({SessionKind::kIbgp, a}, &delta_log_));
   trace_event(obs::TraceEventKind::kIbgpSessionDown, a, b);
   return true;
 }
@@ -252,7 +252,7 @@ bool Fabric::fail_session(NeighborId neighbor_id) {
   if (!r.session_is_up(SessionKind::kEbgp, neighbor_id)) return false;
   ++logical_time_;
   ++rib_generation_;
-  enqueue(r.handle_session_down({SessionKind::kEbgp, neighbor_id}));
+  enqueue(r.handle_session_down({SessionKind::kEbgp, neighbor_id}, &delta_log_));
   trace_event(obs::TraceEventKind::kEbgpSessionDown, info.attached_to, neighbor_id);
   // The neighbor's view of us dies with the TCP session.
   neighbor_exports_.at(neighbor_id).clear();
@@ -314,6 +314,27 @@ void Fabric::restore_router(RouterId id) {
 
 void Fabric::enqueue(std::vector<Emission> emissions) {
   for (auto& emission : emissions) queue_.push_back(std::move(emission));
+  // Direct mutation ops hand &delta_log_ straight to handlers and always
+  // enqueue right after, so this is the one trim point they all share.
+  if (delta_log_.size() > kDeltaLogCap) {
+    delta_base_ += delta_log_.size();
+    delta_log_.clear();
+  }
+}
+
+Fabric::RibDeltas Fabric::rib_deltas_since(std::uint64_t cursor) const noexcept {
+  RibDeltas result;
+  result.next_cursor = delta_base_ + delta_log_.size();
+  if (cursor < delta_base_ || cursor > result.next_cursor) {
+    // Trimmed past the consumer (or a cursor from a different fabric): the
+    // consumer must fall back to a full rebuild.
+    result.complete = false;
+    return result;
+  }
+  const std::size_t offset = static_cast<std::size_t>(cursor - delta_base_);
+  result.deltas = std::span<const RibDelta>{delta_log_.data() + offset,
+                                            delta_log_.size() - offset};
+  return result;
 }
 
 std::string Fabric::convergence_diagnostics(std::size_t pending) const {
@@ -400,8 +421,8 @@ void Fabric::process_emission(const Emission& emission, ShardState& shard) {
           emission.from, emission.to_router);
     std::optional<Route> before;
     if (tracing) before = capture_best(target, emission.route.prefix);
-    auto emitted =
-        target.handle_ibgp_update(emission.from, emission.withdraw, emission.route);
+    auto emitted = target.handle_ibgp_update(emission.from, emission.withdraw,
+                                             emission.route, &shard.dirty);
     if (tracing) {
       const Route* after = target.best_route(emission.route.prefix);
       const bool changed = before.has_value() != (after != nullptr) ||
@@ -460,6 +481,7 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
       shard.dropped = 0;
       shard.events.clear();
       shard.marks.clear();
+      shard.dirty.clear();
     }
     for (auto& emission : queue_) {
       shards[shard_of(emission.route.prefix)].work.push_back(std::move(emission));
@@ -490,6 +512,10 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
     for (auto& shard : shards) {
       delivered_ += shard.delivered;
       dropped_ += shard.dropped;
+      // Dirty prefixes merge in fixed shard-then-sequence order — the same
+      // discipline as trace events — so the delta log is byte-identical for
+      // any thread count.
+      delta_log_.insert(delta_log_.end(), shard.dirty.begin(), shard.dirty.end());
       if (!tracing) {
         for (auto& emission : shard.out) queue_.push_back(std::move(emission));
         continue;
@@ -512,6 +538,10 @@ std::size_t Fabric::run_to_convergence(std::size_t max_messages) {
       }
     }
     processed += batch_size;
+    if (delta_log_.size() > kDeltaLogCap) {
+      delta_base_ += delta_log_.size();
+      delta_log_.clear();
+    }
   }
 
   if (had_work) {

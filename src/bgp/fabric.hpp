@@ -211,6 +211,31 @@ class Fabric {
   /// part of routing state itself, so determinism suites are unaffected.
   [[nodiscard]] std::uint64_t rib_generation() const noexcept { return rib_generation_; }
 
+  /// A consumer's view of the RIB-delta log (see rib_deltas_since).
+  struct RibDeltas {
+    /// False when the log was trimmed past `cursor` (consumer fell too far
+    /// behind): `deltas` is empty and the consumer must rebuild from
+    /// scratch, then resume from `next_cursor`.
+    bool complete = true;
+    /// Cursor to pass to the next rib_deltas_since call.
+    std::uint64_t next_cursor = 0;
+    /// Loc-RIB changes since `cursor`, in deterministic order (direct
+    /// mutations in call order; convergence deliveries in shard-then-
+    /// sequence merge order, same as trace events).  May repeat a
+    /// (router, prefix) pair; consumers deduplicate.  The span aliases the
+    /// fabric's internal log: it is invalidated by the next mutating
+    /// fabric call.
+    std::span<const RibDelta> deltas;
+  };
+
+  /// The RIB-delta protocol's consumer endpoint: every Loc-RIB change since
+  /// log position `cursor`.  Pass 0 the first time, then the returned
+  /// next_cursor.  The log is bounded (kDeltaLogCap); a consumer that lags
+  /// past a trim gets complete=false and falls back to a full rebuild —
+  /// staleness is detected via rib_generation() exactly as before, so a
+  /// patched FIB can never serve state the generation check would reject.
+  [[nodiscard]] RibDeltas rib_deltas_since(std::uint64_t cursor) const noexcept;
+
   // --- inspection -----------------------------------------------------------
   /// Everything VNS currently exports to an external neighbor.
   [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& exported_to(
@@ -237,6 +262,10 @@ class Fabric {
     /// replay exactly the depths a one-lane run would have stamped.
     std::vector<obs::TraceEvent> events;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> marks;
+    /// Loc-RIB changes this shard's deliveries caused, staged shard-locally
+    /// and appended to delta_log_ in shard order at merge time (the same
+    /// discipline that keeps trace events thread-count-identical).
+    std::vector<RibDelta> dirty;
   };
 
   void enqueue(std::vector<Emission> emissions);
@@ -277,6 +306,12 @@ class Fabric {
   obs::TraceSink* trace_ = nullptr;  ///< not owned; null = tracing disabled
   std::uint64_t logical_time_ = 0;
   std::uint64_t rib_generation_ = 1;
+  /// RIB-delta log: every Loc-RIB change, in deterministic order.  Bounded:
+  /// past kDeltaLogCap entries the log is cleared and delta_base_ advanced,
+  /// which lagging consumers observe as complete=false (full rebuild).
+  static constexpr std::size_t kDeltaLogCap = std::size_t{1} << 20;
+  std::vector<RibDelta> delta_log_;
+  std::uint64_t delta_base_ = 0;  ///< log position of delta_log_[0]
   unsigned threads_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;  ///< built on first convergence run
   ConvergenceStats convergence_stats_;

@@ -150,7 +150,7 @@ const Route* Router::best_external_candidate(const net::Ipv4Prefix& prefix,
 }
 
 std::vector<Emission> Router::handle_ebgp_update(const NeighborInfo& neighbor, bool withdraw,
-                                                 Route route) {
+                                                 Route route, std::vector<RibDelta>* dirty) {
   const SessionKey key{SessionKind::kEbgp, neighbor.id};
   std::vector<Emission> out;
   const net::Ipv4Prefix prefix = route.prefix;
@@ -182,11 +182,12 @@ std::vector<Emission> Router::handle_ebgp_update(const NeighborInfo& neighbor, b
     entry.accepted = import(key, route);
     entry.raw = std::move(route);
   }
-  decide_and_advertise(prefix, out);
+  decide_and_advertise(prefix, out, dirty);
   return out;
 }
 
-std::vector<Emission> Router::handle_ibgp_update(RouterId sender, bool withdraw, Route route) {
+std::vector<Emission> Router::handle_ibgp_update(RouterId sender, bool withdraw, Route route,
+                                                 std::vector<RibDelta>* dirty) {
   const SessionKey key{SessionKind::kIbgp, sender};
   std::vector<Emission> out;
   const net::Ipv4Prefix prefix = route.prefix;
@@ -207,11 +208,12 @@ std::vector<Emission> Router::handle_ibgp_update(RouterId sender, bool withdraw,
     entry.accepted = import(key, route);
     entry.raw = std::move(route);
   }
-  decide_and_advertise(prefix, out);
+  decide_and_advertise(prefix, out, dirty);
   return out;
 }
 
-std::vector<Emission> Router::originate(const net::Ipv4Prefix& prefix, Attributes attrs) {
+std::vector<Emission> Router::originate(const net::Ipv4Prefix& prefix, Attributes attrs,
+                                        std::vector<RibDelta>* dirty) {
   Route route;
   route.prefix = prefix;
   route.set_attrs(std::move(attrs));
@@ -225,11 +227,11 @@ std::vector<Emission> Router::originate(const net::Ipv4Prefix& prefix, Attribute
   route.advertiser = id_;
   originated_[prefix] = std::move(route);
   std::vector<Emission> out;
-  decide_and_advertise(prefix, out);
+  decide_and_advertise(prefix, out, dirty);
   return out;
 }
 
-std::vector<Emission> Router::refresh_all() {
+std::vector<Emission> Router::refresh_all(std::vector<RibDelta>* dirty) {
   // Route refresh: the cached post-policy views are only valid for the
   // policy they were computed under, so re-import every raw entry first.
   for (auto& [packed, table] : adj_rib_in_) {
@@ -262,11 +264,12 @@ std::vector<Emission> Router::refresh_all() {
   prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
 
   std::vector<Emission> out;
-  for (const auto& prefix : prefixes) decide_and_advertise(prefix, out);
+  for (const auto& prefix : prefixes) decide_and_advertise(prefix, out, dirty);
   return out;
 }
 
-std::vector<Emission> Router::handle_session_down(const SessionKey& key) {
+std::vector<Emission> Router::handle_session_down(const SessionKey& key,
+                                                  std::vector<RibDelta>* dirty) {
   std::vector<Emission> out;
   if (!mark_session(key, false)) return out;
   // The per-session prefix index is the session's Adj-RIB-In itself: exactly
@@ -284,7 +287,7 @@ std::vector<Emission> Router::handle_session_down(const SessionKey& key) {
   // sent (the peer flushes symmetrically).
   adj_rib_out_.erase(key.packed());
   std::sort(affected.begin(), affected.end());
-  for (const auto& prefix : affected) decide_and_advertise(prefix, out);
+  for (const auto& prefix : affected) decide_and_advertise(prefix, out, dirty);
   return out;
 }
 
@@ -324,7 +327,7 @@ std::vector<Emission> Router::handle_session_up(const SessionKey& key) {
   return out;
 }
 
-std::vector<Emission> Router::handle_igp_change() {
+std::vector<Emission> Router::handle_igp_change(std::vector<RibDelta>* dirty) {
   // Revisit (a) prefixes whose last decision was IGP-sensitive and (b)
   // prefixes whose installed best egress the IGP can no longer reach.  All
   // other loc-RIB entries are provably unaffected: their outcome was decided
@@ -339,23 +342,37 @@ std::vector<Emission> Router::handle_igp_change() {
   }
   std::sort(affected.begin(), affected.end());
   std::vector<Emission> out;
-  for (const auto& prefix : affected) decide_and_advertise(prefix, out);
+  for (const auto& prefix : affected) decide_and_advertise(prefix, out, dirty);
   return out;
 }
 
-void Router::decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out) {
+void Router::decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out,
+                                  std::vector<RibDelta>* dirty) {
   bool dropped_unreachable = false;
   const auto routes = candidates(prefix, &dropped_unreachable);
   const DecisionContext ctx{id_, igp_};
   bool igp_sensitive = false;
   const std::size_t best =
       select_best(std::span<const Route* const>{routes}, ctx, &igp_sensitive);
+  // Structural change detection for the RIB-delta protocol: a delivery that
+  // re-decides to the same Loc-RIB entry produces no delta (Route::operator==
+  // is exact — interning makes the attrs compare one pointer compare).
+  const auto it = loc_rib_.find(prefix);
+  bool changed = false;
   if (best == static_cast<std::size_t>(-1)) {
-    loc_rib_.erase(prefix);
-  } else {
+    if (it != loc_rib_.end()) {
+      loc_rib_.erase(it);
+      changed = true;
+    }
+  } else if (it == loc_rib_.end()) {
     // One flyweight copy of the winning view; its attributes are shared.
-    loc_rib_.insert_or_assign(prefix, *routes[best]);
+    loc_rib_.emplace(prefix, *routes[best]);
+    changed = true;
+  } else if (!(it->second == *routes[best])) {
+    it->second = *routes[best];
+    changed = true;
   }
+  if (changed && dirty != nullptr) dirty->push_back(RibDelta{id_, prefix});
   // A prefix stays on the IGP watchlist while its outcome could change with
   // IGP costs: a tie fell through to the IGP rung or below, or a candidate
   // was suppressed for unreachability (and would return on repair).

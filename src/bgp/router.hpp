@@ -72,6 +72,20 @@ using ImportPolicy = std::function<bool(const ImportContext&, Route&)>;
 /// Export decision toward an external neighbor.
 using ExportPolicy = std::function<bool(const Route&, NeighborId, NeighborKind)>;
 
+/// One Loc-RIB change: router `router`'s best route for `prefix` changed
+/// (installed, replaced, or withdrawn).  The RIB-delta protocol: handlers
+/// append these to a caller-provided sink whenever decide_and_advertise
+/// actually changes the Loc-RIB, the Fabric accumulates them in a log, and
+/// FIB owners (core::VnsNetwork, via Fabric::rib_deltas_since) patch only
+/// the covered slots instead of recompiling.  Deltas may repeat a
+/// (router, prefix) pair; consumers deduplicate.
+struct RibDelta {
+  RouterId router = kInvalidRouter;
+  net::Ipv4Prefix prefix;
+
+  friend bool operator==(const RibDelta&, const RibDelta&) = default;
+};
+
 /// An update emitted by a router, to be delivered by the Fabric.
 struct Emission {
   RouterId from = kInvalidRouter;
@@ -123,30 +137,39 @@ class Router {
   void add_ebgp_session(const NeighborInfo& neighbor);
 
   // --- event handlers (called by Fabric); return updates to deliver --------
+  // Every handler that can change the Loc-RIB takes an optional `dirty`
+  // sink and appends one RibDelta per prefix whose best route actually
+  // changed (detected structurally, not per-call: a delivery that re-decides
+  // to the same answer stays silent).  nullptr skips the bookkeeping.
   [[nodiscard]] std::vector<Emission> handle_ebgp_update(const NeighborInfo& neighbor,
-                                                         bool withdraw, Route route);
+                                                         bool withdraw, Route route,
+                                                         std::vector<RibDelta>* dirty = nullptr);
   [[nodiscard]] std::vector<Emission> handle_ibgp_update(RouterId sender, bool withdraw,
-                                                         Route route);
+                                                         Route route,
+                                                         std::vector<RibDelta>* dirty = nullptr);
   /// Locally originates a prefix (e.g. the VNS anycast TURN prefix).
   [[nodiscard]] std::vector<Emission> originate(const net::Ipv4Prefix& prefix,
-                                                Attributes attrs);
+                                                Attributes attrs,
+                                                std::vector<RibDelta>* dirty = nullptr);
   /// Re-runs import policy + decision for every known prefix (the BGP
   /// route-refresh analog; used when a policy changes, §4.2's before/after).
-  [[nodiscard]] std::vector<Emission> refresh_all();
+  [[nodiscard]] std::vector<Emission> refresh_all(std::vector<RibDelta>* dirty = nullptr);
 
   /// Session loss: marks the session down, flushes its Adj-RIB-In and
   /// Adj-RIB-Out (the per-session prefix index *is* the Adj-RIB-In), and
   /// re-decides exactly the prefixes that session contributed, in prefix
   /// order.  No-op (empty result) when the session is unknown/already down.
-  [[nodiscard]] std::vector<Emission> handle_session_down(const SessionKey& key);
+  [[nodiscard]] std::vector<Emission> handle_session_down(const SessionKey& key,
+                                                          std::vector<RibDelta>* dirty = nullptr);
   /// Session recovery: marks the session up and re-advertises this router's
   /// current state over it (the peer lost everything with the session).
+  /// Never mutates the Loc-RIB, so it takes no dirty sink.
   [[nodiscard]] std::vector<Emission> handle_session_up(const SessionKey& key);
   /// IGP churn: re-runs the decision for prefixes whose last outcome was
   /// IGP-sensitive (tie broken at the IGP rung or below, or a candidate
   /// filtered for an unresolvable next hop) and prefixes whose current best
   /// egress became IGP-unreachable.
-  [[nodiscard]] std::vector<Emission> handle_igp_change();
+  [[nodiscard]] std::vector<Emission> handle_igp_change(std::vector<RibDelta>* dirty = nullptr);
 
   // --- inspection ----------------------------------------------------------
   [[nodiscard]] bool session_is_up(SessionKind kind, std::uint32_t id) const noexcept;
@@ -240,8 +263,11 @@ class Router {
       const net::Ipv4Prefix& prefix,
       std::optional<NeighborKind> only_kind = std::nullopt) const;
 
-  /// Re-runs the decision process for a prefix and emits the deltas.
-  void decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out);
+  /// Re-runs the decision process for a prefix and emits the deltas; when
+  /// the Loc-RIB entry actually changed and `dirty` is non-null, appends
+  /// one RibDelta for this (router, prefix).
+  void decide_and_advertise(const net::Ipv4Prefix& prefix, std::vector<Emission>& out,
+                            std::vector<RibDelta>* dirty = nullptr);
   /// Emits (with suppression) the route this router should currently be
   /// advertising to each *up* session for `prefix`.
   void sync_adj_rib_out(const net::Ipv4Prefix& prefix, std::vector<Emission>& out);

@@ -299,7 +299,7 @@ void VnsNetwork::feed_attachment_routes(std::span<const Attachment* const> selec
       for (const auto prefix_id : node.prefix_ids) {
         const auto& prefix = internet_.prefix(prefix_id).prefix;
         fabric_.announce(attachment->session, prefix, shared);
-        known_prefixes_.insert(prefix, true);
+        if (known_prefixes_.insert(prefix, true)) known_log_.push_back(prefix);
       }
     }
   }
@@ -324,7 +324,9 @@ void VnsNetwork::feed_routes() {
   for (const auto& pop : pops_) {
     fabric_.originate(pop.routers[0], config_.anycast_prefix, bgp::Attributes{});
   }
-  known_prefixes_.insert(config_.anycast_prefix, true);
+  if (known_prefixes_.insert(config_.anycast_prefix, true)) {
+    known_log_.push_back(config_.anycast_prefix);
+  }
   fabric_.run_to_convergence();
   warm_reach_cache();
 }
@@ -359,7 +361,7 @@ void VnsNetwork::add_static_more_specific(const net::Ipv4Prefix& more_specific, 
   attrs.origin = bgp::Origin::kIncomplete;  // injected, not learned
   attrs.add_community(bgp::kNoExport);
   fabric_.originate(pops_.at(pop).routers[0], more_specific, attrs);
-  known_prefixes_.insert(more_specific, true);
+  if (known_prefixes_.insert(more_specific, true)) known_log_.push_back(more_specific);
   fabric_.run_to_convergence();
 }
 
@@ -477,33 +479,96 @@ std::optional<net::Ipv4Prefix> VnsNetwork::match_prefix(net::Ipv4Address address
   return hit->first;
 }
 
+VnsNetwork::Resolution VnsNetwork::resolve_prefix(const bgp::Router& router,
+                                                  const net::Ipv4Prefix& prefix) const {
+  Resolution resolution;
+  resolution.route = router.best_route(prefix);
+  if (resolution.route != nullptr && resolution.route->egress < router_pop_.size()) {
+    resolution.pop = router_pop_[resolution.route->egress];
+  }
+  return resolution;
+}
+
+void VnsNetwork::compile_viewpoint_fib(ViewpointFib& slot, const bgp::Router& router) const {
+  // Compile the viewpoint's resolution table from the converged RIB: one
+  // leaf per known prefix, carrying the router's current best route and its
+  // egress PoP.  Prefixes whose longest match has no installed route keep a
+  // null Resolution so the FIB reproduces the trie-then-hash answer exactly
+  // (no fallback to a shorter routed prefix).
+  std::vector<net::FlatFib::Leaf> leaves;
+  leaves.reserve(known_prefixes_.size());
+  std::vector<Resolution> values;
+  values.reserve(known_prefixes_.size());
+  known_prefixes_.for_each([&](const net::Ipv4Prefix& prefix, const bool&) {
+    leaves.push_back({prefix, static_cast<std::uint32_t>(values.size())});
+    values.push_back(resolve_prefix(router, prefix));
+  });
+  slot.values = std::move(values);
+  slot.fib = net::FlatFib::compile(std::move(leaves));
+}
+
 const VnsNetwork::ViewpointFib& VnsNetwork::viewpoint_fib(PopId viewpoint) const {
   ViewpointFib& slot = *fibs_.at(viewpoint);
   const std::uint64_t want = fabric_.rib_generation();
   if (slot.generation.load(std::memory_order_acquire) == want) return slot;
   std::lock_guard<std::mutex> lock(fib_mutex_);
   if (slot.generation.load(std::memory_order_relaxed) == want) return slot;
-  // Compile the viewpoint's resolution table from the converged RIB: one
-  // leaf per known prefix, carrying the router's current best route and its
-  // egress PoP.  Prefixes whose longest match has no installed route keep a
-  // null Resolution so the FIB reproduces the trie-then-hash answer exactly
-  // (no fallback to a shorter routed prefix).
   const bgp::Router& router = fabric_.router(pops_.at(viewpoint).routers[0]);
-  std::vector<net::FlatFib::Leaf> leaves;
-  leaves.reserve(known_prefixes_.size());
-  std::vector<Resolution> values;
-  values.reserve(known_prefixes_.size());
-  known_prefixes_.for_each([&](const net::Ipv4Prefix& prefix, const bool&) {
-    Resolution resolution;
-    resolution.route = router.best_route(prefix);
-    if (resolution.route != nullptr && resolution.route->egress < router_pop_.size()) {
-      resolution.pop = router_pop_[resolution.route->egress];
+  const bgp::Fabric::RibDeltas log = fabric_.rib_deltas_since(slot.delta_cursor);
+
+  // Incremental refresh via the RIB-delta protocol: patch only the prefixes
+  // whose resolution can have changed since the last compile.  Falls back to
+  // a full compile when the FIB was never built, the delta log was trimmed
+  // past our cursor, or the dirty fraction exceeds the configured threshold
+  // (past that point patching touches most of the arrays anyway).
+  bool patched = false;
+  if (slot.generation.load(std::memory_order_relaxed) != 0 && log.complete &&
+      config_.fib_patch_max_dirty_fraction >= 0.0) {
+    // This viewpoint's dirty set: deltas of its primary router unioned with
+    // the known-prefix tail its FIB has not seen — a prefix can become known
+    // (and thus owed a leaf, routed or not) without ever touching this
+    // router's Loc-RIB.
+    std::vector<net::Ipv4Prefix> dirty;
+    dirty.reserve(log.deltas.size() + (known_log_.size() - slot.known_cursor));
+    for (const auto& delta : log.deltas) {
+      if (delta.router == router.id()) dirty.push_back(delta.prefix);
     }
-    leaves.push_back({prefix, static_cast<std::uint32_t>(values.size())});
-    values.push_back(resolution);
-  });
-  slot.values = std::move(values);
-  slot.fib = net::FlatFib::compile(std::move(leaves));
+    for (std::size_t i = slot.known_cursor; i < known_log_.size(); ++i) {
+      dirty.push_back(known_log_[i]);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    const double fraction =
+        known_prefixes_.size() == 0
+            ? 0.0
+            : static_cast<double>(dirty.size()) /
+                  static_cast<double>(known_prefixes_.size());
+    if (fraction <= config_.fib_patch_max_dirty_fraction) {
+      std::vector<net::FlatFib::Leaf> deltas;
+      deltas.reserve(dirty.size());
+      for (const auto& prefix : dirty) {
+        // Only known prefixes have leaves; a delta for anything else (e.g. a
+        // Loc-RIB entry the compile would not emit) must not add one.
+        if (known_prefixes_.find(prefix) == nullptr) continue;
+        const Resolution resolution = resolve_prefix(router, prefix);
+        if (const net::FlatFib::Leaf* leaf = slot.fib.lookup_exact(prefix)) {
+          // Existing leaf: rewrite the payload in place.  The delta
+          // re-asserts the same value index, so patch() counts it as an
+          // update with zero slot writes.
+          slot.values[leaf->value] = resolution;
+          deltas.push_back({prefix, leaf->value});
+        } else {
+          deltas.push_back({prefix, static_cast<std::uint32_t>(slot.values.size())});
+          slot.values.push_back(resolution);
+        }
+      }
+      slot.fib.patch(deltas);
+      patched = true;
+    }
+  }
+  if (!patched) compile_viewpoint_fib(slot, router);
+  slot.delta_cursor = log.next_cursor;
+  slot.known_cursor = known_log_.size();
   slot.generation.store(want, std::memory_order_release);
   return slot;
 }

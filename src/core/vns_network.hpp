@@ -101,6 +101,14 @@ struct VnsConfig {
   /// The anycast service prefix all TURN relays share (§4.4).
   net::Ipv4Prefix anycast_prefix{net::Ipv4Address{100, 64, 0, 0}, 22};
 
+  /// Incremental FIB refresh threshold: when the fraction of known prefixes
+  /// dirtied since the last compile exceeds this, the lazy rebuild falls
+  /// back to a full DIR-16-8-8 recompile instead of patching (past that
+  /// point a patch touches most of the arrays anyway and the per-delta
+  /// bookkeeping loses).  Negative disables patching entirely (always full
+  /// compile) — the equivalence fuzz uses that as its reference world.
+  double fib_patch_max_dirty_fraction = 0.25;
+
   /// Propagation model for the leased links.
   topo::DelayModel delay;
 };
@@ -324,10 +332,21 @@ class VnsNetwork {
     std::atomic<std::uint64_t> generation{0};
     net::FlatFib fib;
     std::vector<Resolution> values;
+    /// RIB-delta protocol cursors, guarded by fib_mutex_: position in the
+    /// fabric's delta log and in known_log_ up to which this FIB is current.
+    std::uint64_t delta_cursor = 0;
+    std::size_t known_cursor = 0;
   };
-  /// Returns the viewpoint's FIB, recompiling it first if the fabric's
-  /// rib_generation() has moved since it was last built.
+  /// Returns the viewpoint's FIB, refreshing it first if the fabric's
+  /// rib_generation() has moved since it was last built: patched in place
+  /// from the RIB-delta log when the dirty fraction is small, recompiled
+  /// from scratch otherwise.
   [[nodiscard]] const ViewpointFib& viewpoint_fib(PopId viewpoint) const;
+  /// Recomputes the Resolution payload for one known prefix at a viewpoint.
+  [[nodiscard]] Resolution resolve_prefix(const bgp::Router& router,
+                                          const net::Ipv4Prefix& prefix) const;
+  /// Full from-scratch compile of one viewpoint FIB (under fib_mutex_).
+  void compile_viewpoint_fib(ViewpointFib& slot, const bgp::Router& router) const;
 
   /// Reachability of neighbor AS `as` from every AS (lazily cached).
   struct NeighborReach {
@@ -358,6 +377,13 @@ class VnsNetwork {
   std::unordered_map<net::Ipv4Prefix, PopId> forced_exit_;
   std::unordered_set<net::Ipv4Prefix> exempt_;
   net::PrefixTrie<bool> known_prefixes_;
+  /// Append-only log of newly-known prefixes, in insertion order.  The full
+  /// viewpoint compile emits a leaf for *every* known prefix (including
+  /// unrouted ones, pinning "no fallback to a shorter covering prefix" into
+  /// the arrays), so an incremental refresh must union the RIB-delta set
+  /// with the known-prefix tail its FIB has not seen — a prefix can become
+  /// known without ever entering a given viewpoint's Loc-RIB.
+  std::vector<net::Ipv4Prefix> known_log_;
 
   std::vector<bool> pop_down_;
   /// links_ indices a fail_pop took down, for exact restoration.

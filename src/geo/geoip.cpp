@@ -46,8 +46,20 @@ void GeoIpDatabase::add_with_report(const net::Ipv4Prefix& prefix, const GeoPoin
                                     const GeoPoint& reported, GeoIpErrorClass error_class) {
   const bool inserted =
       table_.insert(prefix, GeoIpEntry{reported, truth, error_class});
-  if (inserted) ++class_counts_[static_cast<std::size_t>(error_class)];
-  ++version_;  // any write (insert or overwrite) retires the compiled FIB
+  if (!inserted) {
+    // Overwrite of a known prefix: the trie node (and thus the compiled
+    // leaf's entry pointer) is stable, so the new value is already visible
+    // through the compiled FIB — no invalidation needed.
+    return;
+  }
+  ++class_counts_[static_cast<std::size_t>(error_class)];
+  ++version_;  // a new prefix retires (or, cheaply, patches) the compiled FIB
+  Fib& fib = *fib_;
+  if (fib.pending.size() >= kPendingCap) {
+    fib.overflow = true;
+    fib.pending.clear();
+  }
+  if (!fib.overflow) fib.pending.emplace_back(prefix, table_.find(prefix));
 }
 
 const GeoIpDatabase::Fib& GeoIpDatabase::compiled() const {
@@ -56,16 +68,36 @@ const GeoIpDatabase::Fib& GeoIpDatabase::compiled() const {
   if (fib.version.load(std::memory_order_acquire) == want) return fib;
   std::lock_guard<std::mutex> lock(fib.mutex);
   if (fib.version.load(std::memory_order_relaxed) == want) return fib;
-  // Leaves point at the trie's own entries (node-stable while the trie is
-  // unmodified; any modification bumps version_ and recompiles).
-  std::vector<const GeoIpEntry*> entries;
-  entries.reserve(table_.size());
-  fib.fib = net::FlatFib::compile_from(
-      table_, [&entries](const net::Ipv4Prefix&, const GeoIpEntry& entry) {
-        entries.push_back(&entry);
-        return static_cast<std::uint32_t>(entries.size() - 1);
-      });
-  fib.entries = std::move(entries);
+  if (fib.version.load(std::memory_order_relaxed) != 0 && !fib.overflow) {
+    // Incremental refresh: every unseen add is a brand-new prefix
+    // (overwrites never bump version_), so the pending list is exactly the
+    // leaves to patch in.
+    std::vector<net::FlatFib::Leaf> deltas;
+    deltas.reserve(fib.pending.size());
+    for (const auto& [prefix, entry] : fib.pending) {
+      if (const net::FlatFib::Leaf* leaf = fib.fib.lookup_exact(prefix)) {
+        fib.entries[leaf->value] = entry;  // defensive: double-staged prefix
+        deltas.push_back({prefix, leaf->value});
+      } else {
+        deltas.push_back({prefix, static_cast<std::uint32_t>(fib.entries.size())});
+        fib.entries.push_back(entry);
+      }
+    }
+    fib.fib.patch(deltas);
+  } else {
+    // Leaves point at the trie's own entries (node-stable for the database's
+    // lifetime: prefixes are only ever added or overwritten in place).
+    std::vector<const GeoIpEntry*> entries;
+    entries.reserve(table_.size());
+    fib.fib = net::FlatFib::compile_from(
+        table_, [&entries](const net::Ipv4Prefix&, const GeoIpEntry& entry) {
+          entries.push_back(&entry);
+          return static_cast<std::uint32_t>(entries.size() - 1);
+        });
+    fib.entries = std::move(entries);
+  }
+  fib.pending.clear();
+  fib.overflow = false;
   fib.version.store(want, std::memory_order_release);
   return fib;
 }

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "geo/geo.hpp"
@@ -86,8 +87,12 @@ class GeoIpDatabase {
 
   /// Reported location of the longest matching prefix, as the RR would see
   /// it when it queries the database (§3.2 "obtained on the fly").  Served
-  /// from a compiled FlatFib that is lazily (re)built on first lookup after
-  /// an add(); concurrent first lookups race only for the rebuild mutex.
+  /// from a compiled FlatFib maintained with the same incremental contract
+  /// as the viewpoint FIBs: an add() of a new prefix stages a pending leaf
+  /// and the next lookup patches it in, instead of discarding the compiled
+  /// arrays; only a long add burst (past the pending cap) or the first
+  /// lookup ever pays a full compile.  Concurrent first lookups race only
+  /// for the rebuild mutex.
   [[nodiscard]] std::optional<GeoPoint> lookup(net::Ipv4Address address) const;
   [[nodiscard]] std::optional<GeoPoint> lookup(const net::Ipv4Prefix& prefix) const;
 
@@ -112,11 +117,21 @@ class GeoIpDatabase {
     std::atomic<std::uint64_t> version{0};  ///< table_ version compiled (0 = never)
     net::FlatFib fib;
     std::vector<const GeoIpEntry*> entries;  ///< leaf value -> trie node entry
+    /// New prefixes added since the last compile/patch, to be patched in on
+    /// the next lookup.  Past kPendingCap the builder is clearly in a bulk
+    /// load; `overflow` then forces one full recompile instead.
+    std::vector<std::pair<net::Ipv4Prefix, const GeoIpEntry*>> pending;
+    bool overflow = false;
   };
+  static constexpr std::size_t kPendingCap = 4096;
   [[nodiscard]] const Fib& compiled() const;
 
   net::PrefixTrie<GeoIpEntry> table_;
-  std::uint64_t version_ = 1;  ///< bumped by every add*, compared by compiled()
+  /// Bumped by every add* that creates a prefix, compared by compiled().
+  /// Overwrites of an existing prefix do NOT bump it: trie nodes are
+  /// heap-stable and the compiled leaves point at the entry in place, so a
+  /// rewritten entry is visible through the compiled FIB immediately.
+  std::uint64_t version_ = 1;
   std::unique_ptr<Fib> fib_ = std::make_unique<Fib>();
   std::size_t class_counts_[4] = {0, 0, 0, 0};
 };

@@ -46,18 +46,25 @@ std::vector<StreamTaskResult> run_stream_campaign(std::span<const StreamTask> ta
 
 WorkbenchConfig WorkbenchConfig::small(std::uint64_t seed) {
   WorkbenchConfig config;
-  config.internet.seed = seed;
-  config.internet.ltp_count = 6;
-  config.internet.stp_count = 40;
-  config.internet.cahp_count = 80;
-  config.internet.ec_count = 160;
+  config.internet = topo::InternetConfig::preset(topo::InternetScale::kSmall, seed);
   config.vns.seed = seed ^ 0x5eed;
   return config;
 }
 
 WorkbenchConfig WorkbenchConfig::paper_scale(std::uint64_t seed) {
   WorkbenchConfig config;
-  config.internet.seed = seed;  // defaults: ~2.2k ASes, ~10k prefixes
+  // Preset defaults: ~2.2k ASes, ~10k prefixes.
+  config.internet = topo::InternetConfig::preset(topo::InternetScale::kPaper, seed);
+  config.vns.seed = seed ^ 0x5eed;
+  return config;
+}
+
+WorkbenchConfig WorkbenchConfig::full_scale(std::uint64_t seed) {
+  WorkbenchConfig config;
+  // ~10.4k ASes / ~107k prefixes: the ROADMAP full-table target.  Everything
+  // else (GeoIP model, VNS overlay config) matches paper_scale, so figures
+  // differ only in world size.
+  config.internet = topo::InternetConfig::preset(topo::InternetScale::kFull, seed);
   config.vns.seed = seed ^ 0x5eed;
   return config;
 }

@@ -42,6 +42,19 @@ struct WorkbenchConfig {
 
   [[nodiscard]] static WorkbenchConfig small(std::uint64_t seed = 1);
   [[nodiscard]] static WorkbenchConfig paper_scale(std::uint64_t seed = 1);
+  /// The 10k-AS / 100k+-prefix full-table world (InternetScale::kFull).
+  [[nodiscard]] static WorkbenchConfig full_scale(std::uint64_t seed = 1);
+
+  /// Preset for a named tier; the scale knob behind bench `--scale`.
+  [[nodiscard]] static WorkbenchConfig at_scale(topo::InternetScale scale,
+                                                std::uint64_t seed = 1) {
+    switch (scale) {
+      case topo::InternetScale::kSmall: return small(seed);
+      case topo::InternetScale::kFull: return full_scale(seed);
+      case topo::InternetScale::kPaper: break;
+    }
+    return paper_scale(seed);
+  }
 };
 
 /// One shard of a §5.1-style streaming campaign: a path, realized from the

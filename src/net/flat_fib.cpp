@@ -14,11 +14,26 @@ FlatFibMetrics& FlatFibMetrics::global() noexcept {
 }
 
 void FlatFibMetrics::record_build(const FlatFibStats& stats) noexcept {
-  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
   entries_.fetch_add(stats.entries, std::memory_order_relaxed);
   spill_tables_.fetch_add(stats.spill_tables, std::memory_order_relaxed);
   bytes_.fetch_add(stats.bytes, std::memory_order_relaxed);
   build_nanos_.fetch_add(static_cast<std::uint64_t>(stats.build_seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+void FlatFibMetrics::record_patch(const FlatFibStats& released,
+                                  const FlatFibStats& acquired,
+                                  std::uint64_t slots_touched, double seconds) noexcept {
+  patches_.fetch_add(1, std::memory_order_relaxed);
+  slots_touched_.fetch_add(slots_touched, std::memory_order_relaxed);
+  // Patches only grow an instance, so each delta below is non-negative; the
+  // arithmetic is still written as wrapping add-of-difference to stay exact.
+  entries_.fetch_add(acquired.entries - released.entries, std::memory_order_relaxed);
+  spill_tables_.fetch_add(acquired.spill_tables - released.spill_tables,
+                          std::memory_order_relaxed);
+  bytes_.fetch_add(acquired.bytes - released.bytes, std::memory_order_relaxed);
+  build_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
                          std::memory_order_relaxed);
 }
 
@@ -30,7 +45,10 @@ void FlatFibMetrics::release(const FlatFibStats& stats) noexcept {
 
 FlatFibMetrics::Snapshot FlatFibMetrics::snapshot() const noexcept {
   Snapshot snap;
-  snap.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  snap.full_rebuilds = full_rebuilds_.load(std::memory_order_relaxed);
+  snap.patches = patches_.load(std::memory_order_relaxed);
+  snap.rebuilds = snap.full_rebuilds + snap.patches;
+  snap.slots_touched = slots_touched_.load(std::memory_order_relaxed);
   snap.entries = entries_.load(std::memory_order_relaxed);
   snap.spill_tables = spill_tables_.load(std::memory_order_relaxed);
   snap.bytes = bytes_.load(std::memory_order_relaxed);
@@ -45,10 +63,12 @@ FlatFib::FlatFib(FlatFib&& other) noexcept
     : root_(std::move(other.root_)),
       tables_(std::move(other.tables_)),
       leaves_(std::move(other.leaves_)),
+      exact_(std::move(other.exact_)),
       stats_(other.stats_) {
   other.root_.clear();
   other.tables_.clear();
   other.leaves_.clear();
+  other.exact_.clear();
   other.stats_ = FlatFibStats{};
 }
 
@@ -58,10 +78,12 @@ FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
     root_ = std::move(other.root_);
     tables_ = std::move(other.tables_);
     leaves_ = std::move(other.leaves_);
+    exact_ = std::move(other.exact_);
     stats_ = other.stats_;
     other.root_.clear();
     other.tables_.clear();
     other.leaves_.clear();
+    other.exact_.clear();
     other.stats_ = FlatFibStats{};
   }
   return *this;
@@ -75,22 +97,28 @@ void FlatFib::release_footprint() noexcept {
 }
 
 FlatFib FlatFib::compile(std::vector<Leaf> leaves) {
-  const auto start = std::chrono::steady_clock::now();
-  assert(leaves.size() < static_cast<std::size_t>(kEmpty));
-
   FlatFib fib;
   fib.leaves_ = std::move(leaves);
-  fib.root_.assign(1u << 16, kEmpty);
+  fib.finish_compile();
+  return fib;
+}
+
+void FlatFib::finish_compile() {
+  const auto start = std::chrono::steady_clock::now();
+  assert(leaves_.size() < static_cast<std::size_t>(kEmpty));
+
+  root_.assign(1u << 16, kEmpty);
+  tables_.clear();
 
   // Insert shortest-first: each longer prefix overwrites the slot range of
   // any shorter covering prefix, freezing LPM into the arrays.  Prefixes of
   // equal length are disjoint, so order within a length never matters; the
   // (length, address) sort keys only keep the compile deterministic.
-  std::vector<std::uint32_t> order(fib.leaves_.size());
+  std::vector<std::uint32_t> order(leaves_.size());
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    const Leaf& la = fib.leaves_[a];
-    const Leaf& lb = fib.leaves_[b];
+    const Leaf& la = leaves_[a];
+    const Leaf& lb = leaves_[b];
     if (la.prefix.length() != lb.prefix.length())
       return la.prefix.length() < lb.prefix.length();
     return la.prefix.address().value() < lb.prefix.address().value();
@@ -99,14 +127,14 @@ FlatFib FlatFib::compile(std::vector<Leaf> leaves) {
   // Allocates a spill table whose every slot starts as the parent slot's
   // current resolution, so addresses outside the longer prefix keep
   // resolving to the shorter covering one.
-  const auto spawn_table = [&fib](std::uint32_t backfill) -> std::uint32_t {
-    fib.tables_.emplace_back();
-    fib.tables_.back().fill(backfill);
-    return static_cast<std::uint32_t>(fib.tables_.size() - 1) | kTableBit;
+  const auto spawn_table = [this](std::uint32_t backfill) -> std::uint32_t {
+    tables_.emplace_back();
+    tables_.back().fill(backfill);
+    return static_cast<std::uint32_t>(tables_.size() - 1) | kTableBit;
   };
 
   for (const std::uint32_t index : order) {
-    const Leaf& leaf = fib.leaves_[index];
+    const Leaf& leaf = leaves_[index];
     const std::uint32_t addr = leaf.prefix.address().value();
     const std::uint8_t len = leaf.prefix.length();
     if (len <= 16) {
@@ -114,45 +142,171 @@ FlatFib FlatFib::compile(std::vector<Leaf> leaves) {
       // spawned by longer prefixes, which all sort after this one.
       const std::uint32_t first = addr >> 16;
       const std::uint32_t count = 1u << (16 - len);
-      std::fill_n(fib.root_.begin() + first, count, index);
+      std::fill_n(root_.begin() + first, count, index);
     } else if (len <= 24) {
       const std::uint32_t rslot = addr >> 16;
-      if (!(fib.root_[rslot] & kTableBit)) {
-        const std::uint32_t table = spawn_table(fib.root_[rslot]);
-        fib.root_[rslot] = table;
+      if (!(root_[rslot] & kTableBit)) {
+        const std::uint32_t table = spawn_table(root_[rslot]);
+        root_[rslot] = table;
       }
-      auto& table = fib.tables_[fib.root_[rslot] & kIndexMask];
+      auto& table = tables_[root_[rslot] & kIndexMask];
       const std::uint32_t first = (addr >> 8) & 0xffu;
       const std::uint32_t count = 1u << (24 - len);
       std::fill_n(table.begin() + first, count, index);
     } else {
       const std::uint32_t rslot = addr >> 16;
-      if (!(fib.root_[rslot] & kTableBit)) {
-        const std::uint32_t table = spawn_table(fib.root_[rslot]);
-        fib.root_[rslot] = table;
+      if (!(root_[rslot] & kTableBit)) {
+        const std::uint32_t table = spawn_table(root_[rslot]);
+        root_[rslot] = table;
       }
-      const std::uint32_t mid_table = fib.root_[rslot] & kIndexMask;
+      const std::uint32_t mid_table = root_[rslot] & kIndexMask;
       const std::uint32_t mslot = (addr >> 8) & 0xffu;
-      if (!(fib.tables_[mid_table][mslot] & kTableBit)) {
-        const std::uint32_t table = spawn_table(fib.tables_[mid_table][mslot]);
-        fib.tables_[mid_table][mslot] = table;
+      if (!(tables_[mid_table][mslot] & kTableBit)) {
+        const std::uint32_t table = spawn_table(tables_[mid_table][mslot]);
+        tables_[mid_table][mslot] = table;
       }
-      auto& table = fib.tables_[fib.tables_[mid_table][mslot] & kIndexMask];
+      auto& table = tables_[tables_[mid_table][mslot] & kIndexMask];
       const std::uint32_t first = addr & 0xffu;
       const std::uint32_t count = 1u << (32 - len);
       std::fill_n(table.begin() + first, count, index);
     }
   }
 
-  fib.stats_.entries = fib.leaves_.size();
-  fib.stats_.spill_tables = fib.tables_.size();
-  fib.stats_.bytes = fib.root_.capacity() * sizeof(std::uint32_t) +
-                     fib.tables_.capacity() * sizeof(std::array<std::uint32_t, 256>) +
-                     fib.leaves_.capacity() * sizeof(Leaf);
-  fib.stats_.build_seconds =
+  // Exact-match index: leaf indices sorted by (address, length) so patch()
+  // can distinguish payload updates from fresh inserts in O(log n).
+  exact_.resize(leaves_.size());
+  std::iota(exact_.begin(), exact_.end(), 0u);
+  std::sort(exact_.begin(), exact_.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const Leaf& la = leaves_[a];
+    const Leaf& lb = leaves_[b];
+    if (la.prefix.address().value() != lb.prefix.address().value())
+      return la.prefix.address().value() < lb.prefix.address().value();
+    return la.prefix.length() < lb.prefix.length();
+  });
+
+  stats_.entries = leaves_.size();
+  stats_.spill_tables = tables_.size();
+  stats_.bytes = root_.capacity() * sizeof(std::uint32_t) +
+                 tables_.capacity() * sizeof(std::array<std::uint32_t, 256>) +
+                 leaves_.capacity() * sizeof(Leaf) +
+                 exact_.capacity() * sizeof(std::uint32_t);
+  stats_.build_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  FlatFibMetrics::global().record_build(fib.stats_);
-  return fib;
+  FlatFibMetrics::global().record_build(stats_);
+}
+
+std::size_t FlatFib::exact_position(const Ipv4Prefix& prefix) const noexcept {
+  const auto less = [this](std::uint32_t index, const Ipv4Prefix& p) {
+    const Leaf& leaf = leaves_[index];
+    if (leaf.prefix.address().value() != p.address().value())
+      return leaf.prefix.address().value() < p.address().value();
+    return leaf.prefix.length() < p.length();
+  };
+  const auto it = std::lower_bound(exact_.begin(), exact_.end(), prefix, less);
+  return static_cast<std::size_t>(it - exact_.begin());
+}
+
+const FlatFib::Leaf* FlatFib::lookup_exact(const Ipv4Prefix& prefix) const noexcept {
+  const std::size_t pos = exact_position(prefix);
+  if (pos >= exact_.size()) return nullptr;
+  const Leaf& leaf = leaves_[exact_[pos]];
+  if (leaf.prefix == prefix) return &leaf;
+  return nullptr;
+}
+
+void FlatFib::claim_slot(std::uint32_t& slot, std::uint32_t index, std::uint8_t len,
+                         std::size_t& touched) {
+  if (slot & kTableBit) {
+    // A spill table under this range means longer prefixes already carved it
+    // up; descend and claim only the sub-slots they did not take.  claim_slot
+    // never spawns tables, so tables_ cannot reallocate under this reference.
+    auto& table = tables_[slot & kIndexMask];
+    for (auto& sub : table) claim_slot(sub, index, len, touched);
+    return;
+  }
+  if (slot != kEmpty && leaves_[slot].prefix.length() >= len) return;
+  slot = index;
+  ++touched;
+}
+
+void FlatFib::insert_leaf(const Leaf& leaf, std::size_t exact_pos, PatchStats& out) {
+  assert(leaves_.size() < static_cast<std::size_t>(kEmpty));
+  const auto index = static_cast<std::uint32_t>(leaves_.size());
+  leaves_.push_back(leaf);
+  exact_.insert(exact_.begin() + static_cast<std::ptrdiff_t>(exact_pos), index);
+
+  const std::uint32_t addr = leaf.prefix.address().value();
+  const std::uint8_t len = leaf.prefix.length();
+  const auto spawn_table = [this, &out](std::uint32_t backfill) -> std::uint32_t {
+    tables_.emplace_back();
+    tables_.back().fill(backfill);
+    out.slots_touched += 256;  // the backfill writes are real slot work
+    return static_cast<std::uint32_t>(tables_.size() - 1) | kTableBit;
+  };
+
+  if (len <= 16) {
+    // Unlike the shortest-first full compile, spill tables MAY already exist
+    // under this range; claim_slot descends them instead of clobbering.
+    const std::uint32_t first = addr >> 16;
+    const std::uint32_t count = 1u << (16 - len);
+    for (std::uint32_t s = first; s < first + count; ++s)
+      claim_slot(root_[s], index, len, out.slots_touched);
+  } else if (len <= 24) {
+    const std::uint32_t rslot = addr >> 16;
+    if (!(root_[rslot] & kTableBit)) root_[rslot] = spawn_table(root_[rslot]);
+    const std::uint32_t mid = root_[rslot] & kIndexMask;
+    const std::uint32_t first = (addr >> 8) & 0xffu;
+    const std::uint32_t count = 1u << (24 - len);
+    for (std::uint32_t s = first; s < first + count; ++s)
+      claim_slot(tables_[mid][s], index, len, out.slots_touched);
+  } else {
+    const std::uint32_t rslot = addr >> 16;
+    if (!(root_[rslot] & kTableBit)) root_[rslot] = spawn_table(root_[rslot]);
+    const std::uint32_t mid = root_[rslot] & kIndexMask;
+    const std::uint32_t mslot = (addr >> 8) & 0xffu;
+    if (!(tables_[mid][mslot] & kTableBit))
+      tables_[mid][mslot] = spawn_table(tables_[mid][mslot]);
+    const std::uint32_t bottom = tables_[mid][mslot] & kIndexMask;
+    const std::uint32_t first = addr & 0xffu;
+    const std::uint32_t count = 1u << (32 - len);
+    for (std::uint32_t s = first; s < first + count; ++s)
+      claim_slot(tables_[bottom][s], index, len, out.slots_touched);
+  }
+}
+
+FlatFib::PatchStats FlatFib::patch(std::span<const Leaf> deltas) {
+  const auto start = std::chrono::steady_clock::now();
+  assert(compiled());
+  const FlatFibStats released = stats_;
+  PatchStats result;
+
+  for (const Leaf& delta : deltas) {
+    const std::size_t pos = exact_position(delta.prefix);
+    if (pos < exact_.size()) {
+      Leaf& existing = leaves_[exact_[pos]];
+      if (existing.prefix == delta.prefix) {
+        // Payload rewrite in place: every slot already pointing at this leaf
+        // stays valid, so zero slot writes are needed.
+        existing.value = delta.value;
+        ++result.updated;
+        continue;
+      }
+    }
+    insert_leaf(delta, pos, result);
+    ++result.inserted;
+  }
+
+  stats_.entries = leaves_.size();
+  stats_.spill_tables = tables_.size();
+  stats_.bytes = root_.capacity() * sizeof(std::uint32_t) +
+                 tables_.capacity() * sizeof(std::array<std::uint32_t, 256>) +
+                 leaves_.capacity() * sizeof(Leaf) +
+                 exact_.capacity() * sizeof(std::uint32_t);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  stats_.build_seconds += seconds;
+  FlatFibMetrics::global().record_patch(released, stats_, result.slots_touched, seconds);
+  return result;
 }
 
 }  // namespace vns::net

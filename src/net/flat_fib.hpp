@@ -13,15 +13,19 @@
 // DESIGN.md §9 for the full trade-off).
 //
 // A FlatFib is a pure cache: it is compiled from a converged RIB snapshot
-// and rebuilt from scratch when the owner detects a stale generation.  It
-// never answers differently from the trie it was compiled from (the
-// equivalence property is enforced by tests/test_fib.cpp).
+// and, when the owner detects a stale generation, either *patched* in place
+// (`patch`: only the root slots / spill tables covered by the changed
+// prefixes are rewritten) or rebuilt from scratch.  Either way it never
+// answers differently from the trie it was compiled from (the equivalence
+// property is enforced by tests/test_fib.cpp and the FibPatch churn fuzz).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
+#include <span>
 #include <vector>
 
 #include "net/ip.hpp"
@@ -43,21 +47,30 @@ struct FlatFibStats {
 class FlatFibMetrics {
  public:
   struct Snapshot {
-    std::uint64_t rebuilds = 0;      ///< total compiles since process start
-    std::uint64_t entries = 0;       ///< live leaves across live instances
-    std::uint64_t spill_tables = 0;  ///< live spill tables
-    std::uint64_t bytes = 0;         ///< live compiled bytes
-    double build_seconds = 0.0;      ///< cumulative compile wall-clock
+    std::uint64_t rebuilds = 0;       ///< full_rebuilds + patches (total refreshes)
+    std::uint64_t full_rebuilds = 0;  ///< from-scratch compiles since process start
+    std::uint64_t patches = 0;        ///< in-place patch() refreshes
+    std::uint64_t slots_touched = 0;  ///< slot writes performed by patches
+    std::uint64_t entries = 0;        ///< live leaves across live instances
+    std::uint64_t spill_tables = 0;   ///< live spill tables
+    std::uint64_t bytes = 0;          ///< live compiled bytes
+    double build_seconds = 0.0;       ///< cumulative compile+patch wall-clock
   };
 
   static FlatFibMetrics& global() noexcept;
 
   void record_build(const FlatFibStats& stats) noexcept;
+  /// Accounts one in-place patch: footprint moves from `released` to
+  /// `acquired` (patches only grow an instance, never shrink it).
+  void record_patch(const FlatFibStats& released, const FlatFibStats& acquired,
+                    std::uint64_t slots_touched, double seconds) noexcept;
   void release(const FlatFibStats& stats) noexcept;
   [[nodiscard]] Snapshot snapshot() const noexcept;
 
  private:
-  std::atomic<std::uint64_t> rebuilds_{0};
+  std::atomic<std::uint64_t> full_rebuilds_{0};
+  std::atomic<std::uint64_t> patches_{0};
+  std::atomic<std::uint64_t> slots_touched_{0};
   std::atomic<std::uint64_t> entries_{0};
   std::atomic<std::uint64_t> spill_tables_{0};
   std::atomic<std::uint64_t> bytes_{0};
@@ -81,22 +94,65 @@ class FlatFib {
   FlatFib(const FlatFib&) = delete;
   FlatFib& operator=(const FlatFib&) = delete;
 
+  /// Result of one patch() call, for metrics and assertions.
+  struct PatchStats {
+    std::size_t updated = 0;       ///< deltas that rewrote an existing leaf payload
+    std::size_t inserted = 0;      ///< deltas that added a new leaf
+    std::size_t slots_touched = 0; ///< slot writes (inserts only; updates touch none)
+  };
+
   /// Compiles a leaf set (prefixes must be distinct).  Longer prefixes
   /// overwrite the slot ranges of shorter covering ones, which is exactly
   /// longest-prefix-match semantics frozen into the arrays.
   [[nodiscard]] static FlatFib compile(std::vector<Leaf> leaves);
 
+  /// Iterator-range compile: leaves stream straight into the instance's own
+  /// storage (works with std::move_iterator), so callers holding leaves in a
+  /// foreign container never materialize a second transient copy.
+  template <typename It>
+  [[nodiscard]] static FlatFib compile(It first, It last, std::size_t size_hint = 0) {
+    FlatFib fib;
+    fib.leaves_.reserve(size_hint != 0
+                            ? size_hint
+                            : static_cast<std::size_t>(std::distance(first, last)));
+    for (; first != last; ++first) fib.leaves_.push_back(*first);
+    fib.finish_compile();
+    return fib;
+  }
+
   /// Compiles from a trie snapshot; `map(prefix, value)` chooses the
-  /// uint32 payload recorded in each leaf.
+  /// uint32 payload recorded in each leaf.  Leaves are emitted directly
+  /// into the new instance's storage — one allocation sized from the
+  /// trie's live prefix count (`node_count()` bounds it from above), so a
+  /// full-table compile never transiently doubles peak RSS.
   template <typename T, typename Map>
   [[nodiscard]] static FlatFib compile_from(const PrefixTrie<T>& trie, Map&& map) {
-    std::vector<Leaf> leaves;
-    leaves.reserve(trie.size());
+    FlatFib fib;
+    fib.leaves_.reserve(trie.size());
     trie.for_each([&](const Ipv4Prefix& prefix, const T& value) {
-      leaves.push_back(Leaf{prefix, map(prefix, value)});
+      fib.leaves_.push_back(Leaf{prefix, map(prefix, value)});
     });
-    return compile(std::move(leaves));
+    fib.finish_compile();
+    return fib;
   }
+
+  /// Incrementally applies a batch of changed leaves to a compiled
+  /// instance.  A delta whose prefix is already stored rewrites that
+  /// leaf's payload in place (zero slot writes); a new prefix is inserted
+  /// by claiming exactly the root/spill slots it covers — existing slots
+  /// holding an equal-or-longer prefix keep their more-specific
+  /// resolution, so longest-prefix-match semantics are preserved without
+  /// recompiling the arrays.  The result is bit-identical to a
+  /// from-scratch compile of the updated leaf set (enforced by the
+  /// FibPatch churn fuzz).  Deltas may repeat a prefix; the last write
+  /// wins.  patch() cannot *remove* a prefix — owners model withdrawal by
+  /// rewriting the payload to an unresolvable value, exactly like the
+  /// full compile path does for known-but-unrouted prefixes.
+  PatchStats patch(std::span<const Leaf> deltas);
+
+  /// Exact-match probe: the stored leaf for `prefix` (address AND length
+  /// equal), or nullptr.  Binary search over the sorted exact index.
+  [[nodiscard]] const Leaf* lookup_exact(const Ipv4Prefix& prefix) const noexcept;
 
   /// Longest-prefix match in one to three array probes; nullptr when no
   /// stored prefix covers the address.
@@ -122,10 +178,23 @@ class FlatFib {
   static constexpr std::uint32_t kEmpty = kIndexMask;
 
   void release_footprint() noexcept;
+  /// Compiles leaves_ (already populated) into the slot arrays and
+  /// registers the footprint; shared by every compile entry point.
+  void finish_compile();
+  /// Position in exact_ where `prefix` lives or would be inserted.
+  [[nodiscard]] std::size_t exact_position(const Ipv4Prefix& prefix) const noexcept;
+  /// Writes `index` (a leaf of length `len`) into one slot subtree:
+  /// empty and strictly-shorter leaves are overwritten, spill tables are
+  /// descended, equal-or-longer leaves keep their resolution.
+  void claim_slot(std::uint32_t& slot, std::uint32_t index, std::uint8_t len,
+                  std::size_t& touched);
+  /// Inserts a brand-new leaf during patch(), claiming its covered slots.
+  void insert_leaf(const Leaf& leaf, std::size_t exact_pos, PatchStats& out);
 
   std::vector<std::uint32_t> root_;                    // 2^16 once compiled
   std::vector<std::array<std::uint32_t, 256>> tables_;  // spill levels 2 and 3
   std::vector<Leaf> leaves_;
+  std::vector<std::uint32_t> exact_;  // leaf indices sorted by (address, length)
   FlatFibStats stats_;
 };
 

@@ -83,6 +83,42 @@ std::optional<AsIndex> Internet::index_of(net::Asn asn) const noexcept {
   return it->second;
 }
 
+InternetConfig InternetConfig::preset(InternetScale scale, std::uint64_t seed) {
+  InternetConfig config;
+  config.seed = seed;
+  config.scale = scale;
+  switch (scale) {
+    case InternetScale::kSmall:
+      // The bench `--small` world (WorkbenchConfig::small delegates here).
+      config.ltp_count = 6;
+      config.stp_count = 40;
+      config.cahp_count = 80;
+      config.ec_count = 160;
+      break;
+    case InternetScale::kPaper:
+      break;  // the defaults above
+    case InternetScale::kFull:
+      // ~10.4k ASes originating ~107k prefixes (full-table scale target,
+      // ROADMAP item 2).  The sequential /16 pool runs out partway through,
+      // so the allocator cascades to /20s and /24s — which is exactly what
+      // a real full table looks like and what the FlatFib spill tables are
+      // for.  Expected prefix volume (uniform-mean origination):
+      //   16·26 + 1200·20 + 3200·18.5 + 6000·4 ≈ 107 016.
+      config.ltp_count = 16;
+      config.stp_count = 1200;
+      config.cahp_count = 3200;
+      config.ec_count = 6000;
+      config.stp_prefixes_min = 8;
+      config.stp_prefixes_max = 32;
+      config.cahp_prefixes_min = 7;
+      config.cahp_prefixes_max = 30;
+      config.ec_prefixes_min = 2;
+      config.ec_prefixes_max = 6;
+      break;
+  }
+  return config;
+}
+
 Internet Internet::generate(const InternetConfig& config) {
   Internet internet;
   internet.config_ = config;
@@ -270,13 +306,31 @@ Internet Internet::generate(const InternetConfig& config) {
   }
 
   // --- Prefix origination. --------------------------------------------------
-  // Every prefix is a distinct /16 from a sequential pool (lengths are not
-  // material to the experiments; uniqueness and LPM-compatibility are).
-  std::uint32_t next_block = 11;  // start at 11.0.0.0/16
+  // Distinct prefixes from a sequential pool cascade: first /16s (byte-
+  // identical to the historical allocator for every pre-`full` world), then
+  // /20s, then /24s once the /16 space runs out at full-table scale.  The
+  // mixed lengths make the big worlds exercise the FlatFib spill tables the
+  // way a real full table does; uniqueness and LPM-compatibility are what
+  // the experiments actually depend on.
+  std::uint32_t next_block = 11;  // /16 pool: 11.0.0.0/16 upward
+  std::uint32_t s20 = 0;          // /20 pool: 1.0.0.0/20 .. 10.255.240.0/20
+  std::uint32_t s24 = 0;          // /24 pool: 0.0.0.0/24 .. 0.255.255.0/24
   auto allocate_prefix = [&]() {
-    const net::Ipv4Prefix prefix{net::Ipv4Address{next_block << 16}, 16};
-    ++next_block;
-    if ((next_block >> 8) == 127) next_block = 128 << 8;  // skip loopback /8
+    if (next_block <= 0xffffu) {
+      const net::Ipv4Prefix prefix{net::Ipv4Address{next_block << 16}, 16};
+      ++next_block;
+      if ((next_block >> 8) == 127) next_block = 128 << 8;  // skip loopback /8
+      return prefix;
+    }
+    constexpr std::uint32_t kSlash20Count = 10u * 256u * 16u;  // 1.0.0.0..10.255.240.0
+    if (s20 < kSlash20Count) {
+      const net::Ipv4Prefix prefix{net::Ipv4Address{(1u << 24) + (s20 << 12)}, 20};
+      ++s20;
+      return prefix;
+    }
+    assert(s24 < (1u << 16) && "prefix pool exhausted");
+    const net::Ipv4Prefix prefix{net::Ipv4Address{s24 << 8}, 24};
+    ++s24;
     return prefix;
   };
 
@@ -305,6 +359,19 @@ Internet Internet::generate(const InternetConfig& config) {
     }
   }
   const geo::GeoPoint stale_registered = geo::city("Toronto").location;
+
+  // Reserve the uniform-mean origination volume up front: at full-table
+  // scale the vector holds 100k+ PrefixInfo records and reallocation
+  // doubling would transiently hold ~2x that (the generation path is meant
+  // to stay memory-bounded).
+  const auto mean_count = [](int lo, int hi) {
+    return static_cast<std::size_t>((lo + hi) / 2 + 1);
+  };
+  prefixes.reserve(config.ltp_count * mean_count(config.ltp_prefixes_min, config.ltp_prefixes_max) +
+                   config.stp_count * mean_count(config.stp_prefixes_min, config.stp_prefixes_max) +
+                   config.cahp_count * mean_count(config.cahp_prefixes_min, config.cahp_prefixes_max) +
+                   config.ec_count * mean_count(config.ec_prefixes_min, config.ec_prefixes_max) +
+                   static_cast<std::size_t>(config.stale_block_prefixes));
 
   for (AsIndex index = 0; index < ases.size(); ++index) {
     auto& node = ases[index];

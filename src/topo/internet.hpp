@@ -25,6 +25,20 @@ namespace vns::topo {
 /// Preference class of a route under Gao–Rexford policies; lower wins.
 enum class PathClass : std::uint8_t { kCustomer = 0, kPeer = 1, kProvider = 2, kNone = 3 };
 
+/// World size tiers (see InternetConfig::preset): kSmall for smoke tests,
+/// kPaper for the default paper-experiment world, kFull for the 10k-AS /
+/// 100k+-prefix full-table scale target (ROADMAP item 2).
+enum class InternetScale : std::uint8_t { kSmall, kPaper, kFull };
+
+[[nodiscard]] constexpr const char* to_string(InternetScale scale) noexcept {
+  switch (scale) {
+    case InternetScale::kSmall: return "small";
+    case InternetScale::kPaper: return "paper";
+    case InternetScale::kFull: return "full";
+  }
+  return "unknown";
+}
+
 /// Generation parameters.  Defaults build a ~2.5k-AS Internet that runs all
 /// paper experiments in seconds; counts scale linearly.
 struct InternetConfig {
@@ -33,6 +47,14 @@ struct InternetConfig {
   std::size_t stp_count = 260;
   std::size_t cahp_count = 560;
   std::size_t ec_count = 1400;
+  /// The tier this config was derived from (informational; preset() sets it).
+  InternetScale scale = InternetScale::kPaper;
+
+  /// Canonical size tiers.  kPaper keeps the defaults above; kSmall matches
+  /// the bench `--small` world; kFull grows to ~10.4k ASes originating
+  /// ~107k prefixes with a mixed /16–/24 length distribution, exercising the
+  /// FlatFib spill tables and the streamed memory-bounded generation path.
+  [[nodiscard]] static InternetConfig preset(InternetScale scale, std::uint64_t seed = 1);
 
   /// Prefixes originated per AS, [min, max] by type.
   int ltp_prefixes_min = 12, ltp_prefixes_max = 40;

@@ -4,15 +4,24 @@
 // 50+ seeded churn schedules (announce/withdraw/link/session/router faults)
 // at 1, 2, 4 and 8 threads and compares every observable byte-for-byte;
 // goldens pin the queue-depth stamp point and the engine statistics.
+//
+// The FibPatch suite rides the same schedules to prove the RIB-delta
+// protocol: per-router FlatFibs maintained only through
+// Fabric::rib_deltas_since + FlatFib::patch must answer identically to
+// from-scratch compiles after every convergence batch, and the delta log
+// itself must be bit-identical for any thread count.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bgp/fabric.hpp"
+#include "net/flat_fib.hpp"
 #include "obs/trace.hpp"
 
 namespace vns {
@@ -118,7 +127,9 @@ struct ScheduleRng {
 /// draws unconditionally (guards are applied afterwards), so two replicas
 /// walk the same op sequence as long as their fabric state is identical —
 /// exactly the property under test.
-ReplayObservation replay_schedule(std::uint64_t seed, int threads, int steps = 14) {
+ReplayObservation replay_schedule(
+    std::uint64_t seed, int threads, int steps = 14,
+    const std::function<void(Fabric&)>& on_converge = {}) {
   ConvergenceFixture fx{threads};
   ScheduleRng rng{seed * 0x9e3779b97f4a7c15ull + 1};
   ReplayObservation obs;
@@ -135,6 +146,7 @@ ReplayObservation replay_schedule(std::uint64_t seed, int threads, int steps = 1
                                         static_cast<net::Asn>(4000 + p)}));
   }
   fx.fabric.run_to_convergence();
+  if (on_converge) on_converge(fx.fabric);
   obs.generations.push_back(fx.fabric.rib_generation());
 
   for (int step = 0; step < steps; ++step) {
@@ -188,7 +200,10 @@ ReplayObservation replay_schedule(std::uint64_t seed, int threads, int steps = 1
     }
     // Converge only every other step so some schedules build multi-op storms
     // (deeper batches exercise the shard merge harder).
-    if (step % 2 == 1 || step == steps - 1) fx.fabric.run_to_convergence();
+    if (step % 2 == 1 || step == steps - 1) {
+      fx.fabric.run_to_convergence();
+      if (on_converge) on_converge(fx.fabric);
+    }
     obs.generations.push_back(fx.fabric.rib_generation());
   }
 
@@ -370,6 +385,181 @@ TEST(Convergence, EngineStatsAccountShardsAndMessages) {
   EXPECT_GE(global_after.runs, global_before.runs + 1);
   EXPECT_GE(global_after.messages, global_before.messages + processed);
   EXPECT_EQ(global_after.shard_limit, 64u);
+}
+
+// ------------------------------------------- RIB-delta protocol ------------
+
+/// The prefix universe the replay schedules can touch: the seed announces
+/// plus every churn op draw (prefix_at(0..7) in replay_schedule).
+std::vector<Ipv4Prefix> schedule_universe() {
+  std::vector<Ipv4Prefix> universe;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    universe.push_back(Ipv4Prefix{net::Ipv4Address{(0xC600u + i * 7u) << 16}, 24});
+  }
+  return universe;
+}
+
+/// One router's data plane maintained the incremental way: a leaf per
+/// universe prefix, payload index into `values` ("" = unrouted), refreshed
+/// only through the fabric's RIB-delta log — never recompiled.
+struct FibMirror {
+  net::FlatFib fib;
+  std::vector<std::string> values;
+};
+
+std::string render_route(const Fabric& fabric, RouterId router, const Ipv4Prefix& prefix) {
+  const bgp::Route* route = fabric.router(router).best_route(prefix);
+  return route != nullptr ? route->to_string() : std::string{};
+}
+
+FibMirror compile_mirror(const Fabric& fabric, RouterId router,
+                         std::span<const Ipv4Prefix> universe) {
+  FibMirror mirror;
+  std::vector<net::FlatFib::Leaf> leaves;
+  leaves.reserve(universe.size());
+  for (const auto& prefix : universe) {
+    leaves.push_back({prefix, static_cast<std::uint32_t>(mirror.values.size())});
+    mirror.values.push_back(render_route(fabric, router, prefix));
+  }
+  mirror.fib = net::FlatFib::compile(std::move(leaves));
+  return mirror;
+}
+
+void patch_mirror(FibMirror& mirror, const Fabric& fabric, RouterId router,
+                  std::span<const bgp::RibDelta> deltas) {
+  std::vector<Ipv4Prefix> dirty;
+  for (const auto& delta : deltas) {
+    if (delta.router == router) dirty.push_back(delta.prefix);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  std::vector<net::FlatFib::Leaf> patches;
+  patches.reserve(dirty.size());
+  for (const auto& prefix : dirty) {
+    const std::string rendered = render_route(fabric, router, prefix);
+    if (const net::FlatFib::Leaf* leaf = mirror.fib.lookup_exact(prefix)) {
+      mirror.values[leaf->value] = rendered;
+      patches.push_back({prefix, leaf->value});
+    } else {
+      patches.push_back({prefix, static_cast<std::uint32_t>(mirror.values.size())});
+      mirror.values.push_back(rendered);
+    }
+  }
+  mirror.fib.patch(patches);
+}
+
+TEST(FibPatch, ChurnPatchedFibsMatchScratchCompilesAcrossThreadCounts) {
+  // The equivalence fuzz: over the full 52-seed churn corpus, at every
+  // thread count, a FIB maintained purely through rib_deltas_since + patch()
+  // answers byte-identically to a from-scratch compile after every batch.
+  const auto universe = schedule_universe();
+  constexpr std::uint64_t kSeeds = 52;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    for (const int threads : {1, 2, 4, 8}) {
+      std::vector<FibMirror> mirrors;
+      std::uint64_t cursor = 0;
+      std::size_t batches = 0;
+      (void)replay_schedule(seed, threads, 14, [&](Fabric& fabric) {
+        const auto log = fabric.rib_deltas_since(cursor);
+        ASSERT_TRUE(log.complete) << "schedules never overflow the delta log";
+        if (mirrors.empty()) {
+          for (RouterId r = 0; r < fabric.router_count(); ++r) {
+            mirrors.push_back(compile_mirror(fabric, r, universe));
+          }
+        } else {
+          for (RouterId r = 0; r < fabric.router_count(); ++r) {
+            patch_mirror(mirrors[r], fabric, r, log.deltas);
+          }
+        }
+        cursor = log.next_cursor;
+        ++batches;
+        for (RouterId r = 0; r < fabric.router_count(); ++r) {
+          const FibMirror scratch = compile_mirror(fabric, r, universe);
+          for (const auto& prefix : universe) {
+            const auto* patched = mirrors[r].fib.lookup(prefix.first_host());
+            const auto* expected = scratch.fib.lookup(prefix.first_host());
+            ASSERT_NE(patched, nullptr);
+            ASSERT_NE(expected, nullptr);
+            ASSERT_EQ(mirrors[r].values[patched->value],
+                      scratch.values[expected->value])
+                << "patched FIB diverged from scratch compile: seed " << seed
+                << " threads " << threads << " router " << r << " prefix "
+                << prefix.to_string();
+          }
+        }
+      });
+      EXPECT_GT(batches, 1u) << "seed " << seed << " exercised nothing";
+    }
+  }
+}
+
+TEST(FibPatch, DirtySetIsBitIdenticalAcrossThreadCounts) {
+  // The dirty-set determinism golden: the full serialized delta log of a
+  // replayed schedule must not depend on the worker count, exactly like the
+  // trace JSONL (deltas merge in shard order inside each batch).
+  const auto render_log = [](Fabric& fabric) {
+    const auto log = fabric.rib_deltas_since(0);
+    std::ostringstream out;
+    for (const auto& delta : log.deltas) {
+      out << delta.router << ' ' << delta.prefix.to_string() << '\n';
+    }
+    return out.str();
+  };
+  for (const std::uint64_t seed : {0ull, 7ull, 21ull, 43ull}) {
+    std::string baseline;
+    (void)replay_schedule(seed, 1, 14, [&](Fabric& fabric) { baseline = render_log(fabric); });
+    EXPECT_FALSE(baseline.empty()) << "seed " << seed << " produced no deltas";
+    for (const int threads : {2, 4, 8}) {
+      std::string candidate;
+      (void)replay_schedule(seed, threads, 14,
+                            [&](Fabric& fabric) { candidate = render_log(fabric); });
+      ASSERT_EQ(candidate, baseline)
+          << "delta log diverged at seed " << seed << ", threads " << threads;
+    }
+  }
+}
+
+TEST(FibPatch, DeltaLogRecordsStructuralChangesExactlyOnce) {
+  // Semantic golden for the producer side: only structural Loc-RIB changes
+  // (install / replace / erase) emit deltas; idempotent re-announcements are
+  // silent, and the cursor contract flags lagging or bogus consumers.
+  Fabric fabric{65000};
+  const auto router = fabric.add_router("A");
+  const auto up = fabric.add_neighbor(router, 174, NeighborKind::kUpstream, "up");
+  const auto prefix = Ipv4Prefix::parse("203.0.113.0/24").value();
+
+  const auto empty = fabric.rib_deltas_since(0);
+  EXPECT_TRUE(empty.complete);
+  EXPECT_EQ(empty.deltas.size(), 0u);
+  EXPECT_EQ(empty.next_cursor, 0u);
+
+  fabric.announce(up, prefix, attrs_with_path({174, 400}));
+  fabric.run_to_convergence();
+  const auto installed = fabric.rib_deltas_since(0);
+  ASSERT_EQ(installed.deltas.size(), 1u);
+  EXPECT_EQ(installed.deltas[0], (bgp::RibDelta{router, prefix}));
+
+  // Re-announcing the identical route changes nothing: no delta.
+  fabric.announce(up, prefix, attrs_with_path({174, 400}));
+  fabric.run_to_convergence();
+  const auto idempotent = fabric.rib_deltas_since(installed.next_cursor);
+  EXPECT_TRUE(idempotent.complete);
+  EXPECT_EQ(idempotent.deltas.size(), 0u);
+
+  // A replacement (different path) and a withdrawal are one delta each.
+  fabric.announce(up, prefix, attrs_with_path({174, 401}));
+  fabric.run_to_convergence();
+  const auto replaced = fabric.rib_deltas_since(idempotent.next_cursor);
+  ASSERT_EQ(replaced.deltas.size(), 1u);
+  EXPECT_EQ(replaced.deltas[0], (bgp::RibDelta{router, prefix}));
+  fabric.withdraw(up, prefix);
+  fabric.run_to_convergence();
+  const auto withdrawn = fabric.rib_deltas_since(replaced.next_cursor);
+  ASSERT_EQ(withdrawn.deltas.size(), 1u);
+  EXPECT_EQ(withdrawn.deltas[0], (bgp::RibDelta{router, prefix}));
+
+  // A cursor past the end of the log is not a valid consumer position.
+  EXPECT_FALSE(fabric.rib_deltas_since(withdrawn.next_cursor + 1).complete);
 }
 
 TEST(Convergence, ThreadKnobResolvesAndRebuilds) {

@@ -178,6 +178,164 @@ TEST(Fib, MetricsSurviveMoveAssignOverCompiledInstance) {
   EXPECT_EQ(after.rebuilds, before.rebuilds + 3);
 }
 
+// ------------------------------------------------ FlatFib::patch ------------
+
+TEST(Fib, PatchUpdatesPayloadInPlaceWithoutSlotWrites) {
+  std::vector<FlatFib::Leaf> leaves = {
+      {Ipv4Prefix::parse("10.0.0.0/8").value(), 1},
+      {Ipv4Prefix::parse("10.1.0.0/16").value(), 2},
+      {Ipv4Prefix::parse("10.1.2.0/24").value(), 3},
+  };
+  FlatFib fib = FlatFib::compile(leaves);
+  const std::size_t entries = fib.entry_count();
+  const std::size_t tables = fib.stats().spill_tables;
+
+  const std::vector<FlatFib::Leaf> deltas = {
+      {Ipv4Prefix::parse("10.1.0.0/16").value(), 20},
+  };
+  const auto stats = fib.patch(deltas);
+  EXPECT_EQ(stats.updated, 1u);
+  EXPECT_EQ(stats.inserted, 0u);
+  EXPECT_EQ(stats.slots_touched, 0u);  // payload rewrites never move slots
+  EXPECT_EQ(fib.entry_count(), entries);
+  EXPECT_EQ(fib.stats().spill_tables, tables);
+  EXPECT_EQ(fib.lookup(Ipv4Address{10, 1, 99, 1})->value, 20u);
+  EXPECT_EQ(fib.lookup(Ipv4Address{10, 200, 0, 1})->value, 1u);   // /8 untouched
+  EXPECT_EQ(fib.lookup(Ipv4Address{10, 1, 2, 200})->value, 3u);   // /24 untouched
+}
+
+TEST(Fib, LookupExactDistinguishesAddressAndLength) {
+  std::vector<FlatFib::Leaf> leaves = {
+      {Ipv4Prefix::parse("10.1.0.0/16").value(), 16},
+      {Ipv4Prefix::parse("10.1.0.0/24").value(), 24},  // same address, longer
+      {Ipv4Prefix::parse("10.2.0.0/16").value(), 99},
+  };
+  const FlatFib fib = FlatFib::compile(std::move(leaves));
+  ASSERT_NE(fib.lookup_exact(Ipv4Prefix::parse("10.1.0.0/16").value()), nullptr);
+  EXPECT_EQ(fib.lookup_exact(Ipv4Prefix::parse("10.1.0.0/16").value())->value, 16u);
+  EXPECT_EQ(fib.lookup_exact(Ipv4Prefix::parse("10.1.0.0/24").value())->value, 24u);
+  EXPECT_EQ(fib.lookup_exact(Ipv4Prefix::parse("10.1.0.0/20").value()), nullptr);
+  EXPECT_EQ(fib.lookup_exact(Ipv4Prefix::parse("10.3.0.0/16").value()), nullptr);
+  EXPECT_EQ(fib.lookup_exact(Ipv4Prefix::parse("10.2.0.0/16").value())->value, 99u);
+}
+
+TEST(Fib, PatchInsertMatchesScratchCompileAcrossStrides) {
+  // Inserts at every stride level, including the hard cases: a short prefix
+  // arriving after spill tables already exist under its range (claim_slot
+  // must descend, not clobber), and longer prefixes spawning fresh tables.
+  std::vector<FlatFib::Leaf> leaves = {
+      {Ipv4Prefix::parse("10.1.2.0/24").value(), 0},
+      {Ipv4Prefix::parse("10.1.3.64/26").value(), 1},
+      {Ipv4Prefix::parse("10.200.0.0/16").value(), 2},
+  };
+  FlatFib fib = FlatFib::compile(leaves);
+
+  const std::vector<FlatFib::Leaf> additions = {
+      {Ipv4Prefix::parse("10.0.0.0/8").value(), 10},    // covers the spills
+      {Ipv4Prefix::parse("10.1.0.0/16").value(), 11},   // under existing tables
+      {Ipv4Prefix::parse("10.1.2.128/25").value(), 12}, // more-specific of a /24
+      {Ipv4Prefix::parse("10.1.4.0/24").value(), 13},   // fresh mid table slot
+      {Ipv4Prefix::parse("10.1.3.66/32").value(), 14},  // host route, level 3
+      {Ipv4Prefix::parse("192.168.0.0/12").value(), 15},  // disjoint short
+  };
+  const auto stats = fib.patch(additions);
+  EXPECT_EQ(stats.updated, 0u);
+  EXPECT_EQ(stats.inserted, additions.size());
+  EXPECT_GT(stats.slots_touched, 0u);
+
+  std::vector<FlatFib::Leaf> all = leaves;
+  all.insert(all.end(), additions.begin(), additions.end());
+  const FlatFib scratch = FlatFib::compile(std::move(all));
+
+  // Exhaustive over the carved-up /16 plus a sampled sweep of the rest.
+  for (std::uint32_t low = 0; low < (1u << 16); ++low) {
+    const Ipv4Address address{(10u << 24) | (1u << 16) | low};
+    const auto* patched = fib.lookup(address);
+    const auto* expected = scratch.lookup(address);
+    ASSERT_EQ(patched == nullptr, expected == nullptr) << address.to_string();
+    if (patched != nullptr) {
+      ASSERT_EQ(patched->value, expected->value) << address.to_string();
+    }
+  }
+  util::Rng rng{0xBEEFULL};
+  for (int i = 0; i < 200'000; ++i) {
+    const Ipv4Address address{static_cast<std::uint32_t>(rng())};
+    const auto* patched = fib.lookup(address);
+    const auto* expected = scratch.lookup(address);
+    ASSERT_EQ(patched == nullptr, expected == nullptr) << address.to_string();
+    if (patched != nullptr) {
+      ASSERT_EQ(patched->value, expected->value) << address.to_string();
+    }
+  }
+}
+
+TEST(Fib, PatchedFibMatchesScratchCompileOnRandomChurn) {
+  // Unit-level churn fuzz: random batches of payload updates + fresh inserts
+  // applied via patch() must stay equivalent to recompiling the union.
+  util::Rng rng{0xC0FFEEULL};
+  std::vector<FlatFib::Leaf> table;
+  std::uint32_t next_value = 0;
+  net::PrefixTrie<std::uint32_t> seen;  // prefix -> index in `table`
+  const auto random_prefix = [&rng] {
+    const auto length = static_cast<std::uint8_t>(rng.uniform_int(8, 28));
+    return Ipv4Prefix{Ipv4Address{static_cast<std::uint32_t>(rng())}, length};
+  };
+  for (int i = 0; i < 800; ++i) {
+    const auto prefix = random_prefix();
+    if (seen.insert(prefix, static_cast<std::uint32_t>(table.size()))) {
+      table.push_back({prefix, next_value++});
+    }
+  }
+  FlatFib fib = FlatFib::compile(table);
+
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<FlatFib::Leaf> deltas;
+    for (int k = 0; k < 12; ++k) {
+      if (!table.empty() && rng.uniform() < 0.5) {
+        // Payload churn on an existing prefix.
+        auto& leaf = table[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(table.size()) - 1))];
+        leaf.value = next_value++;
+        deltas.push_back(leaf);
+      } else {
+        const auto prefix = random_prefix();
+        if (const std::uint32_t* index = seen.find(prefix)) {
+          table[*index].value = next_value++;
+          deltas.push_back(table[*index]);
+        } else {
+          ASSERT_TRUE(seen.insert(prefix, static_cast<std::uint32_t>(table.size())));
+          table.push_back({prefix, next_value++});
+          deltas.push_back(table.back());
+        }
+      }
+    }
+    fib.patch(deltas);
+
+    const FlatFib scratch = FlatFib::compile(table);
+    ASSERT_EQ(fib.entry_count(), scratch.entry_count());
+    for (int i = 0; i < 20'000; ++i) {
+      std::uint32_t probe = static_cast<std::uint32_t>(rng());
+      if (i % 2 == 1 && !table.empty()) {
+        // Bias half the probes into stored ranges.
+        const auto& leaf = table[static_cast<std::size_t>(i) % table.size()];
+        probe = leaf.prefix.address().value() +
+                static_cast<std::uint32_t>(probe % leaf.prefix.size());
+      }
+      const Ipv4Address address{probe};
+      const auto* patched = fib.lookup(address);
+      const auto* expected = scratch.lookup(address);
+      ASSERT_EQ(patched == nullptr, expected == nullptr)
+          << "batch " << batch << " " << address.to_string();
+      if (patched != nullptr) {
+        ASSERT_EQ(patched->value, expected->value)
+            << "batch " << batch << " " << address.to_string();
+        ASSERT_EQ(patched->prefix, expected->prefix)
+            << "batch " << batch << " " << address.to_string();
+      }
+    }
+  }
+}
+
 // --------------------------------------- VNS data-plane equivalence ---------
 
 /// Deterministic probe pool: biased toward announced prefixes (including
@@ -434,6 +592,96 @@ TEST(Fib, ConcurrentLazyRebuildIsRaceFree) {
   }
 }
 
+TEST(FibPatch, ViewpointPatchingMatchesAlwaysFullRebuild) {
+  // Two identical worlds, one consuming RIB deltas (threshold 1.0: patch
+  // whenever the log is usable), one with patching disabled (threshold < 0:
+  // every refresh is a from-scratch compile).  Same fault schedule on both;
+  // every probe must answer identically at every stage.
+  auto patched_config = measure::WorkbenchConfig::small(11);
+  patched_config.vns.fib_patch_max_dirty_fraction = 1.0;
+  auto full_config = measure::WorkbenchConfig::small(11);
+  full_config.vns.fib_patch_max_dirty_fraction = -1.0;
+  auto patched_world = measure::Workbench::build(patched_config);
+  auto full_world = measure::Workbench::build(full_config);
+  auto& patched = patched_world->vns();
+  auto& full = full_world->vns();
+
+  const auto pool = make_probe_pool(*patched_world, 16'384);
+  std::size_t stage_index = 0;
+  const auto compare_worlds = [&](const char* stage) {
+    const auto probes = slice(pool, stage_index++, 2'048);
+    for (PopId viewpoint = 0; viewpoint < patched.pops().size(); ++viewpoint) {
+      for (const Ipv4Address address : probes) {
+        const bgp::Route* a = patched.route_at(viewpoint, address);
+        const bgp::Route* b = full.route_at(viewpoint, address);
+        ASSERT_EQ(a == nullptr, b == nullptr)
+            << stage << ": routedness diverged at viewpoint " << viewpoint << " for "
+            << address.to_string();
+        if (a != nullptr) {
+          ASSERT_EQ(a->to_string(), b->to_string())
+              << stage << ": route diverged at viewpoint " << viewpoint << " for "
+              << address.to_string();
+        }
+        ASSERT_EQ(patched.egress_pop(viewpoint, address), full.egress_pop(viewpoint, address))
+            << stage << ": egress diverged at viewpoint " << viewpoint << " for "
+            << address.to_string();
+      }
+    }
+  };
+
+  compare_worlds("initial convergence");
+  if (HasFatalFailure()) return;
+  const auto before = FlatFibMetrics::global().snapshot();
+
+  std::pair<PopId, PopId> long_haul{core::kNoPop, core::kNoPop};
+  for (const auto& link : patched.links()) {
+    if (link.long_haul) {
+      long_haul = {link.a, link.b};
+      break;
+    }
+  }
+  ASSERT_NE(long_haul.first, core::kNoPop);
+
+  ASSERT_TRUE(patched.fail_pop_link(long_haul.first, long_haul.second));
+  ASSERT_TRUE(full.fail_pop_link(long_haul.first, long_haul.second));
+  compare_worlds("long-haul link down");
+  if (HasFatalFailure()) return;
+  ASSERT_TRUE(patched.restore_pop_link(long_haul.first, long_haul.second));
+  ASSERT_TRUE(full.restore_pop_link(long_haul.first, long_haul.second));
+  compare_worlds("long-haul link restored");
+  if (HasFatalFailure()) return;
+
+  const PopId lon = *patched.find_pop("LON");
+  ASSERT_TRUE(patched.fail_upstream(lon, 0));
+  ASSERT_TRUE(full.fail_upstream(lon, 0));
+  compare_worlds("upstream session down");
+  if (HasFatalFailure()) return;
+  ASSERT_TRUE(patched.restore_upstream(lon, 0));
+  ASSERT_TRUE(full.restore_upstream(lon, 0));
+  compare_worlds("upstream session restored");
+  if (HasFatalFailure()) return;
+
+  const PopId osl = *patched.find_pop("OSL");
+  patched.fail_pop(osl);
+  full.fail_pop(osl);
+  compare_worlds("PoP down");
+  if (HasFatalFailure()) return;
+  patched.restore_pop(osl);
+  full.restore_pop(osl);
+  compare_worlds("PoP restored");
+  if (HasFatalFailure()) return;
+
+  patched.set_geo_routing(true);
+  full.set_geo_routing(true);
+  compare_worlds("geo-routing enabled");
+  if (HasFatalFailure()) return;
+
+  // The patching world must actually have taken the incremental path.
+  const auto after = FlatFibMetrics::global().snapshot();
+  EXPECT_GT(after.patches, before.patches)
+      << "the threshold-1.0 world never patched: the incremental path is dead code";
+}
+
 // ------------------------------------------------ GeoIP fast path -----------
 
 TEST(Fib, GeoIpCompiledLookupMatchesUncompiled) {
@@ -473,6 +721,38 @@ TEST(Fib, GeoIpLookupSeesWritesAfterCompile) {
   EXPECT_EQ(db.lookup(probe), db.lookup_uncompiled(probe));
   // Addresses outside the more-specific still resolve to the covering /24.
   EXPECT_EQ(*db.lookup(Ipv4Address{203, 0, 113, 10}), (geo::GeoPoint{52.37, 4.90}));
+}
+
+TEST(Fib, GeoIpIncrementalAddPatchesInsteadOfRecompiling) {
+  geo::GeoIpDatabase db;
+  db.add_with_report(Ipv4Prefix::parse("203.0.113.0/24").value(), geo::GeoPoint{52.37, 4.90},
+                     geo::GeoPoint{52.37, 4.90}, geo::GeoIpErrorClass::kAccurate);
+  ASSERT_TRUE(db.lookup(Ipv4Address{203, 0, 113, 1}).has_value());  // full compile
+
+  // A post-compile add is served via patch(): the patches counter moves, the
+  // full-rebuild counter does not.
+  const auto before = FlatFibMetrics::global().snapshot();
+  db.add_with_report(Ipv4Prefix::parse("198.51.100.0/24").value(), geo::GeoPoint{59.91, 10.75},
+                     geo::GeoPoint{59.91, 10.75}, geo::GeoIpErrorClass::kAccurate);
+  const auto found = db.lookup(Ipv4Address{198, 51, 100, 7});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, (geo::GeoPoint{59.91, 10.75}));
+  const auto after = FlatFibMetrics::global().snapshot();
+  EXPECT_EQ(after.patches, before.patches + 1);
+  EXPECT_EQ(after.full_rebuilds, before.full_rebuilds);
+
+  // Overwriting an existing prefix is visible in place: no patch, no
+  // rebuild, new value served immediately (trie nodes are heap-stable).
+  db.add_with_report(Ipv4Prefix::parse("198.51.100.0/24").value(), geo::GeoPoint{48.85, 2.35},
+                     geo::GeoPoint{48.85, 2.35}, geo::GeoIpErrorClass::kAccurate);
+  const auto overwritten = db.lookup(Ipv4Address{198, 51, 100, 7});
+  ASSERT_TRUE(overwritten.has_value());
+  EXPECT_EQ(*overwritten, (geo::GeoPoint{48.85, 2.35}));
+  const auto final_snap = FlatFibMetrics::global().snapshot();
+  EXPECT_EQ(final_snap.patches, after.patches);
+  EXPECT_EQ(final_snap.full_rebuilds, after.full_rebuilds);
+  EXPECT_EQ(db.lookup(Ipv4Address{198, 51, 100, 7}),
+            db.lookup_uncompiled(Ipv4Address{198, 51, 100, 7}));
 }
 
 }  // namespace

@@ -198,8 +198,12 @@ constexpr std::string_view kBenchMemoryKeys[] = {
     "attr_peak_unique", "attr_live_refs",  "attr_intern_calls",
     "attr_intern_hits", "attr_bytes_allocated", "attr_bytes_requested",
     "attr_dedup_ratio",
-    // Compiled data-plane stats (nested "fib" object).
-    "fib", "entries", "spill_tables", "bytes", "rebuilds", "build_seconds",
+    // Per-route memory accounting (PR 7: RSS divided by installed routes).
+    "rss_per_route", "routes",
+    // Compiled data-plane stats (nested "fib" object), split into full
+    // compiles vs. incremental RIB-delta patches since PR 7.
+    "fib", "entries", "spill_tables", "bytes", "rebuilds", "full_rebuilds",
+    "patches", "slots_touched", "build_seconds",
     // Sharded convergence engine stats (the "convergence" object).
     "convergence", "runs", "messages", "batches", "messages_per_sec",
     "shard_limit", "shard_occupancy_mean", "shard_occupancy_max",
