@@ -176,6 +176,20 @@ class BenchRecord {
     metrics_.emplace_back(std::move(key), json_value(value));
   }
 
+  /// Attaches a pre-rendered JSON object under a top-level key (after
+  /// "metrics").  Benches with structured results beyond flat key/value
+  /// metrics — e.g. bench_slo_serving's "slo" block — register them here.
+  void block(std::string key, std::string raw_json_object) {
+    blocks_.emplace_back(std::move(key), std::move(raw_json_object));
+  }
+
+  /// Run-identity fields for the "meta" header (scale preset + world seed;
+  /// threads comes in via write_json, the timestamp is stamped at write).
+  void set_run_meta(std::string scale, std::uint64_t seed) {
+    meta_scale_ = std::move(scale);
+    meta_seed_ = seed;
+  }
+
   void set_build_seconds(double seconds) { build_seconds_ = seconds; }
 
   /// Route (prefix) count of the world, the denominator of
@@ -209,6 +223,15 @@ class BenchRecord {
     out << "{\n";
     out << "  \"name\": " << json_value(name_) << ",\n";
     out << "  \"paper_ref\": " << json_value(paper_ref_) << ",\n";
+    // Run-identity header: enough to re-run the exact world (scale preset,
+    // seed, thread count) plus when the artifact was produced.
+    std::vector<std::pair<std::string, std::string>> meta;
+    meta.emplace_back("scale", json_value(meta_scale_));
+    meta.emplace_back("threads", json_value(threads));
+    meta.emplace_back("seed", json_value(meta_seed_));
+    meta.emplace_back("timestamp", json_value(obs::iso8601_utc_now()));
+    object("meta", meta);
+    out << ",\n";
     out << "  \"threads\": " << threads << ",\n";
     out << "  \"build_seconds\": " << json_value(build_seconds_) << ",\n";
     out << "  \"campaign_seconds\": " << json_value(campaign_seconds) << ",\n";
@@ -216,6 +239,9 @@ class BenchRecord {
     out << ",\n";
     object("metrics", metrics_);
     out << ",\n";
+    for (const auto& [key, raw] : blocks_) {
+      out << "  \"" << json_escape(key) << "\": " << raw << ",\n";
+    }
     std::vector<std::pair<std::string, std::string>> counters;
     for (const auto& [name, value] : util::Counters::global().snapshot()) {
       counters.emplace_back(name, json_value(value));
@@ -278,7 +304,9 @@ class BenchRecord {
 
  private:
   std::string name_, paper_ref_;
-  std::vector<std::pair<std::string, std::string>> config_, metrics_;
+  std::vector<std::pair<std::string, std::string>> config_, metrics_, blocks_;
+  std::string meta_scale_ = "paper";
+  std::uint64_t meta_seed_ = 0;
   double build_seconds_ = 0.0;
   std::size_t route_count_ = 0;
 };
@@ -296,6 +324,7 @@ inline void begin_bench(const BenchArgs& args, const std::string& bench_name,
   util::print_bench_header(std::cout, bench_name, paper_ref, args.seed);
   auto& record = BenchRecord::global();
   record.begin(bench_name, paper_ref);
+  record.set_run_meta(std::string{topo::to_string(args.scale)}, args.seed);
   record.config("small", args.small);
   record.config("scale", topo::to_string(args.scale));
   record.config("seed", args.seed);
@@ -352,6 +381,13 @@ inline void finish_run(const BenchArgs& args, double campaign_seconds) {
   if (args.trace) {
     const auto path = BenchRecord::global().trace_output_path();
     std::ofstream out{path};
+    // Same run-identity header as the BENCH json, as the first line, so a
+    // trace file is self-describing even when separated from its json.
+    out << "{\"type\":\"run_meta\",\"scale\":"
+        << obs::json_string(topo::to_string(args.scale))
+        << ",\"threads\":" << util::resolve_thread_count(args.threads)
+        << ",\"seed\":" << args.seed << ",\"timestamp\":"
+        << obs::json_string(obs::iso8601_utc_now()) << "}\n";
     obs::MetricsRegistry::global().write_jsonl(out);
     trace_sink().write_jsonl(out);
     std::cout << "wrote " << path << "\n";

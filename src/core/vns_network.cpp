@@ -514,7 +514,8 @@ const VnsNetwork::ViewpointFib& VnsNetwork::viewpoint_fib(PopId viewpoint) const
   std::lock_guard<std::mutex> lock(fib_mutex_);
   if (slot.generation.load(std::memory_order_relaxed) == want) return slot;
   const bgp::Router& router = fabric_.router(pops_.at(viewpoint).routers[0]);
-  const bgp::Fabric::RibDeltas log = fabric_.rib_deltas_since(slot.delta_cursor);
+  const bgp::Fabric::RibDeltas log = fabric_.rib_deltas_since(
+      slot.delta_cursor.load(std::memory_order_relaxed));
 
   // Incremental refresh via the RIB-delta protocol: patch only the prefixes
   // whose resolution can have changed since the last compile.  Falls back to
@@ -567,7 +568,7 @@ const VnsNetwork::ViewpointFib& VnsNetwork::viewpoint_fib(PopId viewpoint) const
     }
   }
   if (!patched) compile_viewpoint_fib(slot, router);
-  slot.delta_cursor = log.next_cursor;
+  slot.delta_cursor.store(log.next_cursor, std::memory_order_relaxed);
   slot.known_cursor = known_log_.size();
   slot.generation.store(want, std::memory_order_release);
   return slot;
@@ -584,6 +585,30 @@ std::optional<PopId> VnsNetwork::egress_pop(PopId viewpoint, net::Ipv4Address ad
   const net::FlatFib::Leaf* leaf = fib.fib.lookup(address);
   if (leaf == nullptr) return std::nullopt;
   const Resolution& resolution = fib.values[leaf->value];
+  if (resolution.route == nullptr || resolution.pop == kNoPop) return std::nullopt;
+  return resolution.pop;
+}
+
+std::uint64_t VnsNetwork::viewpoint_fib_generation(PopId viewpoint) const noexcept {
+  return fibs_.at(viewpoint)->generation.load(std::memory_order_acquire);
+}
+
+std::uint64_t VnsNetwork::viewpoint_delta_cursor(PopId viewpoint) const noexcept {
+  return fibs_.at(viewpoint)->delta_cursor.load(std::memory_order_relaxed);
+}
+
+std::optional<PopId> VnsNetwork::egress_pop_stale(PopId viewpoint,
+                                                 net::Ipv4Address address) const noexcept {
+  // Serving-mode probe: answer from whatever FIB is currently published,
+  // stale or not, and never refresh.  Touches only the compiled arrays and
+  // the value slots; the route pointer is null-compared but not
+  // dereferenced, so a Loc-RIB entry freed since the compile cannot be
+  // followed.  The caller guarantees no concurrent refresh of this slot.
+  const ViewpointFib& slot = *fibs_.at(viewpoint);
+  if (slot.generation.load(std::memory_order_acquire) == 0) return std::nullopt;
+  const net::FlatFib::Leaf* leaf = slot.fib.lookup(address);
+  if (leaf == nullptr) return std::nullopt;
+  const Resolution& resolution = slot.values[leaf->value];
   if (resolution.route == nullptr || resolution.pop == kNoPop) return std::nullopt;
   return resolution.pop;
 }

@@ -239,6 +239,27 @@ class VnsNetwork {
   /// Egress PoP chosen at `viewpoint` for an address.
   [[nodiscard]] std::optional<PopId> egress_pop(PopId viewpoint, net::Ipv4Address address) const;
 
+  // --- serving-mode observability (serve::Engine) ----------------------------
+  /// The fabric generation `viewpoint`'s compiled FIB currently answers for
+  /// (0 = never compiled).  Lock-free; comparing against
+  /// fabric().rib_generation() tells whether the next fresh query will have
+  /// to patch/rebuild.
+  [[nodiscard]] std::uint64_t viewpoint_fib_generation(PopId viewpoint) const noexcept;
+  /// Position in the fabric's RIB-delta log up to which `viewpoint`'s FIB
+  /// has applied deltas.  Lock-free; the serve engine derives its
+  /// freshness-lag metric from how far this cursor trails the log head.
+  [[nodiscard]] std::uint64_t viewpoint_delta_cursor(PopId viewpoint) const noexcept;
+  /// Serving-mode probe: answers from `viewpoint`'s *currently compiled* FIB
+  /// without checking freshness or refreshing — never touches fabric RIB
+  /// state, so it is safe while the control plane is mutating, when the
+  /// regular egress_pop would have to refresh against in-flux RIBs.  May
+  /// serve the last published (stale) answer; nullopt when the viewpoint was
+  /// never compiled or holds no route.  Caller contract (the serve engine's
+  /// world gate enforces it): no concurrent *refresh* of the same viewpoint —
+  /// stale probes and fresh queries must not overlap on a mutating slot.
+  [[nodiscard]] std::optional<PopId> egress_pop_stale(PopId viewpoint,
+                                                     net::Ipv4Address address) const noexcept;
+
   /// Full provenance of the egress choice at `viewpoint` for an address:
   /// chosen egress PoP, the RFC-4271 rung that picked it (the geo local-pref
   /// rung under cold-potato routing, with the margin converted back to km),
@@ -274,6 +295,14 @@ class VnsNetwork {
   /// side, ignoring the user's geography (the ablation case).
   [[nodiscard]] PopId select_ingress(topo::AsIndex user_as, const geo::GeoPoint& user_loc,
                                      bool geo_strategies = true) const;
+
+  /// Every prefix the VNS has ever learned, in first-seen order — the
+  /// universe its viewpoint FIBs carry leaves for.  The serve-mode churn
+  /// generator draws its flap targets from this log so replayed traces only
+  /// touch prefixes the FIBs already track.
+  [[nodiscard]] std::span<const net::Ipv4Prefix> known_prefix_log() const noexcept {
+    return known_log_;
+  }
 
   /// All (neighbor AS, PoP) transit/peering attachments.
   struct Attachment {
@@ -332,9 +361,11 @@ class VnsNetwork {
     std::atomic<std::uint64_t> generation{0};
     net::FlatFib fib;
     std::vector<Resolution> values;
-    /// RIB-delta protocol cursors, guarded by fib_mutex_: position in the
-    /// fabric's delta log and in known_log_ up to which this FIB is current.
-    std::uint64_t delta_cursor = 0;
+    /// RIB-delta protocol cursors: position in the fabric's delta log and in
+    /// known_log_ up to which this FIB is current.  Mutated only under
+    /// fib_mutex_; delta_cursor is atomic (relaxed) so the serve engine can
+    /// observe freshness lag without taking the rebuild mutex.
+    std::atomic<std::uint64_t> delta_cursor{0};
     std::size_t known_cursor = 0;
   };
   /// Returns the viewpoint's FIB, refreshing it first if the fabric's

@@ -1,7 +1,9 @@
 #include "obs/json.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 
 namespace vns::obs {
 
@@ -38,5 +40,26 @@ std::string json_number(double value) {
 
 std::string json_number(std::uint64_t value) { return std::to_string(value); }
 std::string json_number(std::int64_t value) { return std::to_string(value); }
+
+std::string iso8601_utc(std::int64_t unix_seconds) {
+  const std::time_t t = static_cast<std::time_t>(unix_seconds);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &t);
+#else
+  gmtime_r(&t, &tm);
+#endif
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string iso8601_utc_now() {
+  return iso8601_utc(static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count()));
+}
 
 }  // namespace vns::obs

@@ -30,4 +30,10 @@ namespace vns::obs {
 [[nodiscard]] std::string json_number(std::uint64_t value);
 [[nodiscard]] std::string json_number(std::int64_t value);
 
+/// `2026-08-07T14:03:21Z` for a unix timestamp (UTC, second resolution) —
+/// the run-metadata stamp every BENCH_*.json / TRACE_*.jsonl header carries.
+[[nodiscard]] std::string iso8601_utc(std::int64_t unix_seconds);
+/// Same, for the current wall clock.
+[[nodiscard]] std::string iso8601_utc_now();
+
 }  // namespace vns::obs

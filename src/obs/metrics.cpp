@@ -48,12 +48,30 @@ void MetricsRegistry::histogram_observe(std::string_view name, double value,
                                         double lo, double hi,
                                         std::size_t bins) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  const bool shaped = bins != 0;
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), util::Histogram(lo, hi, bins))
+    const double create_lo = shaped ? lo : 0.0;
+    const double create_hi = shaped ? hi : 1.0;
+    const std::size_t create_bins = shaped ? bins : 32;
+    it = histograms_
+             .emplace(std::string(name),
+                      ShapedHistogram{util::Histogram(create_lo, create_hi, create_bins),
+                                      create_lo, create_hi, create_bins})
              .first;
+  } else if (shaped && (it->second.lo != lo || it->second.hi != hi ||
+                        it->second.bins != bins)) {
+    // The first caller owns the layout; a disagreeing shaped observe still
+    // lands in the existing bins but is counted so the mismatch is
+    // detectable.  Shapeless observes adopt the layout and never conflict.
+    ++histogram_shape_conflicts_;
   }
-  it->second.add(value);
+  it->second.histogram.add(value);
+}
+
+std::uint64_t MetricsRegistry::histogram_shape_conflicts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_shape_conflicts_;
 }
 
 util::Histogram MetricsRegistry::histogram(std::string_view name,
@@ -62,7 +80,7 @@ util::Histogram MetricsRegistry::histogram(std::string_view name,
   const auto it = histograms_.find(name);
   if (found != nullptr) *found = it != histograms_.end();
   if (it == histograms_.end()) return util::Histogram(0.0, 1.0, 1);
-  return it->second;
+  return it->second.histogram;
 }
 
 void MetricsRegistry::span_record(std::string_view name, double seconds) {
@@ -92,6 +110,7 @@ void MetricsRegistry::reset() {
   gauges_.clear();
   histograms_.clear();
   spans_.clear();
+  histogram_shape_conflicts_ = 0;
 }
 
 void MetricsRegistry::write_jsonl(std::ostream& out) const {
@@ -101,12 +120,14 @@ void MetricsRegistry::write_jsonl(std::ostream& out) const {
   decltype(gauges_) gauges;
   decltype(histograms_) histograms;
   decltype(spans_) spans;
+  std::uint64_t shape_conflicts = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     counters = counters_;
     gauges = gauges_;
     histograms = histograms_;
     spans = spans_;
+    shape_conflicts = histogram_shape_conflicts_;
   }
   for (const auto& [name, value] : util::Counters::global().snapshot()) {
     out << "{\"type\":\"counter\",\"name\":" << json_string(name)
@@ -120,7 +141,8 @@ void MetricsRegistry::write_jsonl(std::ostream& out) const {
     out << "{\"type\":\"gauge\",\"name\":" << json_string(name)
         << ",\"value\":" << json_number(value) << "}\n";
   }
-  for (const auto& [name, histogram] : histograms) {
+  for (const auto& [name, shaped] : histograms) {
+    const util::Histogram& histogram = shaped.histogram;
     out << "{\"type\":\"histogram\",\"name\":" << json_string(name);
     if (histogram.bin_count() > 0) {
       out << ",\"lo\":" << json_number(histogram.bin_lo(0)) << ",\"hi\":"
@@ -139,6 +161,14 @@ void MetricsRegistry::write_jsonl(std::ostream& out) const {
     out << "{\"type\":\"span\",\"name\":" << json_string(span.name)
         << ",\"seconds\":" << json_number(span.seconds) << "}\n";
   }
+  // Trailer: export-health summary.  A non-zero histogram_shape_conflicts
+  // means some caller observed with a different lo/hi/bins than the shape
+  // the histogram was created with — its samples were binned under the
+  // first caller's layout, not its own.
+  out << "{\"type\":\"registry_summary\",\"histograms\":"
+      << json_number(std::uint64_t{histograms.size()})
+      << ",\"histogram_shape_conflicts\":" << json_number(shape_conflicts)
+      << "}\n";
 }
 
 std::string MetricsRegistry::to_jsonl() const {

@@ -5,8 +5,12 @@
 //
 // Counters and gauges are keyed by name; histograms are created on first
 // observe() with the caller-supplied shape (later observes with a different
-// shape reuse the existing bins — the first caller owns the layout).  Spans
-// are appended in record order so a campaign's phase timeline reads
+// shape reuse the existing bins — the first caller owns the layout, and the
+// mismatch is *counted*: every observe whose lo/hi/bins disagree with the
+// histogram's recorded shape bumps histogram_shape_conflicts(), which the
+// JSONL export emits in its registry_summary trailer so a silently-reshaped
+// histogram is detectable instead of quietly mis-binned).  Spans are
+// appended in record order so a campaign's phase timeline reads
 // top-to-bottom.  For hot loops prefer util::Counters::Batch (thread-local,
 // flush-on-destroy) over per-sample registry calls.
 #pragma once
@@ -44,9 +48,15 @@ class MetricsRegistry {
   [[nodiscard]] double gauge(std::string_view name) const;  ///< 0 if unset
 
   /// Records `value` into the named histogram, creating it with the given
-  /// shape on first use.
+  /// shape on first use (the shapeless default creates [0, 1) with 32 bins).
+  /// A *shaped* observe whose lo/hi/bins differ from the shape the histogram
+  /// was created with still lands in the existing bins, but increments
+  /// histogram_shape_conflicts(); a shapeless observe (bins = 0) adopts the
+  /// existing shape and never conflicts.
   void histogram_observe(std::string_view name, double value, double lo = 0.0,
-                         double hi = 1.0, std::size_t bins = 32);
+                         double hi = 1.0, std::size_t bins = 0);
+  /// Observes whose shape disagreed with the histogram's creation shape.
+  [[nodiscard]] std::uint64_t histogram_shape_conflicts() const;
   /// Copy of the named histogram, or nullopt-like empty histogram signalled
   /// via `found`.
   [[nodiscard]] util::Histogram histogram(std::string_view name,
@@ -67,11 +77,21 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_jsonl() const;
 
  private:
+  /// A histogram plus the shape its first observe created it with, so later
+  /// observes can be checked against the owning layout.
+  struct ShapedHistogram {
+    util::Histogram histogram;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::size_t bins = 0;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, util::Histogram, std::less<>> histograms_;
+  std::map<std::string, ShapedHistogram, std::less<>> histograms_;
   std::vector<Span> spans_;
+  std::uint64_t histogram_shape_conflicts_ = 0;
 };
 
 /// RAII span: records elapsed wall-clock into the registry on destruction.

@@ -146,9 +146,15 @@ void TraceSink::write_jsonl(std::ostream& out) const {
         << ",\"drops\":" << json_number(t.drops) << ",\"max_queue_depth\":"
         << json_number(std::uint64_t{t.max_queue_depth}) << "}\n";
   }
+  // Trailer: a consumer seeing truncated=true knows the event lines above
+  // are only the newest `held` of `recorded` events — the ring overwrote
+  // `overwritten` older ones — instead of mistaking a wrapped trace for a
+  // complete one.
   out << "{\"type\":\"trace_summary\",\"recorded\":" << json_number(recorded())
       << ",\"held\":" << json_number(std::uint64_t{size_})
-      << ",\"overwritten\":" << json_number(overwritten()) << "}\n";
+      << ",\"capacity\":" << json_number(std::uint64_t{capacity_})
+      << ",\"overwritten\":" << json_number(overwritten())
+      << ",\"truncated\":" << (overwritten() > 0 ? "true" : "false") << "}\n";
 }
 
 std::string TraceSink::to_jsonl() const {

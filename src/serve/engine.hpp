@@ -1,0 +1,159 @@
+// serve::Engine — the serving-mode SLO harness.
+//
+// One long-lived run: a churn thread streams an UpdateTrace into the BGP
+// fabric, batch by batch, while N resolver threads concurrently probe the
+// lazily-patched viewpoint FIBs and record per-probe resolution latency into
+// HDR-style obs::LatencyRecorder shards.  Every sample is tagged with the
+// phase it observed — *steady* (the viewpoint FIB was current when probed)
+// or *converging* (the FIB was behind the fabric generation, or the probe
+// was served stale during a churn window) — so the run yields separate
+// p50/p99 ladders for quiet operation and for operation under churn, the
+// paper-style question "what does a route lookup cost while BGP is still
+// settling?".
+//
+// Concurrency is mediated by a WorldGate with three phases.  During
+// *serving*, resolvers take the regular egress_pop path (which may patch or
+// rebuild a stale viewpoint FIB under the core's own rebuild mutex).  To
+// churn, the writer first *drains* those fresh probes — after which no FIB
+// refresh can be in flight — then mutates the fabric while resolvers fall
+// back to egress_pop_stale, which reads only the last-published compiled
+// arrays and never dereferences into the mutating RIBs.  Leaving the churn
+// window drains the stale probes symmetrically before fresh serving (and
+// thus patching) resumes, so a stale read can never race an in-place patch.
+//
+// Freshness lag rides on the PR-7 RIB-delta protocol: after each batch the
+// engine records the delta-log head; a viewpoint's lag is how many batch
+// ticks pass before its delta cursor (advanced by the lazy patch a fresh
+// probe triggers) reaches that head.  Lag has one-batch-tick resolution —
+// a viewpoint probed during the very next dwell reports a lag of 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "core/vns_network.hpp"
+#include "obs/latency.hpp"
+#include "serve/update_trace.hpp"
+
+namespace vns::serve {
+
+/// Writer-priority gate between the churn thread (exclusive fabric mutation)
+/// and the resolver threads.  Resolvers enter per probe and are told which
+/// probe path is currently safe; the churn thread flips phases, draining the
+/// opposite reader population at each flip.  All operations are seq_cst: the
+/// enter/drain handshake is a store-buffering pattern that weaker orders
+/// would break.
+class WorldGate {
+ public:
+  enum class Mode { kFresh, kStale };
+
+  /// Resolver side: returns the probe mode to use, or nullopt once `stop`
+  /// became true while the gate was mid-flip.
+  std::optional<Mode> enter(const std::atomic<bool>& stop) noexcept {
+    for (;;) {
+      switch (phase_.load()) {
+        case kServing:
+          fresh_.fetch_add(1);
+          if (phase_.load() == kServing) return Mode::kFresh;
+          fresh_.fetch_sub(1);  // lost the race with begin_churn: back out
+          break;
+        case kChurning:
+          stale_.fetch_add(1);
+          if (phase_.load() == kChurning) return Mode::kStale;
+          stale_.fetch_sub(1);
+          break;
+        default:  // draining — the flip window is a handful of loads long
+          if (stop.load(std::memory_order_acquire)) return std::nullopt;
+          std::this_thread::yield();
+      }
+    }
+  }
+
+  void exit(Mode mode) noexcept { (mode == Mode::kFresh ? fresh_ : stale_).fetch_sub(1); }
+
+  /// Churn side: drains fresh probes (after which no viewpoint-FIB refresh
+  /// is in flight) and opens the stale-serving churn window.
+  void begin_churn() noexcept {
+    phase_.store(kDraining);
+    while (fresh_.load() != 0) std::this_thread::yield();
+    phase_.store(kChurning);
+  }
+
+  /// Drains stale probes before fresh serving (and thus patching) resumes.
+  void end_churn() noexcept {
+    phase_.store(kDraining);
+    while (stale_.load() != 0) std::this_thread::yield();
+    phase_.store(kServing);
+  }
+
+ private:
+  enum Phase : unsigned { kServing, kDraining, kChurning };
+  std::atomic<unsigned> phase_{kServing};
+  std::atomic<std::uint32_t> fresh_{0}, stale_{0};
+};
+
+struct EngineConfig {
+  int resolver_threads = 4;
+  /// Total dwell budget in seconds, spread evenly across the trace's
+  /// batches; pacing only — the schedule itself is event-count driven, so
+  /// the fabric trajectory is identical whatever the duration.
+  double duration_s = 0.0;
+  /// Per-resolver probe rate; 0 probes unthrottled.
+  double qps = 0.0;
+  std::uint64_t seed = 1;  ///< resolver target/viewpoint pick stream
+  /// Emit a JSONL heartbeat every N batches to `heartbeat_out` (0 = off).
+  std::uint64_t heartbeat_every = 4;
+  std::ostream* heartbeat_out = nullptr;
+};
+
+/// Everything one serving run measured — the `slo` block of the bench JSON.
+struct SloReport {
+  obs::LatencySnapshot steady_ns;        ///< fresh probes, FIB already current
+  /// Fresh probes that found their viewpoint FIB behind the fabric — the
+  /// probes that pay (or wait out) the patch/rebuild.  Kept separate from
+  /// the stale ladder: stale probes are cheap by construction and would
+  /// drown the refresh tail at p99.
+  obs::LatencySnapshot converging_ns;
+  obs::LatencySnapshot stale_ns;         ///< stale-path service during churn
+  obs::LatencySnapshot freshness_lag;    ///< batch ticks from delta emission
+                                         ///  to the patch landing per viewpoint
+  std::uint64_t probes = 0;
+  std::uint64_t stale_served = 0;        ///< probes answered on the stale path
+  std::uint64_t batches = 0;
+  std::uint64_t events_applied = 0;
+  std::uint64_t fib_patches = 0;         ///< viewpoint refreshes served by patch
+  std::uint64_t fib_full_rebuilds = 0;   ///< ... by from-scratch compile
+  std::uint64_t max_freshness_lag = 0;   ///< worst batch-tick lag observed
+  double wall_seconds = 0.0;
+
+  /// One JSON object (no trailing newline) — embedded as `"slo": {...}`.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Engine {
+ public:
+  Engine(core::VnsNetwork& vns, EngineConfig config)
+      : vns_(vns), config_(std::move(config)) {}
+
+  /// Applies the trace batch-by-batch under resolver load and returns the
+  /// merged report.  The fabric ends in the same state as a single-threaded
+  /// replay of the same trace (latency samples are wall-clock and differ).
+  SloReport run(const UpdateTrace& trace);
+
+ private:
+  void apply(const UpdateEvent& event, std::uint64_t& applied);
+
+  core::VnsNetwork& vns_;
+  EngineConfig config_;
+};
+
+/// Canonical rendering of the full fabric state (every Loc-RIB plus every
+/// per-neighbor export table, sorted) — the byte-comparison anchor of the
+/// record→replay determinism contract.
+[[nodiscard]] std::string dump_fabric_state(const bgp::Fabric& fabric);
+
+}  // namespace vns::serve

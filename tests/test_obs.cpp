@@ -106,6 +106,27 @@ TEST(TraceSink, JsonlIsOneObjectPerLineAndAlwaysHasSummary) {
   EXPECT_GE(n, 2u);  // at least one event + the summary
 }
 
+TEST(TraceSink, SummaryTrailerReportsDropCounts) {
+  obs::TraceSink sink{4};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink.record(make_event(i, obs::TraceEventKind::kAnnounce));
+  }
+  // The trailer must make silent loss visible: 10 recorded, 4 held, 6
+  // overwritten, and an explicit truncated flag.
+  const auto jsonl = sink.to_jsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"trace_summary\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"recorded\":10"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"held\":4"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"overwritten\":6"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"truncated\":true"), std::string::npos);
+
+  obs::TraceSink roomy{16};
+  roomy.record(make_event(0, obs::TraceEventKind::kAnnounce));
+  const auto clean = roomy.to_jsonl();
+  EXPECT_NE(clean.find("\"overwritten\":0"), std::string::npos);
+  EXPECT_NE(clean.find("\"truncated\":false"), std::string::npos);
+}
+
 // ------------------------------------------------------- metrics registry ---
 
 TEST(MetricsRegistry, CountersGaugesHistogramsSpans) {
@@ -125,6 +146,8 @@ TEST(MetricsRegistry, CountersGaugesHistogramsSpans) {
   const auto histogram = registry.histogram("latency", &found);
   ASSERT_TRUE(found);
   EXPECT_DOUBLE_EQ(histogram.total(), 2.0);
+  // Consistent shapes on the clean path: the conflict counter stays zero.
+  EXPECT_EQ(registry.histogram_shape_conflicts(), 0u);
 
   registry.span_record("phase.one", 0.5);
   ASSERT_EQ(registry.spans().size(), 1u);
@@ -139,6 +162,29 @@ TEST(MetricsRegistry, CountersGaugesHistogramsSpans) {
   registry.reset();
   EXPECT_EQ(registry.counter("work.items"), 0u);
   EXPECT_TRUE(registry.spans().empty());
+}
+
+TEST(MetricsRegistry, HistogramShapeConflictsAreCountedAndExported) {
+  obs::MetricsRegistry registry;
+  registry.histogram_observe("latency", 0.25, 0.0, 1.0, 10);
+  registry.histogram_observe("latency", 0.30, 0.0, 1.0, 10);  // same shape: fine
+  EXPECT_EQ(registry.histogram_shape_conflicts(), 0u);
+
+  // A mismatched shape keeps the original binning but must not vanish
+  // silently: the conflict counter records it and the JSONL trailer exports
+  // it so CI can assert it is zero.
+  registry.histogram_observe("latency", 0.35, 0.0, 2.0, 10);
+  registry.histogram_observe("latency", 0.40, 0.0, 1.0, 20);
+  EXPECT_EQ(registry.histogram_shape_conflicts(), 2u);
+
+  const auto jsonl = registry.to_jsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"registry_summary\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"histogram_shape_conflicts\":2"), std::string::npos);
+
+  registry.reset();
+  EXPECT_EQ(registry.histogram_shape_conflicts(), 0u);
+  EXPECT_NE(registry.to_jsonl().find("\"histogram_shape_conflicts\":0"),
+            std::string::npos);
 }
 
 TEST(MetricsRegistry, ScopedTimerRecordsASpan) {

@@ -1,0 +1,382 @@
+// Serving-mode SLO harness tests: the HDR-style LatencyRecorder's bucket
+// geometry, merge determinism and percentile error bound; the replayable
+// update-trace round trip; the WorldGate's drain invariants; and the
+// engine-level contracts — record→replay byte-identity of the final fabric
+// state at any thread count, and concurrent resolve-during-patch safety.
+// Everything here runs under the tsan_concurrency_sweep (Serve.*).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "measure/workbench.hpp"
+#include "obs/latency.hpp"
+#include "serve/engine.hpp"
+#include "serve/update_trace.hpp"
+
+namespace vns {
+namespace {
+
+// Deterministic value stream for histogram tests (same LCG family as the
+// trace generator; self-contained so the tests never depend on util RNGs).
+class TestRng {
+ public:
+  explicit TestRng(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint64_t next(std::uint64_t bound) {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return (state_ >> 33) % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ------------------------------------------------------- latency recorder ---
+
+TEST(Serve, LatencyBucketGeometryRoundTrips) {
+  using R = obs::LatencyRecorder;
+  // Every bucket index maps to a lower bound that maps back to the same
+  // bucket, and consecutive buckets tile the range without gaps.
+  for (std::size_t bucket = 0; bucket + 1 < R::kBucketCount; ++bucket) {
+    const std::uint64_t lo = R::bucket_lo(bucket);
+    EXPECT_EQ(R::bucket_of(lo), bucket) << "bucket " << bucket;
+    const std::uint64_t width = R::bucket_width(bucket);
+    EXPECT_EQ(R::bucket_of(lo + width - 1), bucket) << "bucket " << bucket;
+    EXPECT_EQ(R::bucket_lo(bucket + 1), lo + width) << "bucket " << bucket;
+  }
+  // Spot-check values across octaves, including the exact range boundary
+  // and the top of the uint64 range.
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, R::kSubBuckets - 1, R::kSubBuckets,
+        std::uint64_t{1000}, std::uint64_t{1} << 32,
+        std::numeric_limits<std::uint64_t>::max()}) {
+    const std::size_t bucket = R::bucket_of(v);
+    ASSERT_LT(bucket, R::kBucketCount);
+    EXPECT_LE(R::bucket_lo(bucket), v);
+    EXPECT_GE(R::bucket_lo(bucket) + (R::bucket_width(bucket) - 1), v);
+  }
+}
+
+TEST(Serve, LatencyMergeIsDeterministicAcrossShardAssignment) {
+  // The same multiset of samples, sprayed across different shard counts and
+  // assignments, must merge to the identical snapshot.
+  std::vector<std::uint64_t> values;
+  TestRng rng{7};
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.next(200'000'000) + 1);
+
+  obs::LatencyRecorder one{1};
+  obs::LatencyRecorder four{4};
+  obs::LatencyRecorder seven{7};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    one.shard(0).record(values[i]);
+    four.shard(i % 4).record(values[i]);
+    seven.shard((i * 31) % 7).record(values[i]);
+  }
+  const auto reference = one.snapshot();
+  EXPECT_EQ(reference.total(), values.size());
+  EXPECT_EQ(four.snapshot(), reference);
+  EXPECT_EQ(seven.snapshot(), reference);
+
+  // Merging per-shard snapshots by hand reproduces the recorder's merge.
+  obs::LatencySnapshot merged;
+  for (std::size_t s = 0; s < four.shard_count(); ++s) {
+    merged.merge(four.shard(s).snapshot());
+  }
+  EXPECT_EQ(merged, reference);
+}
+
+TEST(Serve, LatencyQuantileRelativeErrorIsBounded) {
+  // Reporting bucket midpoints bounds any percentile's relative error by
+  // 2^-(kPrecisionBits+1); verify against exact order statistics.
+  constexpr double kBound =
+      1.0 / static_cast<double>(std::uint64_t{2}
+                                << obs::LatencyRecorder::kPrecisionBits);
+  std::vector<std::uint64_t> values;
+  TestRng rng{11};
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.next(5'000'000'000ull) + 1);
+
+  obs::LatencyRecorder recorder{1};
+  for (const auto v : values) recorder.shard(0).record(v);
+  std::sort(values.begin(), values.end());
+
+  const auto snapshot = recorder.snapshot();
+  for (const double q : {0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    const auto rank = static_cast<std::size_t>(std::max<double>(
+        1.0, std::ceil(q * static_cast<double>(values.size()))));
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double estimate = snapshot.quantile(q);
+    EXPECT_LE(std::abs(estimate - exact), exact * kBound + 0.5)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+  EXPECT_GT(snapshot.quantile(0.5), 0.0);
+  EXPECT_EQ(obs::LatencySnapshot{}.quantile(0.5), 0.0);
+}
+
+TEST(Serve, LatencyConcurrentRecordingMatchesSerialMerge) {
+  // One shard per thread, heavy concurrent recording: the merged snapshot
+  // must equal a serial recording of the union of all streams.
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPerThread = 25000;
+  obs::LatencyRecorder concurrent{kThreads};
+  obs::LatencyRecorder serial{1};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&concurrent, t] {
+      TestRng rng{1000 + t};
+      auto& shard = concurrent.shard(t);
+      for (int i = 0; i < kPerThread; ++i) shard.record(rng.next(1'000'000) + 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    TestRng rng{1000 + t};
+    for (int i = 0; i < kPerThread; ++i) serial.shard(0).record(rng.next(1'000'000) + 1);
+  }
+  EXPECT_EQ(concurrent.snapshot(), serial.snapshot());
+  EXPECT_EQ(concurrent.snapshot().total(), kThreads * kPerThread);
+}
+
+TEST(Serve, LatencySnapshotJsonHasTheFixedLadder) {
+  obs::LatencyRecorder recorder{1};
+  for (std::uint64_t v = 1; v <= 1000; ++v) recorder.shard(0).record(v);
+  const auto json = recorder.snapshot().to_json("ns");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key : {"\"count\":1000", "\"p50_ns\":", "\"p90_ns\":",
+                          "\"p99_ns\":", "\"p999_ns\":", "\"max_ns\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+  }
+}
+
+// ------------------------------------------------------------ world gate ---
+
+TEST(Serve, WorldGateDrainsTheOppositePopulationAtEachFlip) {
+  // The engine's safety argument: after begin_churn no fresh probe is in
+  // flight, after end_churn no stale probe is.  Hammer the gate from four
+  // reader threads while the main thread flips phases, and record any
+  // violation of the drain invariant.
+  serve::WorldGate gate;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint32_t> fresh_active{0}, stale_active{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto mode = gate.enter(stop);
+        if (!mode.has_value()) break;
+        auto& active = (*mode == serve::WorldGate::Mode::kFresh) ? fresh_active
+                                                                 : stale_active;
+        active.fetch_add(1);
+        std::this_thread::yield();
+        active.fetch_sub(1);
+        gate.exit(*mode);
+      }
+    });
+  }
+
+  for (int flip = 0; flip < 200; ++flip) {
+    gate.begin_churn();
+    // Churn window: the writer owns the world; no fresh section may be live.
+    if (fresh_active.load() != 0) violation.store(true);
+    std::this_thread::yield();
+    if (fresh_active.load() != 0) violation.store(true);
+    gate.end_churn();
+    // Serving window: no stale section may outlive the flip.
+    if (stale_active.load() != 0) violation.store(true);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(violation.load());
+}
+
+// ------------------------------------------------------------ update trace ---
+
+TEST(Serve, TraceGenerationIsDeterministicAndRoundTripsThroughJsonl) {
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  world->vns().set_geo_routing(true);
+
+  serve::GenerateConfig gen;
+  gen.seed = 7;
+  gen.batches = 6;
+  gen.events_per_batch = 5;
+  const auto trace = serve::generate_trace(world->vns(), gen);
+  EXPECT_EQ(trace.seed, 7u);
+  EXPECT_EQ(trace.batches, 6u);
+  EXPECT_FALSE(trace.events.empty());
+
+  // Pure function of (network shape, config): regeneration is identical,
+  // and generation never mutates the network (generation is unchanged).
+  const std::uint64_t generation_before = world->vns().fabric().rib_generation();
+  const auto again = serve::generate_trace(world->vns(), gen);
+  EXPECT_EQ(world->vns().fabric().rib_generation(), generation_before);
+  EXPECT_EQ(again.events, trace.events);
+  EXPECT_EQ(serve::trace_to_jsonl(again), serve::trace_to_jsonl(trace));
+
+  // save → load round trip preserves every field of every event.
+  std::istringstream in{serve::trace_to_jsonl(trace)};
+  const auto loaded = serve::load_trace(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seed, trace.seed);
+  EXPECT_EQ(loaded->scale, trace.scale);
+  EXPECT_EQ(loaded->batches, trace.batches);
+  EXPECT_EQ(loaded->events, trace.events);
+
+  // Malformed input is rejected, not misparsed.
+  std::istringstream headerless{"{\"op\":\"announce\"}\n"};
+  EXPECT_FALSE(serve::load_trace(headerless).has_value());
+  std::istringstream bad_op{
+      "{\"type\":\"update_trace\",\"version\":1,\"scale\":\"small\",\"seed\":1,"
+      "\"batches\":1,\"events\":1}\n{\"op\":\"frobnicate\",\"batch\":0}\n"};
+  EXPECT_FALSE(serve::load_trace(bad_op).has_value());
+}
+
+// ----------------------------------------------------------------- engine ---
+
+serve::SloReport run_engine_on(core::VnsNetwork& vns, const serve::UpdateTrace& trace,
+                               int threads, std::ostream* heartbeat_out = nullptr) {
+  serve::EngineConfig config;
+  config.resolver_threads = threads;
+  config.duration_s = 0.0;  // schedule is event-driven; no need to dwell
+  config.qps = 0.0;
+  config.seed = 5;
+  config.heartbeat_every = heartbeat_out != nullptr ? 2 : 0;
+  config.heartbeat_out = heartbeat_out;
+  serve::Engine engine(vns, config);
+  return engine.run(trace);
+}
+
+TEST(Serve, RecordReplayIsByteIdenticalAcrossThreadCounts) {
+  // The determinism contract behind vns_serve --record/--replay: the same
+  // trace applied under any resolver-thread count (and replayed from its
+  // JSONL encoding) leaves the fabric in a byte-identical state.
+  serve::GenerateConfig gen;
+  gen.seed = 7;
+  gen.batches = 6;
+  gen.events_per_batch = 5;
+
+  std::string dumps[3];
+  const int thread_counts[] = {1, 4, 1};
+  std::string recorded_jsonl;
+  for (int run = 0; run < 3; ++run) {
+    auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+    world->vns().set_geo_routing(true);
+    serve::UpdateTrace trace;
+    if (run < 2) {
+      trace = serve::generate_trace(world->vns(), gen);  // record path
+      recorded_jsonl = serve::trace_to_jsonl(trace);
+    } else {
+      std::istringstream in{recorded_jsonl};  // replay path
+      auto loaded = serve::load_trace(in);
+      ASSERT_TRUE(loaded.has_value());
+      trace = *std::move(loaded);
+    }
+    const auto report = run_engine_on(world->vns(), trace, thread_counts[run]);
+    EXPECT_EQ(report.batches, gen.batches);
+    EXPECT_GT(report.events_applied, 0u);
+    dumps[run] = serve::dump_fabric_state(world->vns().fabric());
+  }
+  ASSERT_FALSE(dumps[0].empty());
+  EXPECT_EQ(dumps[0], dumps[1]) << "fabric state diverged across thread counts";
+  EXPECT_EQ(dumps[0], dumps[2]) << "replayed trace diverged from recorded run";
+}
+
+TEST(Serve, ConcurrentResolveDuringPatchServesEveryProbeAndEndsFresh) {
+  // Four resolvers hammering the viewpoint FIBs while the churn thread
+  // streams twelve batches: every probe must be answered from some phase
+  // ladder, stale service must stay inside churn windows, and the final
+  // drain must leave every viewpoint FIB at the fabric generation.
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  world->vns().set_geo_routing(true);
+  serve::GenerateConfig gen;
+  gen.seed = 9;
+  gen.batches = 12;
+  gen.events_per_batch = 6;
+  const auto trace = serve::generate_trace(world->vns(), gen);
+
+  std::ostringstream heartbeats;
+  const auto report = run_engine_on(world->vns(), trace, 4, &heartbeats);
+
+  EXPECT_EQ(report.batches, 12u);
+  EXPECT_GT(report.events_applied, 0u);
+  EXPECT_GT(report.probes, 0u);
+  // Accounting closes: every probe landed in exactly one ladder.
+  EXPECT_EQ(report.steady_ns.total() + report.converging_ns.total() +
+                report.stale_ns.total(),
+            report.probes);
+  EXPECT_EQ(report.stale_ns.total(), report.stale_served);
+
+  // Freshness lag is measured in batch ticks and can never exceed the run.
+  EXPECT_LE(report.max_freshness_lag, report.batches);
+  EXPECT_LE(report.freshness_lag.quantile(1.0),
+            static_cast<double>(report.batches));
+
+  // The post-run drain refreshed every viewpoint: all FIBs current.
+  const std::uint64_t generation = world->vns().fabric().rib_generation();
+  for (const auto& pop : world->vns().pops()) {
+    EXPECT_EQ(world->vns().viewpoint_fib_generation(pop.id), generation)
+        << "viewpoint " << pop.id << " left stale after the final drain";
+  }
+
+  // Heartbeats are one JSON object per line, typed and batch-stamped.
+  std::istringstream lines{heartbeats.str()};
+  std::string line;
+  std::size_t heartbeat_count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":\"slo_heartbeat\""), std::string::npos);
+    EXPECT_NE(line.find("\"batch\":"), std::string::npos);
+    ++heartbeat_count;
+  }
+  EXPECT_EQ(heartbeat_count, 6u);  // every 2 of 12 batches
+
+  // The slo JSON block embeds all four ladders plus the patch counters.
+  const auto json = report.to_json();
+  for (const char* key : {"\"steady\":", "\"converging\":", "\"stale\":",
+                          "\"freshness_lag\":", "\"fib_patches\":",
+                          "\"fib_full_rebuilds\":", "\"max_freshness_lag_batches\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
+}
+
+TEST(Serve, StaleResolutionMatchesFreshWhenQuiescent) {
+  // On a quiescent network the stale path (compiled arrays only) and the
+  // fresh path (refresh-if-needed) must answer identically for every
+  // viewpoint × target pair once the FIB has been compiled.
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  auto& vns = world->vns();
+  vns.set_geo_routing(true);
+
+  const auto prefixes = vns.known_prefix_log();
+  ASSERT_FALSE(prefixes.empty());
+  const auto pops = vns.pops();
+  std::size_t compared = 0;
+  for (const auto& pop : pops) {
+    // Before the first fresh probe compiles the FIB, the stale path must
+    // refuse (generation 0) rather than fabricate an answer.
+    EXPECT_FALSE(vns.egress_pop_stale(pop.id, prefixes[0].first_host()).has_value());
+  }
+  for (const auto& pop : pops) {
+    for (std::size_t i = 0; i < prefixes.size(); i += 7) {
+      const auto target = prefixes[i].first_host();
+      const auto fresh = vns.egress_pop(pop.id, target);
+      const auto stale = vns.egress_pop_stale(pop.id, target);
+      EXPECT_EQ(stale, fresh) << "viewpoint " << pop.id;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+}  // namespace
+}  // namespace vns

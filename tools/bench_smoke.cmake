@@ -47,12 +47,19 @@ foreach(bench IN LISTS BENCHES)
     continue()
   endif()
 
-  foreach(pair "${json_artifact};--bench" "${trace_artifact};--jsonl")
+  # bench_slo_serving's record contract includes the serving-mode "slo"
+  # block; enforce it there (and only there — other benches never emit one).
+  set(bench_mode "--bench")
+  if(bench STREQUAL "bench_slo_serving")
+    list(APPEND bench_mode "--require-slo")
+  endif()
+
+  foreach(pair "${json_artifact};${bench_mode}" "${trace_artifact};--jsonl")
     list(GET pair 0 artifact)
     set(mode_args "")
     list(LENGTH pair pair_len)
     if(pair_len GREATER 1)
-      list(GET pair 1 mode_args)
+      list(SUBLIST pair 1 -1 mode_args)
     endif()
     if(NOT EXISTS "${artifact}")
       message(SEND_ERROR "bench_smoke: ${bench} did not write ${artifact}")

@@ -7,8 +7,12 @@
 //   json_check FILE...            each file must be exactly one JSON value
 //   json_check --jsonl FILE...    each non-empty line must be one JSON value
 //   json_check --bench FILE...    JSON value that must also carry the bench
-//                                 record's memory-accounting fields (peak RSS
-//                                 + AttrTable intern stats)
+//                                 record's run-metadata header and
+//                                 memory-accounting fields (peak RSS +
+//                                 AttrTable intern stats)
+//   json_check --bench --require-slo FILE...
+//                                 additionally require the serving-mode
+//                                 "slo" block (bench_slo_serving's contract)
 //
 // Exit 0 when everything parses; 1 with `file:offset: message` on the first
 // error per file.  Recursive-descent per RFC 8259: objects, arrays, strings
@@ -208,15 +212,36 @@ constexpr std::string_view kBenchMemoryKeys[] = {
     "convergence", "runs", "messages", "batches", "messages_per_sec",
     "shard_limit", "shard_occupancy_mean", "shard_occupancy_max",
     "max_batch_messages",
+    // Run-identity header (the "meta" object, PR 8): scale preset, thread
+    // count, seed and an ISO-8601 write timestamp.
+    "meta", "scale", "seed", "timestamp",
 };
 
-bool check_bench_record(const std::string& name, std::string_view content) {
+/// Keys the serving-mode "slo" block must carry (--require-slo; enforced
+/// only for bench_slo_serving, whose record contract includes it).
+constexpr std::string_view kBenchSloKeys[] = {
+    "slo",          "steady",        "converging",        "freshness_lag",
+    "p50_ns",       "p99_ns",        "stale_served",      "fib_patches",
+    "fib_full_rebuilds", "max_freshness_lag_batches",
+};
+
+bool check_bench_record(const std::string& name, std::string_view content,
+                        bool require_slo) {
   if (!check_json(name, content)) return false;
   for (const std::string_view key : kBenchMemoryKeys) {
     const std::string quoted = '"' + std::string{key} + '"';
     if (content.find(quoted) == std::string_view::npos) {
       std::cerr << name << ": bench record missing memory field " << quoted << '\n';
       return false;
+    }
+  }
+  if (require_slo) {
+    for (const std::string_view key : kBenchSloKeys) {
+      const std::string quoted = '"' + std::string{key} + '"';
+      if (content.find(quoted) == std::string_view::npos) {
+        std::cerr << name << ": bench record missing slo field " << quoted << '\n';
+        return false;
+      }
     }
   }
   return true;
@@ -255,6 +280,7 @@ bool check_jsonl(const std::string& name, std::string_view content) {
 int main(int argc, char** argv) {
   bool jsonl = false;
   bool bench = false;
+  bool require_slo = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -262,15 +288,17 @@ int main(int argc, char** argv) {
       jsonl = true;
     } else if (arg == "--bench") {
       bench = true;
+    } else if (arg == "--require-slo") {
+      require_slo = true;
     } else if (arg == "--help") {
-      std::cout << "usage: json_check [--jsonl|--bench] FILE...\n";
+      std::cout << "usage: json_check [--jsonl|--bench [--require-slo]] FILE...\n";
       return 0;
     } else {
       files.emplace_back(arg);
     }
   }
-  if (files.empty() || (jsonl && bench)) {
-    std::cerr << "usage: json_check [--jsonl|--bench] FILE...\n";
+  if (files.empty() || (jsonl && bench) || (require_slo && !bench)) {
+    std::cerr << "usage: json_check [--jsonl|--bench [--require-slo]] FILE...\n";
     return 2;
   }
   bool ok = true;
@@ -285,7 +313,7 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     const std::string content = buffer.str();
     const bool file_ok = jsonl   ? check_jsonl(file, content)
-                         : bench ? check_bench_record(file, content)
+                         : bench ? check_bench_record(file, content, require_slo)
                                  : check_json(file, content);
     ok = file_ok && ok;
   }

@@ -1,0 +1,196 @@
+// vns_serve — the serving-mode SLO harness as a standalone tool.
+//
+// Builds the world, streams churn into it (freshly generated or replayed
+// from a recorded trace), serves resolution queries from N threads, and
+// prints JSONL heartbeats plus a final `slo` summary object on stdout.
+//
+//   vns_serve [--scale small|paper|full] [--seed N] [--threads N]
+//             [--duration S] [--qps Q] [--batches N] [--events N]
+//             [--heartbeat N] [--record FILE] [--replay FILE]
+//             [--dump-state FILE]
+//
+//   --duration S     total dwell budget in seconds, spread over the batches
+//                    (pacing only; the event schedule is wall-clock free)
+//   --qps Q          per-resolver probe rate (0 = unthrottled)
+//   --record FILE    generate the trace, save it to FILE, then run it
+//   --replay FILE    load the trace from FILE instead of generating one
+//   --dump-state F   write the canonical final fabric state dump to F —
+//                    byte-compare two runs to verify replay determinism
+//
+// Record/replay contract: the trace file and the final state dump are
+// byte-identical for any --threads value; only the latency samples (wall
+// clock) differ run to run.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "measure/workbench.hpp"
+#include "serve/engine.hpp"
+#include "serve/update_trace.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace vns;
+
+namespace {
+
+struct ServeArgs {
+  topo::InternetScale scale = topo::InternetScale::kSmall;
+  std::uint64_t seed = 1;
+  int threads = 0;
+  double duration_s = 0.0;
+  double qps = 0.0;
+  std::uint64_t batches = 16;
+  std::uint32_t events_per_batch = 8;
+  std::uint64_t heartbeat_every = 4;
+  std::string record_path;
+  std::string replay_path;
+  std::string dump_state_path;
+};
+
+void usage(std::ostream& out) {
+  out << "usage: vns_serve [--scale small|paper|full] [--seed N] [--threads N]\n"
+         "                 [--duration S] [--qps Q] [--batches N] [--events N]\n"
+         "                 [--heartbeat N] [--record FILE] [--replay FILE]\n"
+         "                 [--dump-state FILE]\n";
+}
+
+std::optional<ServeArgs> parse(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--scale") {
+      const char* tier = next();
+      if (tier == nullptr) return std::nullopt;
+      if (std::strcmp(tier, "small") == 0) {
+        args.scale = topo::InternetScale::kSmall;
+      } else if (std::strcmp(tier, "paper") == 0) {
+        args.scale = topo::InternetScale::kPaper;
+      } else if (std::strcmp(tier, "full") == 0) {
+        args.scale = topo::InternetScale::kFull;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.duration_s = std::strtod(v, nullptr);
+    } else if (arg == "--qps") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.qps = std::strtod(v, nullptr);
+    } else if (arg == "--batches") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.batches = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--events") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.events_per_batch = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--heartbeat") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.heartbeat_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--record") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.record_path = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.replay_path = v;
+    } else if (arg == "--dump-state") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.dump_state_path = v;
+    } else if (arg == "--help") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!args.record_path.empty() && !args.replay_path.empty()) return std::nullopt;
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  auto config = measure::WorkbenchConfig::at_scale(args->scale, args->seed);
+  config.threads = args->threads;
+  auto world = measure::Workbench::build(config);
+  world->vns().set_geo_routing(true);
+
+  serve::UpdateTrace trace;
+  if (!args->replay_path.empty()) {
+    std::ifstream in{args->replay_path};
+    if (!in) {
+      std::cerr << "vns_serve: cannot open " << args->replay_path << "\n";
+      return 1;
+    }
+    auto loaded = serve::load_trace(in);
+    if (!loaded) {
+      std::cerr << "vns_serve: malformed trace " << args->replay_path << "\n";
+      return 1;
+    }
+    trace = std::move(*loaded);
+  } else {
+    serve::GenerateConfig gen;
+    gen.seed = args->seed;
+    gen.scale = std::string{topo::to_string(args->scale)};
+    gen.batches = args->batches;
+    gen.events_per_batch = args->events_per_batch;
+    trace = serve::generate_trace(world->vns(), gen);
+    if (!args->record_path.empty()) {
+      std::ofstream out{args->record_path};
+      if (!out) {
+        std::cerr << "vns_serve: cannot write " << args->record_path << "\n";
+        return 1;
+      }
+      serve::save_trace(trace, out);
+      std::cerr << "vns_serve: recorded " << trace.events.size() << " events to "
+                << args->record_path << "\n";
+    }
+  }
+
+  serve::EngineConfig engine_config;
+  engine_config.resolver_threads = util::resolve_thread_count(args->threads);
+  engine_config.duration_s = args->duration_s;
+  engine_config.qps = args->qps;
+  engine_config.seed = args->seed;
+  engine_config.heartbeat_every = args->heartbeat_every;
+  engine_config.heartbeat_out = &std::cout;
+
+  serve::Engine engine(world->vns(), engine_config);
+  const serve::SloReport report = engine.run(trace);
+  std::cout << "{\"type\":\"slo\",\"slo\":" << report.to_json() << "}\n";
+
+  if (!args->dump_state_path.empty()) {
+    std::ofstream out{args->dump_state_path};
+    if (!out) {
+      std::cerr << "vns_serve: cannot write " << args->dump_state_path << "\n";
+      return 1;
+    }
+    out << serve::dump_fabric_state(world->vns().fabric());
+    std::cerr << "vns_serve: wrote state dump to " << args->dump_state_path << "\n";
+  }
+  return 0;
+}
