@@ -37,6 +37,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "traffic/metrics.hpp"
 #include "util/counters.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -80,6 +81,11 @@ struct BenchArgs {
   std::uint64_t seed = 1;
   double days = 0.0;  ///< 0: bench-specific default
   int threads = 0;    ///< 0: VNS_THREADS env, then hardware concurrency
+  /// Network-wide peak offered load (Mbps) for the traffic matrix; 0 keeps
+  /// the legacy load-free data plane (bench-specific default may apply).
+  double offered_load_mbps = 0.0;
+  /// Long-haul utilization that arms the WAN-offload policy.
+  double offload_threshold = 0.85;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -111,9 +117,14 @@ struct BenchArgs {
         args.days = std::strtod(argv[++i], nullptr);
       } else if (arg == "--threads" && i + 1 < argc) {
         args.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      } else if (arg == "--offered-load" && i + 1 < argc) {
+        args.offered_load_mbps = std::strtod(argv[++i], nullptr);
+      } else if (arg == "--offload-threshold" && i + 1 < argc) {
+        args.offload_threshold = std::strtod(argv[++i], nullptr);
       } else if (arg == "--help") {
         std::cout << "flags: --scale {small,paper,full} --small --seed N --days D "
-                     "--threads N --json --trace\n";
+                     "--threads N --offered-load MBPS --offload-threshold U "
+                     "--json --trace\n";
         std::exit(0);
       }
     }
@@ -299,6 +310,21 @@ class BenchRecord {
     convergence.emplace_back("max_batch_messages", json_value(conv.max_batch_messages));
     convergence.emplace_back("seconds", json_value(conv.seconds));
     object("convergence", convergence);
+    out << ",\n";
+    // Traffic engineering: the last load-assignment pass's utilization
+    // picture plus cumulative offload-policy moves.  All-zero for benches
+    // that never build a matrix — emitted unconditionally so the schema is
+    // stable (tools/json_check requires the block in every BENCH json).
+    const auto traffic = traffic::TrafficMetrics::global().snapshot();
+    std::vector<std::pair<std::string, std::string>> traffic_fields;
+    traffic_fields.emplace_back("assignments", json_value(traffic.assignments));
+    traffic_fields.emplace_back("links_loaded", json_value(traffic.links_loaded));
+    traffic_fields.emplace_back("util_p50", json_value(traffic.util_p50));
+    traffic_fields.emplace_back("util_max", json_value(traffic.util_max));
+    traffic_fields.emplace_back("offloaded_flows", json_value(traffic.offloaded_flows));
+    traffic_fields.emplace_back("rejected_flows", json_value(traffic.rejected_flows));
+    traffic_fields.emplace_back("wan_bytes_saved", json_value(traffic.wan_bytes_saved));
+    object("traffic", traffic_fields);
     out << "\n}\n";
   }
 

@@ -111,6 +111,45 @@ void BM_PathModelSampleLosses(benchmark::State& state) {
 }
 BENCHMARK(BM_PathModelSampleLosses);
 
+/// The satellite pair for the DiurnalLevelCache: repeated loss_probability
+/// queries at the *same* timestamp — the prober/session access pattern — with
+/// and without the per-(segment, t) memo.  Identical paths, identical
+/// results; the delta is the cost of recomputing the diurnal level stack.
+std::vector<sim::SegmentProfile> loss_bench_segments() {
+  const auto catalog = topo::SegmentCatalog::paper_calibrated();
+  std::vector<sim::SegmentProfile> segments;
+  const geo::GeoPoint ams{52.37, 4.90}, sin{1.35, 103.82};
+  segments.push_back(catalog.transit_hop(ams, sin, topo::RegionClass::kEU,
+                                         topo::RegionClass::kAP));
+  segments.push_back(catalog.last_mile(topo::AsType::kCAHP,
+                                       geo::WorldRegion::kAsiaPacific, sin));
+  segments.push_back(catalog.vns_link(ams, sin, /*long_haul=*/true));
+  return segments;
+}
+
+void BM_PathLossUncached(benchmark::State& state) {
+  const sim::PathModel path{loss_bench_segments(), 86400.0, util::Rng{3}};
+  double t = 43200.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (++i % 64 == 0) t += 1.0;  // a new timestamp every 64 queries
+    benchmark::DoNotOptimize(path.loss_probability(t));
+  }
+}
+BENCHMARK(BM_PathLossUncached);
+
+void BM_PathLossCached(benchmark::State& state) {
+  const sim::PathModel path{loss_bench_segments(), 86400.0, util::Rng{3}};
+  sim::DiurnalLevelCache cache;
+  double t = 43200.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (++i % 64 == 0) t += 1.0;
+    benchmark::DoNotOptimize(path.loss_probability(t, cache));
+  }
+}
+BENCHMARK(BM_PathLossCached);
+
 /// Announce-and-converge loop shared by the traced and untraced variants so
 /// the only difference the pair measures is the sink itself.
 void run_fabric_convergence(benchmark::State& state, obs::TraceSink* sink) {

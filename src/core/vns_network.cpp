@@ -93,6 +93,8 @@ void VnsNetwork::build_links() {
     link.b = b;
     link.km = geo::great_circle_km(pops_[a].city.location, pops_[b].city.location);
     link.rtt_ms = link.km * config_.delay.rtt_ms_per_km * config_.delay.path_inflation;
+    link.capacity_mbps =
+        long_haul ? config_.long_haul_capacity_mbps : config_.regional_capacity_mbps;
     link.long_haul = long_haul;
     link_index_.emplace(pop_pair_key(a, b), links_.size());
     links_.push_back(link);
@@ -791,7 +793,8 @@ double VnsNetwork::internal_rtt_ms(PopId a, PopId b) const {
 }
 
 std::vector<sim::SegmentProfile> VnsNetwork::internal_segments(
-    PopId a, PopId b, const topo::SegmentCatalog& catalog) const {
+    PopId a, PopId b, const topo::SegmentCatalog& catalog,
+    std::span<const double> link_utilization) const {
   std::vector<sim::SegmentProfile> segments;
   const auto path = internal_path(a, b);
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -801,9 +804,19 @@ std::vector<sim::SegmentProfile> VnsNetwork::internal_segments(
     auto seg = catalog.vns_link(pops_[link.a].city.location, pops_[link.b].city.location,
                                 link.long_haul);
     seg.rtt_ms = link.rtt_ms;
+    // The circuit's configured size beats the catalog's generic preset, and
+    // the caller's load snapshot (indexed like links()) beats the default 0.
+    if (link.capacity_mbps > 0.0) seg.capacity_mbps = link.capacity_mbps;
+    if (it->second < link_utilization.size()) seg.utilization = link_utilization[it->second];
     segments.push_back(std::move(seg));
   }
   return segments;
+}
+
+std::optional<std::size_t> VnsNetwork::link_index(PopId a, PopId b) const noexcept {
+  const auto it = link_index_.find(pop_pair_key(a, b));
+  if (it == link_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 void VnsNetwork::warm_reach_cache() const {

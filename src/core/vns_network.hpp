@@ -63,6 +63,8 @@ struct VnsLink {
   PopId b = kNoPop;
   double km = 0.0;
   double rtt_ms = 0.0;
+  /// Leased-circuit size (Mbps); from VnsConfig, scaled by workbench presets.
+  double capacity_mbps = 0.0;
   bool long_haul = false;  ///< inter-cluster leased circuit
   bool up = true;          ///< circuit currently in service
 };
@@ -108,6 +110,16 @@ struct VnsConfig {
   /// bookkeeping loses).  Negative disables patching entirely (always full
   /// compile) — the equivalence fuzz uses that as its reference world.
   double fib_patch_max_dirty_fraction = 0.25;
+
+  /// Capacities of the dedicated circuits and transit attachments (Mbps,
+  /// DESIGN §14).  Long-hauls are the scarce resource the offload policy
+  /// protects; regional rings are overbuilt; each upstream attachment is one
+  /// purchased transit port.  Workbench presets scale all three with the
+  /// modelled population so offered load drives comparable utilization at
+  /// every InternetScale.
+  double long_haul_capacity_mbps = 100000.0;
+  double regional_capacity_mbps = 400000.0;
+  double upstream_capacity_mbps = 40000.0;
 
   /// Propagation model for the leased links.
   topo::DelayModel delay;
@@ -283,9 +295,18 @@ class VnsNetwork {
   [[nodiscard]] std::vector<PopId> internal_path(PopId a, PopId b) const;
   /// Base RTT over the internal path.
   [[nodiscard]] double internal_rtt_ms(PopId a, PopId b) const;
-  /// Segment profiles (for the sim::PathModel) over the internal path.
+  /// Segment profiles (for the sim::PathModel) over the internal path.  Each
+  /// segment carries its circuit's capacity; `link_utilization`, when given,
+  /// is indexed like links() and annotates every traversed segment with the
+  /// link's current offered-load utilization (traffic::LoadSnapshot exports
+  /// exactly this layout).  An empty span leaves utilization at 0, which
+  /// reproduces the load-free model byte for byte.
   [[nodiscard]] std::vector<sim::SegmentProfile> internal_segments(
-      PopId a, PopId b, const topo::SegmentCatalog& catalog) const;
+      PopId a, PopId b, const topo::SegmentCatalog& catalog,
+      std::span<const double> link_utilization = {}) const;
+  /// Index into links() of the circuit between two adjacent PoPs (regardless
+  /// of order or up/down state); nullopt when no circuit exists.
+  [[nodiscard]] std::optional<std::size_t> link_index(PopId a, PopId b) const noexcept;
 
   // --- anycast ingress (§4.4) ----------------------------------------------------
   /// The PoP where a service request from `user_as` (homed at `user_loc`)

@@ -12,7 +12,7 @@ namespace vns::measure {
 PingResult Prober::ping(const sim::PathModel& path, double t, int count) {
   PingResult result;
   result.sent = count;
-  const double p_one_way = path.loss_probability(t);
+  const double p_one_way = path.loss_probability(t, cache_);
   // Round trip: the echo must survive both directions.
   const double p_rt = 1.0 - (1.0 - p_one_way) * (1.0 - p_one_way);
   for (int i = 0; i < count; ++i) {
@@ -20,7 +20,7 @@ PingResult Prober::ping(const sim::PathModel& path, double t, int count) {
       ++result.lost;
       continue;
     }
-    const double rtt = path.sample_rtt_ms(t, rng_);
+    const double rtt = path.sample_rtt_ms(t, rng_, cache_);
     if (!result.min_rtt_ms || rtt < *result.min_rtt_ms) result.min_rtt_ms = rtt;
   }
   return result;
@@ -29,7 +29,8 @@ PingResult Prober::ping(const sim::PathModel& path, double t, int count) {
 TrainResult Prober::train(const sim::PathModel& path, double t, int count) {
   TrainResult result;
   result.sent = count;
-  result.lost = static_cast<int>(path.sample_losses(t, static_cast<std::uint32_t>(count), rng_));
+  result.lost =
+      static_cast<int>(path.sample_losses(t, static_cast<std::uint32_t>(count), rng_, cache_));
   return result;
 }
 

@@ -47,6 +47,9 @@ class Prober {
 
  private:
   util::Rng rng_;
+  /// All probes of one burst evaluate the path at the same t; the memo keeps
+  /// the per-segment diurnal math out of that loop (bit-identical results).
+  sim::DiurnalLevelCache cache_;
 };
 
 /// One shard of a §5.2-style probing campaign: a path, realized from the

@@ -44,10 +44,26 @@ std::vector<StreamTaskResult> run_stream_campaign(std::span<const StreamTask> ta
   return results;
 }
 
+namespace {
+
+/// Scales the circuit/transit capacities with the world's prefix population
+/// so the traffic matrix (whose offered load is proportional to modelled
+/// users, i.e. prefixes) drives comparable utilization at every
+/// InternetScale.  The VnsConfig defaults are the paper-scale sizes.
+void scale_capacities(core::VnsConfig& vns, double factor) {
+  vns.long_haul_capacity_mbps *= factor;
+  vns.regional_capacity_mbps *= factor;
+  vns.upstream_capacity_mbps *= factor;
+}
+
+}  // namespace
+
 WorkbenchConfig WorkbenchConfig::small(std::uint64_t seed) {
   WorkbenchConfig config;
   config.internet = topo::InternetConfig::preset(topo::InternetScale::kSmall, seed);
   config.vns.seed = seed ^ 0x5eed;
+  // ~1/25th of the paper world's prefixes.
+  scale_capacities(config.vns, 1.0 / 25.0);
   return config;
 }
 
@@ -66,6 +82,7 @@ WorkbenchConfig WorkbenchConfig::full_scale(std::uint64_t seed) {
   // differ only in world size.
   config.internet = topo::InternetConfig::preset(topo::InternetScale::kFull, seed);
   config.vns.seed = seed ^ 0x5eed;
+  scale_capacities(config.vns, 10.0);
   return config;
 }
 

@@ -25,13 +25,13 @@ namespace {
 
 /// Jitter estimate from sparse delay sampling of the path at session time.
 double estimate_jitter(const sim::PathModel& path, double start_s, double duration_s,
-                       int samples, util::Rng& rng) {
+                       int samples, util::Rng& rng, sim::DiurnalLevelCache& cache) {
   JitterEstimator estimator;
   for (int i = 0; i < samples; ++i) {
     const double t = start_s + duration_s * i / std::max(samples, 1);
     // One-way transit is half the sampled RTT; the constant base halves out
     // of the estimator anyway, so the jitter scale carries through.
-    estimator.add_transit_ms(path.sample_rtt_ms(t, rng) / 2.0);
+    estimator.add_transit_ms(path.sample_rtt_ms(t, rng, cache) / 2.0);
   }
   return estimator.jitter_ms();
 }
@@ -41,6 +41,7 @@ double estimate_jitter(const sim::PathModel& path, double start_s, double durati
 SessionStats run_session(const sim::PathModel& path, const VideoProfile& profile,
                          double start_s, const SessionConfig& config, util::Rng& rng) {
   SessionStats stats;
+  sim::DiurnalLevelCache cache;
   const auto slots = static_cast<std::size_t>(std::ceil(config.duration_s / config.slot_s));
   stats.slot_packets.reserve(slots);
   stats.slot_losses.reserve(slots);
@@ -56,14 +57,15 @@ SessionStats run_session(const sim::PathModel& path, const VideoProfile& profile
     for (int part = 0; part < 3; ++part) {
       const double t = slot_start + slot_len * (0.5 + part) / 3.0;
       const std::uint32_t n = part == 2 ? packets - 2 * chunk : chunk;
-      lost += path.sample_losses(t, n, rng);
+      lost += path.sample_losses(t, n, rng, cache);
     }
     stats.slot_packets.push_back(packets);
     stats.slot_losses.push_back(lost);
     stats.packets_sent += packets;
     stats.packets_lost += lost;
   }
-  stats.jitter_ms = estimate_jitter(path, start_s, config.duration_s, config.jitter_samples, rng);
+  stats.jitter_ms =
+      estimate_jitter(path, start_s, config.duration_s, config.jitter_samples, rng, cache);
   return stats;
 }
 
@@ -80,10 +82,11 @@ SessionStats run_packet_session(const sim::PathModel& path, const VideoProfile& 
   // bursts without changing its mean: it is re-parameterized per packet.
   sim::GilbertElliott channel{0.0, 1.0, 0.0, 1.0};
   JitterEstimator estimator;
+  sim::DiurnalLevelCache cache;
   double current_p = -1.0;
   for (const double offset : schedule.send_offsets_s) {
     const double t = start_s + offset;
-    const double p = path.loss_probability(t);
+    const double p = path.loss_probability(t, cache);
     if (p != current_p) {
       channel = sim::GilbertElliott::from_mean_loss(p, mean_burst_packets);
       current_p = p;
@@ -96,7 +99,7 @@ SessionStats run_packet_session(const sim::PathModel& path, const VideoProfile& 
       stats.slot_losses[slot]++;
       stats.packets_lost++;
     } else {
-      estimator.add_transit_ms(path.sample_rtt_ms(t, rng) / 2.0);
+      estimator.add_transit_ms(path.sample_rtt_ms(t, rng, cache) / 2.0);
     }
   }
   stats.jitter_ms = estimator.jitter_ms();

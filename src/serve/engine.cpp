@@ -209,6 +209,9 @@ SloReport Engine::run(const UpdateTrace& trace) {
     gate.begin_churn();
     for (const UpdateEvent* event : by_batch[tick]) apply(*event, report.events_applied);
     vns_.fabric().run_to_convergence();
+    // Still inside the churn gate: utilization refreshes see the post-batch
+    // routing, and no probe races the traffic annotations.
+    if (config_.on_batch_applied) config_.on_batch_applied(tick);
     const std::uint64_t new_head = vns_.fabric().rib_deltas_since(log_head).next_cursor;
     if (new_head != log_head) {
       log_head = new_head;

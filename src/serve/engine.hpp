@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -108,6 +109,13 @@ struct EngineConfig {
   /// Emit a JSONL heartbeat every N batches to `heartbeat_out` (0 = off).
   std::uint64_t heartbeat_every = 4;
   std::ostream* heartbeat_out = nullptr;
+  /// Called after each churn batch has been applied and the fabric has
+  /// reconverged, while probes are still gated off the mutating slot — the
+  /// hook traffic engineering uses to refresh per-link utilization against
+  /// the post-churn routing (traffic::assign_load + PathModel::
+  /// set_utilization compose here).  Keep it cheap: it sits on the
+  /// serving loop's critical path.
+  std::function<void(std::uint64_t batch)> on_batch_applied;
 };
 
 /// Everything one serving run measured — the `slo` block of the bench JSON.

@@ -7,12 +7,34 @@
 
 namespace vns::sim {
 
+double SegmentProfile::utilization_loss() const noexcept {
+  if (capacity_mbps <= 0.0) return 0.0;  // uncapacitated: legacy behaviour
+  const double u = utilization;
+  if (!std::isfinite(u)) return util_loss_ceiling;  // overflow guard: saturate
+  if (u <= util_knee) return 0.0;
+  if (u >= util_saturation) return util_loss_ceiling;
+  const double x = (u - util_knee) / (util_saturation - util_knee);
+  return util_loss_ceiling * x * x;
+}
+
+double SegmentProfile::utilization_queue_ms() const noexcept {
+  if (capacity_mbps <= 0.0) return 0.0;
+  const double u = utilization;
+  if (!std::isfinite(u)) return util_queue_cap_ms;
+  if (u <= 0.0) return 0.0;
+  if (u >= 1.0) return util_queue_cap_ms;
+  // M/M/1 waiting-time shape: delay grows as u/(1-u), capped so a link
+  // driven arbitrarily far past capacity contributes a bounded delay.
+  return std::min(util_queue_cap_ms, util_queue_base_ms * u / (1.0 - u));
+}
+
 PathModel::PathModel(std::vector<SegmentProfile> segments, double horizon_s, util::Rng rng)
     : segments_(std::move(segments)) {
   bursts_.resize(segments_.size());
   for (std::size_t i = 0; i < segments_.size(); ++i) {
     const auto& seg = segments_[i];
     base_rtt_ms_ += seg.rtt_ms;
+    util_queue_ms_ += seg.utilization_queue_ms();
     if (seg.burst_rate_per_day <= 0.0 || horizon_s <= 0.0) continue;
     util::Rng seg_rng = rng.fork(static_cast<std::uint64_t>(i));
     const double horizon_days = horizon_s / kSecondsPerDay;
@@ -32,6 +54,13 @@ PathModel::PathModel(std::vector<SegmentProfile> segments, double horizon_s, uti
   }
 }
 
+void PathModel::set_utilization(std::span<const double> per_segment) noexcept {
+  const std::size_t count = std::min(per_segment.size(), segments_.size());
+  for (std::size_t i = 0; i < count; ++i) segments_[i].utilization = per_segment[i];
+  util_queue_ms_ = 0.0;
+  for (const auto& seg : segments_) util_queue_ms_ += seg.utilization_queue_ms();
+}
+
 bool PathModel::segment_burst_active(std::size_t i, double t) const noexcept {
   const auto& timeline = bursts_[i];
   // Binary search for the last event starting at or before t.
@@ -48,28 +77,58 @@ bool PathModel::segment_burst_active(std::size_t i, double t) const noexcept {
   return false;
 }
 
-double PathModel::segment_loss(std::size_t i, double t) const noexcept {
+double PathModel::segment_level(std::size_t i, double t,
+                                DiurnalLevelCache* cache) const noexcept {
+  if (cache == nullptr) {
+    const auto& seg = segments_[i];
+    return seg.diurnal.level(local_hour(t, seg.tz_offset_hours));
+  }
+  if (cache->owner != this) {
+    cache->entries_.assign(segments_.size(), {});
+    cache->owner = this;
+  } else if (cache->entries_.size() != segments_.size()) {
+    cache->entries_.resize(segments_.size());
+  }
+  auto& entry = cache->entries_[i];
+  if (entry.t == t) return entry.level;  // NaN sentinel never compares equal
   const auto& seg = segments_[i];
-  double p = seg.random_loss;
+  entry.t = t;
+  entry.level = seg.diurnal.level(local_hour(t, seg.tz_offset_hours));
+  return entry.level;
+}
+
+double PathModel::segment_loss(std::size_t i, double t,
+                               DiurnalLevelCache* cache) const noexcept {
+  const auto& seg = segments_[i];
+  double p = seg.random_loss + seg.utilization_loss();
   if (seg.congestion_loss > 0.0) {
-    p += seg.congestion_loss * seg.diurnal.level(local_hour(t, seg.tz_offset_hours));
+    p += seg.congestion_loss * segment_level(i, t, cache);
   }
   if (segment_burst_active(i, t)) p += seg.burst_loss;
   return std::clamp(p, 0.0, 1.0);
 }
 
-double PathModel::segment_jitter(std::size_t i, double t) const noexcept {
+double PathModel::segment_jitter(std::size_t i, double t,
+                                 DiurnalLevelCache* cache) const noexcept {
   const auto& seg = segments_[i];
-  const double level = seg.diurnal.level(local_hour(t, seg.tz_offset_hours));
+  const double level = segment_level(i, t, cache);
   return seg.jitter_base_ms + (seg.jitter_peak_ms - seg.jitter_base_ms) * level;
 }
 
-double PathModel::loss_probability(double t) const noexcept {
+double PathModel::loss_probability_impl(double t, DiurnalLevelCache* cache) const noexcept {
   double survive = 1.0;
   for (std::size_t i = 0; i < segments_.size(); ++i) {
-    survive *= 1.0 - segment_loss(i, t);
+    survive *= 1.0 - segment_loss(i, t, cache);
   }
   return 1.0 - survive;
+}
+
+double PathModel::loss_probability(double t) const noexcept {
+  return loss_probability_impl(t, nullptr);
+}
+
+double PathModel::loss_probability(double t, DiurnalLevelCache& cache) const noexcept {
+  return loss_probability_impl(t, &cache);
 }
 
 std::uint32_t PathModel::sample_losses(double t, std::uint32_t packets,
@@ -77,13 +136,30 @@ std::uint32_t PathModel::sample_losses(double t, std::uint32_t packets,
   return rng.binomial(packets, loss_probability(t));
 }
 
-double PathModel::sample_rtt_ms(double t, util::Rng& rng) const noexcept {
-  double rtt = base_rtt_ms_;
+std::uint32_t PathModel::sample_losses(double t, std::uint32_t packets, util::Rng& rng,
+                                       DiurnalLevelCache& cache) const noexcept {
+  return rng.binomial(packets, loss_probability(t, cache));
+}
+
+double PathModel::sample_rtt_impl(double t, util::Rng& rng,
+                                  DiurnalLevelCache* cache) const noexcept {
+  // The utilization term is deterministic (no RNG draw), so annotating a
+  // path with load never shifts the random sequence downstream consumers see.
+  double rtt = base_rtt_ms_ + util_queue_ms_;
   for (std::size_t i = 0; i < segments_.size(); ++i) {
-    const double scale = segment_jitter(i, t);
+    const double scale = segment_jitter(i, t, cache);
     if (scale > 0.0) rtt += rng.exponential(scale);
   }
   return rtt;
+}
+
+double PathModel::sample_rtt_ms(double t, util::Rng& rng) const noexcept {
+  return sample_rtt_impl(t, rng, nullptr);
+}
+
+double PathModel::sample_rtt_ms(double t, util::Rng& rng,
+                                DiurnalLevelCache& cache) const noexcept {
+  return sample_rtt_impl(t, rng, &cache);
 }
 
 double PathModel::min_rtt_ms(double t, int probes, util::Rng& rng) const noexcept {
@@ -92,9 +168,22 @@ double PathModel::min_rtt_ms(double t, int probes, util::Rng& rng) const noexcep
   return best;
 }
 
+double PathModel::min_rtt_ms(double t, int probes, util::Rng& rng,
+                             DiurnalLevelCache& cache) const noexcept {
+  double best = sample_rtt_ms(t, rng, cache);
+  for (int i = 1; i < probes; ++i) best = std::min(best, sample_rtt_ms(t, rng, cache));
+  return best;
+}
+
 double PathModel::expected_jitter_ms(double t) const noexcept {
   double jitter = 0.0;
-  for (std::size_t i = 0; i < segments_.size(); ++i) jitter += segment_jitter(i, t);
+  for (std::size_t i = 0; i < segments_.size(); ++i) jitter += segment_jitter(i, t, nullptr);
+  return jitter;
+}
+
+double PathModel::expected_jitter_ms(double t, DiurnalLevelCache& cache) const noexcept {
+  double jitter = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) jitter += segment_jitter(i, t, &cache);
   return jitter;
 }
 

@@ -13,6 +13,8 @@
 // the 7M-probe and two-week-streaming campaigns tractable on a laptop.
 #pragma once
 
+#include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,36 @@ struct SegmentProfile {
   /// Local clock driving the diurnal profile (hours ahead of UTC).
   double tz_offset_hours = 0.0;
 
+  // --- capacity (DESIGN §14) -------------------------------------------------
+  /// Capacity of the underlying link in Mbps.  0 means uncapacitated: the
+  /// segment behaves exactly like the pre-capacity model regardless of any
+  /// utilization annotation.
+  double capacity_mbps = 0.0;
+  /// Offered-load utilization of the underlying link (offered / capacity),
+  /// written by traffic::LoadAssignment for one time bucket.  0 (the
+  /// default) reproduces the load-independent outputs byte for byte.
+  double utilization = 0.0;
+  /// Utilization → congestion-loss curve: zero at and below `util_knee`,
+  /// convex (quadratic) ramp up to `util_loss_ceiling` at `util_saturation`,
+  /// then flat — the curve *saturates*, it never exceeds the ceiling no
+  /// matter how far past capacity the offered load runs.
+  double util_knee = 0.70;
+  double util_loss_ceiling = 0.25;
+  double util_saturation = 1.5;
+  /// M/M/1-style queueing delay added deterministically to every RTT
+  /// sample: base * u / (1 - u), capped at `util_queue_cap_ms` (reached at
+  /// and beyond u = 1).  Deterministic so the RNG consumption — and thus
+  /// every downstream sampled value at utilization 0 — is unchanged.
+  double util_queue_base_ms = 0.3;
+  double util_queue_cap_ms = 8.0;
+
+  /// Loss contributed by the current utilization (0 when uncapacitated,
+  /// saturating at `util_loss_ceiling`; NaN-safe: non-finite utilization is
+  /// treated as saturated).
+  [[nodiscard]] double utilization_loss() const noexcept;
+  /// Queueing delay (ms) contributed by the current utilization.
+  [[nodiscard]] double utilization_queue_ms() const noexcept;
+
   /// Rare severe events (routing convergence, transient congestion):
   /// Poisson arrivals with lognormal durations; `burst_loss` applies while
   /// an event is active.
@@ -57,35 +89,85 @@ struct BurstEvent {
   double end_s = 0.0;
 };
 
+/// Exact memo of per-(segment, time-bucket) diurnal levels.  A bucket is one
+/// query instant: campaigns evaluate many packets, probes and jitter samples
+/// at the same t (a ping burst, a 5-second media slot, a traffic-matrix time
+/// bucket), and each evaluation used to redo the trig/time math per segment.
+/// The cache stores the level computed at the exact t it was filled for, so
+/// cached and uncached paths return bit-identical values; a query at a new t
+/// simply refills the entry.  One cache per measuring thread — it is plain
+/// mutable state, deliberately not synchronized.
+class DiurnalLevelCache {
+ public:
+  void reset() noexcept {
+    owner = nullptr;
+    entries_.clear();
+  }
+
+ private:
+  friend class PathModel;
+  struct Entry {
+    double t = std::numeric_limits<double>::quiet_NaN();
+    double level = 0.0;
+  };
+  /// The PathModel the entries belong to: a cache handed a different model
+  /// (same Prober probing two paths) resets itself instead of serving the
+  /// other path's levels.
+  const void* owner = nullptr;
+  std::vector<Entry> entries_;  ///< indexed by segment, lazily sized
+};
+
 /// A realized path: burst timelines are drawn once (deterministically from
 /// the seed) for the experiment horizon; all queries are then const.
 class PathModel {
  public:
   PathModel(std::vector<SegmentProfile> segments, double horizon_s, util::Rng rng);
 
-  /// Instantaneous per-packet loss probability across all segments.
+  /// Instantaneous per-packet loss probability across all segments.  The
+  /// cache-taking overloads return bit-identical values while skipping the
+  /// per-segment diurnal recomputation for repeated queries at one t.
   [[nodiscard]] double loss_probability(double t) const noexcept;
+  [[nodiscard]] double loss_probability(double t, DiurnalLevelCache& cache) const noexcept;
 
   /// Number of packets lost out of `packets` sent around time t
   /// (binomial draw against the instantaneous loss probability).
   [[nodiscard]] std::uint32_t sample_losses(double t, std::uint32_t packets,
                                             util::Rng& rng) const noexcept;
+  [[nodiscard]] std::uint32_t sample_losses(double t, std::uint32_t packets, util::Rng& rng,
+                                            DiurnalLevelCache& cache) const noexcept;
 
   /// Sum of segment base RTTs (the floor of any RTT sample).
   [[nodiscard]] double base_rtt_ms() const noexcept { return base_rtt_ms_; }
 
-  /// One RTT sample at time t: base + congestion-scaled queueing tail.
+  /// One RTT sample at time t: base + utilization-driven queueing delay
+  /// (deterministic) + congestion-scaled queueing tail (sampled).
   [[nodiscard]] double sample_rtt_ms(double t, util::Rng& rng) const noexcept;
+  [[nodiscard]] double sample_rtt_ms(double t, util::Rng& rng,
+                                     DiurnalLevelCache& cache) const noexcept;
 
   /// Minimum of `probes` RTT samples (the paper's 5-ping min-RTT metric).
   [[nodiscard]] double min_rtt_ms(double t, int probes, util::Rng& rng) const noexcept;
+  [[nodiscard]] double min_rtt_ms(double t, int probes, util::Rng& rng,
+                                  DiurnalLevelCache& cache) const noexcept;
 
   /// Expected RFC3550-style interarrival jitter at time t (ms): the mean
   /// absolute delay delta, which for an exponential tail equals its scale.
   [[nodiscard]] double expected_jitter_ms(double t) const noexcept;
+  [[nodiscard]] double expected_jitter_ms(double t, DiurnalLevelCache& cache) const noexcept;
 
   /// True when any segment has an active burst event at time t.
   [[nodiscard]] bool burst_active(double t) const noexcept;
+
+  /// Total deterministic queueing delay (ms) the current utilization adds to
+  /// every RTT sample.
+  [[nodiscard]] double utilization_queue_ms() const noexcept { return util_queue_ms_; }
+
+  /// Re-annotates segment utilizations in place (one value per segment;
+  /// extra values are ignored, missing ones leave the segment untouched) and
+  /// refreshes the cached queueing-delay sum.  Burst timelines are fixed at
+  /// construction and unaffected; not safe against concurrent queries — the
+  /// serve loop applies it between probe windows.
+  void set_utilization(std::span<const double> per_segment) noexcept;
 
   [[nodiscard]] const std::vector<SegmentProfile>& segments() const noexcept {
     return segments_;
@@ -95,15 +177,24 @@ class PathModel {
   }
 
  private:
+  /// Diurnal level of segment i at time t, memoized through `cache` if given.
+  [[nodiscard]] double segment_level(std::size_t i, double t,
+                                     DiurnalLevelCache* cache) const noexcept;
   /// Loss probability contributed by segment i at time t.
-  [[nodiscard]] double segment_loss(std::size_t i, double t) const noexcept;
+  [[nodiscard]] double segment_loss(std::size_t i, double t,
+                                    DiurnalLevelCache* cache) const noexcept;
   /// Jitter scale (ms) of segment i at time t.
-  [[nodiscard]] double segment_jitter(std::size_t i, double t) const noexcept;
+  [[nodiscard]] double segment_jitter(std::size_t i, double t,
+                                      DiurnalLevelCache* cache) const noexcept;
   [[nodiscard]] bool segment_burst_active(std::size_t i, double t) const noexcept;
+  [[nodiscard]] double loss_probability_impl(double t, DiurnalLevelCache* cache) const noexcept;
+  [[nodiscard]] double sample_rtt_impl(double t, util::Rng& rng,
+                                       DiurnalLevelCache* cache) const noexcept;
 
   std::vector<SegmentProfile> segments_;
   std::vector<std::vector<BurstEvent>> bursts_;  ///< per segment, sorted by start
   double base_rtt_ms_ = 0.0;
+  double util_queue_ms_ = 0.0;  ///< cached sum of per-segment queueing delays
 };
 
 }  // namespace vns::sim

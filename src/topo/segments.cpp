@@ -94,6 +94,7 @@ sim::SegmentProfile SegmentCatalog::transit_hop(const geo::GeoPoint& from,
   sim::SegmentProfile seg;
   seg.label = "transit-hop";
   seg.rtt_ms = 0.0;  // set by transit_path_segments from the delay model
+  seg.capacity_mbps = transit_capacity_mbps;
   seg.random_loss = transit_random_loss;
   const double factor = transit_region_factor[static_cast<int>(hop_class)] *
                         (intra_ap ? intra_ap_factor : 1.0) *
@@ -130,7 +131,12 @@ sim::SegmentProfile SegmentCatalog::vns_link(const geo::GeoPoint& from, const ge
   seg.label = long_haul ? "vns-l2-long-haul" : "vns-l2-regional";
   seg.rtt_ms = 0.0;  // set by the caller from the delay model
   seg.random_loss = vns_random_loss_per_1000km * km / 1000.0;
-  seg.congestion_loss = 0.0;  // guaranteed-bandwidth leased capacity
+  // Guaranteed bandwidth means no provider-side diurnal congestion at all —
+  // but the circuit is not infinite.  Its size lives in capacity_mbps, so
+  // overload surfaces as utilization-driven loss instead of being hidden
+  // behind a zero here.
+  seg.congestion_loss = 0.0;
+  seg.capacity_mbps = long_haul ? vns_long_haul_capacity_mbps : vns_regional_capacity_mbps;
   seg.diurnal = sim::DiurnalProfile::flat(0.0);
   if (long_haul) {
     // Leased circuits are multiplexed at a lower layer (§5.1.1): rare,

@@ -84,6 +84,12 @@ struct SegmentCatalog {
   /// Jitter scale at peak congestion per hop (ms).
   double transit_jitter_peak_ms = 1.6;
 
+  // --- link capacities (DESIGN §14) -------------------------------------------
+  /// Capacity of one transit hop through a provider network (Mbps).  Transit
+  /// is shared infrastructure, so hops are markedly smaller than VNS's own
+  /// leased circuits.
+  double transit_capacity_mbps = 40000.0;
+
   // --- VNS dedicated L2 links --------------------------------------------------
   /// Residual random loss per 1000 km (low-layer multiplexing, §5.1.1).
   double vns_random_loss_per_1000km = 1.2e-5;
@@ -91,6 +97,10 @@ struct SegmentCatalog {
   double vns_burst_per_10000km_day = 2.5;
   double vns_burst_loss = 0.25;
   double vns_jitter_peak_ms = 0.8;
+  /// Leased-circuit capacities (Mbps).  Long-hauls are the expensive, scarce
+  /// resource the offload policy protects; regional rings are overbuilt.
+  double vns_long_haul_capacity_mbps = 100000.0;
+  double vns_regional_capacity_mbps = 400000.0;
 
   [[nodiscard]] static SegmentCatalog paper_calibrated() { return {}; }
 

@@ -1,0 +1,60 @@
+#include "traffic/metrics.hpp"
+
+#include <bit>
+
+namespace vns::traffic {
+
+TrafficMetrics& TrafficMetrics::global() noexcept {
+  static TrafficMetrics instance;
+  return instance;
+}
+
+void TrafficMetrics::record_assignment(std::uint64_t links_loaded, double util_p50,
+                                       double util_max) noexcept {
+  assignments_.fetch_add(1, std::memory_order_relaxed);
+  links_loaded_.store(links_loaded, std::memory_order_relaxed);
+  util_p50_bits_.store(std::bit_cast<std::uint64_t>(util_p50), std::memory_order_relaxed);
+  util_max_bits_.store(std::bit_cast<std::uint64_t>(util_max), std::memory_order_relaxed);
+}
+
+void TrafficMetrics::record_offload(std::uint64_t offloaded_flows,
+                                    std::uint64_t rejected_flows,
+                                    double wan_bytes_saved) noexcept {
+  offloaded_flows_.fetch_add(offloaded_flows, std::memory_order_relaxed);
+  rejected_flows_.fetch_add(rejected_flows, std::memory_order_relaxed);
+  // Accumulate the double via CAS (fetch_add on bit-cast would add integers).
+  std::uint64_t expected = wan_bytes_saved_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double next = std::bit_cast<double>(expected) + wan_bytes_saved;
+    if (wan_bytes_saved_bits_.compare_exchange_weak(expected,
+                                                    std::bit_cast<std::uint64_t>(next),
+                                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+TrafficMetrics::Snapshot TrafficMetrics::snapshot() const noexcept {
+  Snapshot snap;
+  snap.assignments = assignments_.load(std::memory_order_relaxed);
+  snap.links_loaded = links_loaded_.load(std::memory_order_relaxed);
+  snap.util_p50 = std::bit_cast<double>(util_p50_bits_.load(std::memory_order_relaxed));
+  snap.util_max = std::bit_cast<double>(util_max_bits_.load(std::memory_order_relaxed));
+  snap.offloaded_flows = offloaded_flows_.load(std::memory_order_relaxed);
+  snap.rejected_flows = rejected_flows_.load(std::memory_order_relaxed);
+  snap.wan_bytes_saved =
+      std::bit_cast<double>(wan_bytes_saved_bits_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+void TrafficMetrics::reset() noexcept {
+  assignments_.store(0, std::memory_order_relaxed);
+  links_loaded_.store(0, std::memory_order_relaxed);
+  util_p50_bits_.store(0, std::memory_order_relaxed);
+  util_max_bits_.store(0, std::memory_order_relaxed);
+  offloaded_flows_.store(0, std::memory_order_relaxed);
+  rejected_flows_.store(0, std::memory_order_relaxed);
+  wan_bytes_saved_bits_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace vns::traffic

@@ -1,0 +1,48 @@
+// Process-wide traffic-engineering accounting, mirroring
+// net::FlatFibMetrics::global(): every load-assignment pass publishes its
+// per-link utilization summary here, and the offload policy its cumulative
+// flow moves, so every bench surfaces a `traffic` block in BENCH_*.json even
+// when the run never touched the traffic subsystem (all-zero snapshot).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace vns::traffic {
+
+class TrafficMetrics {
+ public:
+  struct Snapshot {
+    std::uint64_t assignments = 0;      ///< load-assignment passes run
+    std::uint64_t links_loaded = 0;     ///< links with nonzero load, last pass
+    double util_p50 = 0.0;              ///< median per-link utilization, last pass
+    double util_max = 0.0;              ///< hottest link, last pass
+    std::uint64_t offloaded_flows = 0;  ///< cumulative flows moved to transit
+    std::uint64_t rejected_flows = 0;   ///< candidates failing the QoE floor
+    double wan_bytes_saved = 0.0;       ///< cumulative long-haul bytes avoided
+  };
+
+  static TrafficMetrics& global() noexcept;
+
+  /// Publishes one assignment pass's utilization summary (last-writer-wins
+  /// for the gauges, monotonically counting the pass).
+  void record_assignment(std::uint64_t links_loaded, double util_p50,
+                         double util_max) noexcept;
+  /// Accumulates one offload evaluation's moves.
+  void record_offload(std::uint64_t offloaded_flows, std::uint64_t rejected_flows,
+                      double wan_bytes_saved) noexcept;
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  /// Test hook: returns the registry to process-start state.
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> assignments_{0};
+  std::atomic<std::uint64_t> links_loaded_{0};
+  std::atomic<std::uint64_t> util_p50_bits_{0};  ///< double, bit-cast
+  std::atomic<std::uint64_t> util_max_bits_{0};  ///< double, bit-cast
+  std::atomic<std::uint64_t> offloaded_flows_{0};
+  std::atomic<std::uint64_t> rejected_flows_{0};
+  std::atomic<std::uint64_t> wan_bytes_saved_bits_{0};  ///< double, bit-cast
+};
+
+}  // namespace vns::traffic

@@ -3,11 +3,15 @@
 // slot-level shortcut and per-packet execution.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
+#include "geo/geo.hpp"
 #include "media/session.hpp"
 #include "media/video.hpp"
 #include "sim/diurnal.hpp"
+#include "sim/time.hpp"
+#include "topo/segments.hpp"
 #include "util/stats.hpp"
 
 namespace vns::media {
@@ -176,6 +180,36 @@ TEST(Session, PacketLevelLossIsBurstier) {
     for (const auto l : b.slot_losses) packet_level.add(l);
   }
   EXPECT_GT(packet_level.variance(), slot_level.variance() * 1.5);
+}
+
+// Companion to PathModel.ZeroUtilizationGoldenRegression: the full media
+// session (slot-level and per-packet) over the same catalog path reproduces
+// the pre-capacity outputs bit for bit when no utilization is applied.
+TEST(Session, ZeroUtilizationGoldenRegression) {
+  const auto catalog = topo::SegmentCatalog::paper_calibrated();
+  const geo::GeoPoint ams{52.37, 4.90}, sin{1.35, 103.82};
+  std::vector<sim::SegmentProfile> segments;
+  segments.push_back(catalog.transit_hop(ams, sin, topo::RegionClass::kEU,
+                                         topo::RegionClass::kAP));
+  segments.back().rtt_ms = 80.0;
+  segments.push_back(
+      catalog.last_mile(topo::AsType::kCAHP, geo::WorldRegion::kAsiaPacific, sin));
+  segments.back().rtt_ms = 12.0;
+  segments.push_back(catalog.vns_link(ams, sin, /*long_haul=*/true));
+  segments.back().rtt_ms = 60.0;
+  const sim::PathModel path{segments, sim::kSecondsPerDay, util::Rng{3}};
+
+  util::Rng srng{2024};
+  const auto stats =
+      run_session(path, VideoProfile::hd1080(), 39600.0, SessionConfig{}, srng);
+  EXPECT_EQ(stats.packets_lost, 782u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(stats.jitter_ms), 0x3fe757d9c955aa28ull);
+
+  util::Rng prng{515};
+  const auto pstats = run_packet_session(path, VideoProfile::hd1080(), 39600.0,
+                                         SessionConfig{}, 4.0, prng);
+  EXPECT_EQ(pstats.packets_lost, 223u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(pstats.jitter_ms), 0x3fe4d2e9baa6452full);
 }
 
 }  // namespace

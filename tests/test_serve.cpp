@@ -378,5 +378,37 @@ TEST(Serve, StaleResolutionMatchesFreshWhenQuiescent) {
   EXPECT_GT(compared, 0u);
 }
 
+TEST(Serve, OnBatchAppliedFiresOncePerBatchInOrder) {
+  // The traffic-engineering hook: called after every churn batch has been
+  // applied and the fabric reconverged, inside the gate (no fresh probe can
+  // be in flight), once per batch in batch order.
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(7));
+  world->vns().set_geo_routing(true);
+  serve::GenerateConfig gen;
+  gen.seed = 7;
+  gen.batches = 5;
+  gen.events_per_batch = 4;
+  const auto trace = serve::generate_trace(world->vns(), gen);
+
+  std::vector<std::uint64_t> seen;
+  std::vector<std::uint64_t> generations;
+  serve::EngineConfig config;
+  config.resolver_threads = 2;
+  config.seed = 5;
+  config.on_batch_applied = [&](std::uint64_t batch) {
+    seen.push_back(batch);
+    generations.push_back(world->vns().fabric().rib_generation());
+  };
+  serve::Engine engine(world->vns(), config);
+  const auto report = engine.run(trace);
+
+  ASSERT_EQ(seen.size(), report.batches);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i);
+    // The fabric had converged past each batch's mutations when the hook ran.
+    if (i > 0) EXPECT_GE(generations[i], generations[i - 1]);
+  }
+}
+
 }  // namespace
 }  // namespace vns

@@ -5,11 +5,16 @@
 
 #include <cmath>
 
+#include <bit>
+#include <limits>
+
+#include "geo/geo.hpp"
 #include "sim/diurnal.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/gilbert_elliott.hpp"
 #include "sim/path_model.hpp"
 #include "sim/time.hpp"
+#include "topo/segments.hpp"
 #include "util/stats.hpp"
 
 namespace vns::sim {
@@ -303,6 +308,175 @@ TEST(PathModel, EmptyPathIsPerfect) {
   EXPECT_DOUBLE_EQ(path.loss_probability(0.0), 0.0);
   EXPECT_DOUBLE_EQ(path.base_rtt_ms(), 0.0);
   EXPECT_EQ(path.sample_losses(0.0, 100, rng), 0u);
+}
+
+// ----------------------------------------- capacity & utilization ----
+
+TEST(PathModel, UtilizationLossCurveInvariants) {
+  SegmentProfile seg;
+  seg.capacity_mbps = 1000.0;
+
+  // At or below the knee: stationary loss is exactly zero.
+  seg.utilization = 0.0;
+  EXPECT_DOUBLE_EQ(seg.utilization_loss(), 0.0);
+  seg.utilization = seg.util_knee;
+  EXPECT_DOUBLE_EQ(seg.utilization_loss(), 0.0);
+
+  // Between knee and saturation: positive, strictly below the ceiling, and
+  // monotone nondecreasing (piecewise convex quadratic ramp).
+  double prev = 0.0;
+  for (double u = seg.util_knee; u <= seg.util_saturation; u += 0.05) {
+    seg.utilization = u;
+    const double loss = seg.utilization_loss();
+    EXPECT_GE(loss, prev);
+    EXPECT_LE(loss, seg.util_loss_ceiling);
+    prev = loss;
+  }
+  seg.utilization = 1.0;
+  EXPECT_GT(seg.utilization_loss(), 0.0);
+  EXPECT_LT(seg.utilization_loss(), seg.util_loss_ceiling);
+
+  // At and beyond saturation: pinned to the ceiling, flat forever.
+  seg.utilization = seg.util_saturation;
+  EXPECT_DOUBLE_EQ(seg.utilization_loss(), seg.util_loss_ceiling);
+  seg.utilization = 100.0;
+  EXPECT_DOUBLE_EQ(seg.utilization_loss(), seg.util_loss_ceiling);
+
+  // Non-finite utilization saturates instead of poisoning the path.
+  seg.utilization = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(seg.utilization_loss(), seg.util_loss_ceiling);
+  EXPECT_DOUBLE_EQ(seg.utilization_queue_ms(), seg.util_queue_cap_ms);
+
+  // An uncapacitated segment never produces utilization loss or delay.
+  seg.capacity_mbps = 0.0;
+  seg.utilization = 5.0;
+  EXPECT_DOUBLE_EQ(seg.utilization_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(seg.utilization_queue_ms(), 0.0);
+}
+
+TEST(PathModel, UtilizationQueueDelayShape) {
+  SegmentProfile seg;
+  seg.capacity_mbps = 1000.0;
+  seg.utilization = 0.0;
+  EXPECT_DOUBLE_EQ(seg.utilization_queue_ms(), 0.0);
+  seg.utilization = 0.5;  // M/M/1 u/(1-u) == 1 at half load
+  EXPECT_DOUBLE_EQ(seg.utilization_queue_ms(), seg.util_queue_base_ms);
+  seg.utilization = 0.9;
+  EXPECT_GT(seg.utilization_queue_ms(), seg.util_queue_base_ms);
+  EXPECT_LE(seg.utilization_queue_ms(), seg.util_queue_cap_ms);
+  for (double u : {1.0, 2.0, 64.0}) {
+    seg.utilization = u;
+    EXPECT_DOUBLE_EQ(seg.utilization_queue_ms(), seg.util_queue_cap_ms);
+  }
+}
+
+TEST(PathModel, SetUtilizationFeedsQueueDelayIntoRtt) {
+  SegmentProfile a;
+  a.rtt_ms = 40.0;
+  a.capacity_mbps = 1000.0;
+  SegmentProfile b;
+  b.rtt_ms = 10.0;  // uncapacitated: must never contribute queueing delay
+  PathModel path{{a, b}, 0.0, util::Rng{1}};
+  EXPECT_DOUBLE_EQ(path.utilization_queue_ms(), 0.0);
+
+  const double util[] = {0.5, 0.5};
+  path.set_utilization(util);
+  EXPECT_DOUBLE_EQ(path.utilization_queue_ms(), a.util_queue_base_ms);
+
+  // The queue delay rides every RTT sample as a deterministic additive term:
+  // identical RNG streams shift by exactly the queue delay.
+  util::Rng r1{9}, r2{9};
+  PathModel cold{{a, b}, 0.0, util::Rng{1}};
+  const double base_sample = cold.sample_rtt_ms(3600.0, r1);
+  const double hot_sample = path.sample_rtt_ms(3600.0, r2);
+  EXPECT_NEAR(hot_sample - base_sample, a.util_queue_base_ms, 1e-12 * hot_sample);
+
+  const double back_to_zero[] = {0.0, 0.0};
+  path.set_utilization(back_to_zero);
+  EXPECT_DOUBLE_EQ(path.utilization_queue_ms(), 0.0);
+}
+
+TEST(PathModel, DiurnalCacheIsExact) {
+  // The memo must be invisible: cached and uncached queries agree bitwise
+  // for every query type, across timestamps and after switching owners.
+  const auto catalog = topo::SegmentCatalog::paper_calibrated();
+  const geo::GeoPoint ams{52.37, 4.90}, sin{1.35, 103.82};
+  std::vector<SegmentProfile> segments;
+  segments.push_back(catalog.transit_hop(ams, sin, topo::RegionClass::kEU,
+                                         topo::RegionClass::kAP));
+  segments.push_back(
+      catalog.last_mile(topo::AsType::kCAHP, geo::WorldRegion::kAsiaPacific, sin));
+  const PathModel path{segments, kSecondsPerDay, util::Rng{3}};
+  // A second model with a different segment count: re-owning the cache must
+  // fully reset it rather than serve stale per-segment levels.
+  const PathModel other{{segments[0]}, kSecondsPerDay, util::Rng{3}};
+
+  DiurnalLevelCache cache;
+  for (double t : {0.0, 123.0, 3600.0 * 8, 3600.0 * 8, 3600.0 * 20 + 7.0}) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.loss_probability(t)),
+              std::bit_cast<std::uint64_t>(path.loss_probability(t, cache)));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.expected_jitter_ms(t)),
+              std::bit_cast<std::uint64_t>(path.expected_jitter_ms(t, cache)));
+    util::Rng plain{42}, cached{42};
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.sample_rtt_ms(t, plain)),
+              std::bit_cast<std::uint64_t>(path.sample_rtt_ms(t, cached, cache)));
+    EXPECT_EQ(path.sample_losses(t, 500, plain), path.sample_losses(t, 500, cached, cache));
+    // Interleave a different owner at the same t: the cache re-seeds itself.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(other.loss_probability(t)),
+              std::bit_cast<std::uint64_t>(other.loss_probability(t, cache)));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.loss_probability(t)),
+              std::bit_cast<std::uint64_t>(path.loss_probability(t, cache)));
+  }
+}
+
+// Golden regression (DESIGN §14): with zero utilization everywhere, the
+// capacity-aware path model reproduces the pre-capacity outputs *bit for
+// bit* — the hex constants below were dumped from the code before
+// capacity_mbps existed.  Any drift here means load-free campaigns no
+// longer replay historical results.
+TEST(PathModel, ZeroUtilizationGoldenRegression) {
+  const auto catalog = topo::SegmentCatalog::paper_calibrated();
+  const geo::GeoPoint ams{52.37, 4.90}, sin{1.35, 103.82};
+  std::vector<SegmentProfile> segments;
+  segments.push_back(catalog.transit_hop(ams, sin, topo::RegionClass::kEU,
+                                         topo::RegionClass::kAP));
+  segments.back().rtt_ms = 80.0;
+  segments.push_back(
+      catalog.last_mile(topo::AsType::kCAHP, geo::WorldRegion::kAsiaPacific, sin));
+  segments.back().rtt_ms = 12.0;
+  segments.push_back(catalog.vns_link(ams, sin, /*long_haul=*/true));
+  segments.back().rtt_ms = 60.0;
+  const PathModel path{segments, kSecondsPerDay, util::Rng{3}};
+
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(path.base_rtt_ms()), 0x4063000000000000ull);
+
+  struct Golden {
+    std::uint64_t loss, jitter, rtt, minrtt;
+    std::uint32_t losses;
+  };
+  constexpr Golden kGolden[4] = {
+      {0x3f78fce0741b6e80ull, 0x3fee74018d8afb91ull, 0x40632576a168a17cull,
+       0x40630dbb7bbdb65eull, 28},
+      {0x3f96593586710220ull, 0x40042ddde639799bull, 0x406344776ce262a9ull,
+       0x40631d36114eba8cull, 108},
+      {0x3f913207dfb31e60ull, 0x3ffdb29172a9e463ull, 0x40635930456fa04bull,
+       0x40632ba3976268adull, 84},
+      {0x3f54a28902126600ull, 0x3fe4fecaa3466427ull, 0x406307ac55095122ull,
+       0x40630bb4f38fcd36ull, 4},
+  };
+  for (int h = 0; h < 4; ++h) {
+    const double t = 3600.0 * (1 + 7 * h) + 123.0;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.loss_probability(t)), kGolden[h].loss)
+        << "h=" << h;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.expected_jitter_ms(t)), kGolden[h].jitter)
+        << "h=" << h;
+    util::Rng rng{77 + static_cast<std::uint64_t>(h)};
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.sample_rtt_ms(t, rng)), kGolden[h].rtt)
+        << "h=" << h;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(path.min_rtt_ms(t, 5, rng)), kGolden[h].minrtt)
+        << "h=" << h;
+    EXPECT_EQ(path.sample_losses(t, 5000, rng), kGolden[h].losses) << "h=" << h;
+  }
 }
 
 }  // namespace

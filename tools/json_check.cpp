@@ -215,6 +215,10 @@ constexpr std::string_view kBenchMemoryKeys[] = {
     // Run-identity header (the "meta" object, PR 8): scale preset, thread
     // count, seed and an ISO-8601 write timestamp.
     "meta", "scale", "seed", "timestamp",
+    // Traffic-engineering accounting (the "traffic" object, DESIGN §14):
+    // emitted by every bench, all-zero when the run carried no load.
+    "traffic", "assignments", "links_loaded", "util_p50", "util_max",
+    "offloaded_flows", "rejected_flows", "wan_bytes_saved",
 };
 
 /// Keys the serving-mode "slo" block must carry (--require-slo; enforced
