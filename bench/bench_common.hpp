@@ -96,17 +96,13 @@ struct BenchArgs {
         args.scale = topo::InternetScale::kSmall;
       } else if (arg == "--scale" && i + 1 < argc) {
         const std::string_view tier = argv[++i];
-        if (tier == "small") {
-          args.scale = topo::InternetScale::kSmall;
-          args.small = true;
-        } else if (tier == "paper") {
-          args.scale = topo::InternetScale::kPaper;
-        } else if (tier == "full") {
-          args.scale = topo::InternetScale::kFull;
-        } else {
-          std::cerr << "unknown --scale '" << tier << "' (small|paper|full)\n";
+        const auto parsed = topo::scale_from_string(tier);
+        if (!parsed) {
+          std::cerr << "unknown --scale '" << tier << "' (valid: small|paper|full|xl)\n";
           std::exit(2);
         }
+        args.scale = *parsed;
+        args.small = (*parsed == topo::InternetScale::kSmall);
       } else if (arg == "--json") {
         args.json = true;
       } else if (arg == "--trace") {
@@ -122,7 +118,7 @@ struct BenchArgs {
       } else if (arg == "--offload-threshold" && i + 1 < argc) {
         args.offload_threshold = std::strtod(argv[++i], nullptr);
       } else if (arg == "--help") {
-        std::cout << "flags: --scale {small,paper,full} --small --seed N --days D "
+        std::cout << "flags: --scale {small,paper,full,xl} --small --seed N --days D "
                      "--threads N --offered-load MBPS --offload-threshold U "
                      "--json --trace\n";
         std::exit(0);
@@ -293,7 +289,9 @@ class BenchRecord {
                             ", \"full_rebuilds\": " + json_value(fib.full_rebuilds) +
                             ", \"patches\": " + json_value(fib.patches) +
                             ", \"slots_touched\": " + json_value(fib.slots_touched) +
-                            ", \"build_seconds\": " + json_value(fib.build_seconds) + "}");
+                            ", \"build_seconds\": " + json_value(fib.build_seconds) +
+                            ", \"full_build_seconds\": " + json_value(fib.full_build_seconds) +
+                            ", \"patch_seconds\": " + json_value(fib.patch_seconds) + "}");
     object("memory", memory);
     out << ",\n";
     // Control-plane convergence engine: cumulative across every fabric this
@@ -368,16 +366,16 @@ inline std::unique_ptr<measure::Workbench> build_world(const BenchArgs& args,
   const auto elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   std::cout << "world: " << world->internet().as_count() << " ASes, "
-            << world->internet().prefixes().size() << " prefixes, "
+            << world->internet().prefix_count() << " prefixes, "
             << world->vns().fabric().neighbor_count() << " eBGP sessions (built in "
             << util::format_double(elapsed, 1) << " s)\n\n";
   util::Counters::global().set("bgp.messages_delivered",
                                world->vns().fabric().messages_delivered());
   auto& record = BenchRecord::global();
   record.set_build_seconds(elapsed);
-  record.set_route_count(world->internet().prefixes().size());
+  record.set_route_count(world->internet().prefix_count());
   record.config("ases", world->internet().as_count());
-  record.config("prefixes", world->internet().prefixes().size());
+  record.config("prefixes", world->internet().prefix_count());
   record.config("ebgp_sessions", world->vns().fabric().neighbor_count());
   return world;
 }

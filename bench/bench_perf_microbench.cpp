@@ -23,6 +23,7 @@
 #include "sim/path_model.hpp"
 #include "topo/internet.hpp"
 #include "topo/segments.hpp"
+#include "util/arena.hpp"
 #include "util/counters.hpp"
 #include "util/rng.hpp"
 
@@ -542,6 +543,84 @@ void BM_FibFullRebuild(benchmark::State& state) {
 
 BENCHMARK(BM_FibPatch);
 BENCHMARK(BM_FibFullRebuild);
+
+// --- serial vs sharded FIB compilation --------------------------------------
+
+void compile_with_threads(benchmark::State& state, int threads) {
+  const auto leaves = make_full_table(kFullTableSize);
+  const int saved = net::FlatFib::compile_threads();
+  net::FlatFib::set_compile_threads(threads);
+  for (auto _ : state) {
+    net::FlatFib fib = net::FlatFib::compile(leaves.begin(), leaves.end(), leaves.size());
+    benchmark::DoNotOptimize(fib.lookup(net::Ipv4Address{11u << 16}));
+  }
+  net::FlatFib::set_compile_threads(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kFullTableSize);
+  state.counters["threads"] = threads;
+}
+
+void BM_FibCompileSerial(benchmark::State& state) {
+  // Full-table compile on one thread: the pre-sharding baseline.
+  compile_with_threads(state, 1);
+}
+
+void BM_FibCompileParallel(benchmark::State& state) {
+  // Same compile sharded over 4 workers; output is byte-identical (the
+  // Fib.ParallelCompileBitIdentical fuzz enforces it), so the delta is pure
+  // speedup.  On a 1-CPU container the workers serialize and this reports
+  // ~parity — see DESIGN §15 for the caveat.
+  compile_with_threads(state, 4);
+}
+
+BENCHMARK(BM_FibCompileSerial);
+BENCHMARK(BM_FibCompileParallel);
+
+// --- heap-backed vs arena-backed RIB maps -----------------------------------
+
+/// Route-churn workload over a Loc-RIB-shaped map: insert a full-table's
+/// worth of entries, then flap a subset, exactly the allocation pattern the
+/// fabric's adj-RIBs see during feed + convergence churn.
+template <typename Map>
+void rib_churn(benchmark::State& state, Map& map,
+               const std::vector<net::FlatFib::Leaf>& leaves) {
+  for (auto _ : state) {
+    map.clear();
+    for (const auto& leaf : leaves) map[leaf.prefix] = leaf.value;
+    std::uint32_t lcg = 0xabcdef01;
+    for (int k = 0; k < 4096; ++k) {
+      lcg = lcg * 1664525u + 1013904223u;
+      const auto& leaf = leaves[lcg % leaves.size()];
+      map.erase(leaf.prefix);
+      map[leaf.prefix] = leaf.value ^ 1u;
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(leaves.size()));
+}
+
+void BM_FeedRoutesHeap(benchmark::State& state) {
+  // Per-node heap allocation: what the router RIBs did before the arena.
+  const auto leaves = make_full_table(20000);
+  std::unordered_map<net::Ipv4Prefix, std::uint32_t> map;
+  rib_churn(state, map, leaves);
+}
+
+void BM_FeedRoutesArena(benchmark::State& state) {
+  // Bump-pointer arena with per-size freelists: node frees recycle in place.
+  const auto leaves = make_full_table(20000);
+  util::Arena arena;
+  std::unordered_map<net::Ipv4Prefix, std::uint32_t, std::hash<net::Ipv4Prefix>,
+                     std::equal_to<net::Ipv4Prefix>,
+                     util::ArenaAllocator<std::pair<const net::Ipv4Prefix, std::uint32_t>>>
+      map{util::ArenaAllocator<std::pair<const net::Ipv4Prefix, std::uint32_t>>{arena}};
+  rib_churn(state, map, leaves);
+  state.counters["arena_reserved_kb"] =
+      static_cast<double>(arena.stats().reserved_bytes) / 1024.0;
+}
+
+BENCHMARK(BM_FeedRoutesHeap);
+BENCHMARK(BM_FeedRoutesArena);
 
 void BM_CountersGlobalAdd(benchmark::State& state) {
   // One mutex round-trip per increment: what the hot loops used to do.

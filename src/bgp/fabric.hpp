@@ -97,6 +97,14 @@ class Fabric {
   [[nodiscard]] const Router& router(RouterId id) const { return *routers_.at(id); }
   [[nodiscard]] std::size_t router_count() const noexcept { return routers_.size(); }
 
+  /// Aggregate RIB-arena accounting across every router in the fabric
+  /// (bytes reserved in bump chunks, live bytes, freelist reuse counts).
+  [[nodiscard]] util::Arena::Stats rib_arena_stats() const noexcept {
+    util::Arena::Stats total;
+    for (const auto& router : routers_) total += router->rib_arena_stats();
+    return total;
+  }
+
   [[nodiscard]] IgpTopology& igp() noexcept { return igp_; }
   [[nodiscard]] const IgpTopology& igp() const noexcept { return igp_; }
   /// Adds an IGP link; metric typically derives from link delay.

@@ -154,7 +154,7 @@ std::vector<Emission> Router::handle_ebgp_update(const NeighborInfo& neighbor, b
   const SessionKey key{SessionKind::kEbgp, neighbor.id};
   std::vector<Emission> out;
   const net::Ipv4Prefix prefix = route.prefix;
-  auto& table = adj_rib_in_[key.packed()];
+  auto& table = adj_rib_in_.try_emplace(key.packed(), rib_alloc<RibInEntry>()).first->second;
   if (withdraw) {
     if (table.erase(prefix) == 0) return out;  // nothing known; no-op
   } else {
@@ -191,7 +191,7 @@ std::vector<Emission> Router::handle_ibgp_update(RouterId sender, bool withdraw,
   const SessionKey key{SessionKind::kIbgp, sender};
   std::vector<Emission> out;
   const net::Ipv4Prefix prefix = route.prefix;
-  auto& table = adj_rib_in_[key.packed()];
+  auto& table = adj_rib_in_.try_emplace(key.packed(), rib_alloc<RibInEntry>()).first->second;
   if (withdraw) {
     if (table.erase(prefix) == 0) return out;
   } else {
@@ -487,7 +487,7 @@ void Router::sync_session(const net::Ipv4Prefix& prefix, const IbgpSession& sess
                           AdvertisePlan& plan, std::vector<Emission>& out) {
   const SessionKey key{SessionKind::kIbgp, session.peer};
   const Route* desired = route_for_ibgp_peer(prefix, session, plan);
-  auto& sent = adj_rib_out_[key.packed()];
+  auto& sent = adj_rib_out_.try_emplace(key.packed(), rib_alloc<Route>()).first->second;
   const auto it = sent.find(prefix);
   if (desired != nullptr) {
     if (it != sent.end() && same_advertisement(it->second, *desired)) return;
@@ -505,7 +505,7 @@ void Router::sync_session(const net::Ipv4Prefix& prefix, const EbgpSession& sess
                           AdvertisePlan& plan, std::vector<Emission>& out) {
   const SessionKey key{SessionKind::kEbgp, session.info.id};
   const Route* desired = route_for_neighbor(session.info, plan);
-  auto& sent = adj_rib_out_[key.packed()];
+  auto& sent = adj_rib_out_.try_emplace(key.packed(), rib_alloc<Route>()).first->second;
   const auto it = sent.find(prefix);
   if (desired != nullptr) {
     if (it != sent.end() && same_advertisement(it->second, *desired)) return;

@@ -37,6 +37,7 @@
 #include "bgp/decision.hpp"
 #include "bgp/igp.hpp"
 #include "bgp/types.hpp"
+#include "util/arena.hpp"
 
 namespace vns::bgp {
 
@@ -120,6 +121,22 @@ struct EbgpSession {
 
 class Router {
  public:
+  /// Per-prefix RIB map backed by this router's bump arena: every node a
+  /// convergence run inserts or erases goes through the router-local
+  /// freelists instead of the global heap (see util::Arena).  The RIBs are
+  /// only mutated under delivery_mutex_, which is exactly the arena's
+  /// single-owner contract.
+  template <typename T>
+  using PrefixMap =
+      std::unordered_map<net::Ipv4Prefix, T, std::hash<net::Ipv4Prefix>,
+                         std::equal_to<net::Ipv4Prefix>,
+                         util::ArenaAllocator<std::pair<const net::Ipv4Prefix, T>>>;
+  using LocRib = PrefixMap<Route>;
+  using PrefixSet =
+      std::unordered_set<net::Ipv4Prefix, std::hash<net::Ipv4Prefix>,
+                         std::equal_to<net::Ipv4Prefix>,
+                         util::ArenaAllocator<net::Ipv4Prefix>>;
+
   Router(RouterId id, std::string name, net::Asn local_asn);
 
   [[nodiscard]] RouterId id() const noexcept { return id_; }
@@ -186,9 +203,7 @@ class Router {
   /// decision is a pure function of RIB state, so this is exact — and free
   /// until called (the forwarding path stores nothing extra).
   [[nodiscard]] DecisionTrace explain(const net::Ipv4Prefix& prefix) const;
-  [[nodiscard]] const std::unordered_map<net::Ipv4Prefix, Route>& loc_rib() const noexcept {
-    return loc_rib_;
-  }
+  [[nodiscard]] const LocRib& loc_rib() const noexcept { return loc_rib_; }
   /// Last route advertised to an eBGP neighbor (empty when withdrawn/none).
   [[nodiscard]] const Route* advertised_to_neighbor(NeighborId neighbor,
                                                     const net::Ipv4Prefix& prefix) const noexcept;
@@ -207,6 +222,10 @@ class Router {
   /// Prefixes currently tracked as IGP-sensitive (diagnostics/tests).
   [[nodiscard]] std::size_t igp_dependent_count() const noexcept {
     return igp_dependent_.size();
+  }
+  /// Footprint of this router's RIB arena (benches aggregate per fabric).
+  [[nodiscard]] util::Arena::Stats rib_arena_stats() const noexcept {
+    return rib_arena_.stats();
   }
 
   /// Serializes concurrent deliveries to this router.  The sharded
@@ -291,6 +310,12 @@ class Router {
 
   [[nodiscard]] ImportContext make_context(const SessionKey& key) const;
 
+  /// Allocator handle for a PrefixMap<T> over this router's arena.
+  template <typename T>
+  [[nodiscard]] util::ArenaAllocator<std::pair<const net::Ipv4Prefix, T>> rib_alloc() noexcept {
+    return util::ArenaAllocator<std::pair<const net::Ipv4Prefix, T>>{rib_arena_};
+  }
+
   RouterId id_;
   std::string name_;
   net::Asn local_asn_;
@@ -304,17 +329,21 @@ class Router {
   std::vector<IbgpSession> ibgp_sessions_;
   std::vector<EbgpSession> ebgp_sessions_;
 
+  /// Declared before every arena-backed container below: members destruct
+  /// in reverse order, so the maps drain their nodes back into a
+  /// still-alive arena.
+  util::Arena rib_arena_;
   /// Routes as received (+ cached post-policy view), keyed by packed
-  /// session key then prefix.
-  std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, RibInEntry>>
-      adj_rib_in_;
-  std::unordered_map<net::Ipv4Prefix, Route> originated_;
-  std::unordered_map<net::Ipv4Prefix, Route> loc_rib_;
+  /// session key then prefix.  The outer maps are plain-heap (a handful of
+  /// sessions); the per-prefix inner maps are the hot, arena-backed ones.
+  std::unordered_map<std::uint64_t, PrefixMap<RibInEntry>> adj_rib_in_;
+  PrefixMap<Route> originated_{rib_alloc<Route>()};
+  LocRib loc_rib_{rib_alloc<Route>()};
   /// Last advertisement per session (packed key) and prefix.
-  std::unordered_map<std::uint64_t, std::unordered_map<net::Ipv4Prefix, Route>> adj_rib_out_;
+  std::unordered_map<std::uint64_t, PrefixMap<Route>> adj_rib_out_;
   /// Prefixes whose last decision was IGP-sensitive — the exact set
   /// handle_igp_change must revisit.
-  std::unordered_set<net::Ipv4Prefix> igp_dependent_;
+  PrefixSet igp_dependent_{util::ArenaAllocator<net::Ipv4Prefix>{rib_arena_}};
   mutable std::mutex delivery_mutex_;
 };
 

@@ -274,37 +274,81 @@ void VnsNetwork::install_policies() {
       });
 }
 
+void VnsNetwork::feed_origin_routes(topo::AsIndex origin,
+                                    std::span<const net::Ipv4Prefix> prefixes,
+                                    std::span<const Attachment* const> selected) {
+  const auto table = internet_.routes_to(origin);
+  for (const Attachment* attachment : selected) {
+    if (!table.reachable(attachment->as)) continue;
+    const auto& entry = table.at(attachment->as);
+    // Export policy of the neighbor: upstreams sell transit (everything);
+    // peers exchange only their own and customer routes.
+    const bool exportable = attachment->upstream ||
+                            entry.cls == topo::PathClass::kCustomer ||
+                            attachment->as == origin;
+    if (!exportable) continue;
+    const auto as_path_indices = table.path_from(attachment->as);
+    bgp::Attributes attrs;
+    std::vector<net::Asn> asns;
+    asns.reserve(as_path_indices.size());
+    for (const auto index : as_path_indices) asns.push_back(internet_.as_at(index).asn);
+    attrs.as_path = bgp::AsPath{std::move(asns)};
+    // Intern once per (origin, attachment): every prefix of the origin AS
+    // fans out sharing the same immutable attribute node.
+    const bgp::AttrRef shared = bgp::AttrTable::global().intern(std::move(attrs));
+    for (const auto& prefix : prefixes) {
+      fabric_.announce(attachment->session, prefix, shared);
+      if (known_prefixes_.insert(prefix, true)) known_log_.push_back(prefix);
+    }
+  }
+}
+
 void VnsNetwork::feed_attachment_routes(std::span<const Attachment* const> selected) {
   if (selected.empty()) return;
+  std::vector<net::Ipv4Prefix> prefixes;
   for (topo::AsIndex origin = 0; origin < internet_.as_count(); ++origin) {
     const auto& node = internet_.as_at(origin);
     if (node.prefix_ids.empty()) continue;
-    const auto table = internet_.routes_to(origin);
-    for (const Attachment* attachment : selected) {
-      if (!table.reachable(attachment->as)) continue;
-      const auto& entry = table.at(attachment->as);
-      // Export policy of the neighbor: upstreams sell transit (everything);
-      // peers exchange only their own and customer routes.
-      const bool exportable = attachment->upstream ||
-                              entry.cls == topo::PathClass::kCustomer ||
-                              attachment->as == origin;
-      if (!exportable) continue;
-      const auto as_path_indices = table.path_from(attachment->as);
-      bgp::Attributes attrs;
-      std::vector<net::Asn> asns;
-      asns.reserve(as_path_indices.size());
-      for (const auto index : as_path_indices) asns.push_back(internet_.as_at(index).asn);
-      attrs.as_path = bgp::AsPath{std::move(asns)};
-      // Intern once per (origin, attachment): every prefix of the origin AS
-      // fans out sharing the same immutable attribute node.
-      const bgp::AttrRef shared = bgp::AttrTable::global().intern(std::move(attrs));
-      for (const auto prefix_id : node.prefix_ids) {
-        const auto& prefix = internet_.prefix(prefix_id).prefix;
-        fabric_.announce(attachment->session, prefix, shared);
-        if (known_prefixes_.insert(prefix, true)) known_log_.push_back(prefix);
-      }
+    prefixes.clear();
+    prefixes.reserve(node.prefix_ids.size());
+    for (const auto prefix_id : node.prefix_ids) {
+      prefixes.push_back(internet_.prefix(prefix_id).prefix);
     }
+    feed_origin_routes(origin, prefixes, selected);
   }
+}
+
+void VnsNetwork::feed_prefix_batch(topo::AsIndex origin,
+                                   std::span<const topo::PrefixInfo> batch) {
+  if (batch.empty()) return;
+  std::vector<const Attachment*> all;
+  all.reserve(attachments_.size());
+  for (const auto& attachment : attachments_) all.push_back(&attachment);
+  std::vector<net::Ipv4Prefix> prefixes;
+  prefixes.reserve(batch.size());
+  for (const auto& info : batch) prefixes.push_back(info.prefix);
+  feed_origin_routes(origin, prefixes, all);
+  streamed_since_flush_ += batch.size();
+  if (streamed_since_flush_ >= config_.stream_flush_prefixes) {
+    // Checkpoint convergence: drains the pending-update queue so memory and
+    // the per-run message budget stay bounded at million-prefix scale.  The
+    // feed is announce-only, so the fixpoint is unchanged.
+    fabric_.run_to_convergence();
+    streamed_since_flush_ = 0;
+  }
+}
+
+void VnsNetwork::finish_streamed_feed() {
+  // The anycast TURN service prefix is originated at every PoP (§4.4).
+  for (const auto& pop : pops_) {
+    fabric_.originate(pop.routers[0], config_.anycast_prefix, bgp::Attributes{});
+  }
+  if (known_prefixes_.insert(config_.anycast_prefix, true)) {
+    known_log_.push_back(config_.anycast_prefix);
+  }
+  fabric_.run_to_convergence();
+  streamed_since_flush_ = 0;
+  warm_reach_cache();
 }
 
 void VnsNetwork::feed_session(bgp::NeighborId session) {
@@ -322,15 +366,7 @@ void VnsNetwork::feed_routes() {
   all.reserve(attachments_.size());
   for (const auto& attachment : attachments_) all.push_back(&attachment);
   feed_attachment_routes(all);
-  // The anycast TURN service prefix is originated at every PoP (§4.4).
-  for (const auto& pop : pops_) {
-    fabric_.originate(pop.routers[0], config_.anycast_prefix, bgp::Attributes{});
-  }
-  if (known_prefixes_.insert(config_.anycast_prefix, true)) {
-    known_log_.push_back(config_.anycast_prefix);
-  }
-  fabric_.run_to_convergence();
-  warm_reach_cache();
+  finish_streamed_feed();
 }
 
 void VnsNetwork::set_geo_routing(bool enabled) {

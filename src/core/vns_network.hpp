@@ -103,6 +103,14 @@ struct VnsConfig {
   /// The anycast service prefix all TURN relays share (§4.4).
   net::Ipv4Prefix anycast_prefix{net::Ipv4Address{100, 64, 0, 0}, 22};
 
+  /// Streamed-feed flush threshold: feed_prefix_batch() lets announcements
+  /// accumulate until at least this many prefixes arrived since the last
+  /// convergence, then runs the fabric to convergence.  Bounds the pending
+  /// message queue (and per-run message budget) when a million-prefix world
+  /// is streamed in, while keeping the final state identical — the feed is
+  /// announce-only and monotone, so convergence checkpoints commute.
+  std::size_t stream_flush_prefixes = 16384;
+
   /// Incremental FIB refresh threshold: when the fraction of known prefixes
   /// dirtied since the last compile exceeds this, the lazy rebuild falls
   /// back to a full DIR-16-8-8 recompile instead of patching (past that
@@ -183,7 +191,24 @@ class VnsNetwork {
   // --- lifecycle -------------------------------------------------------------
   /// Feeds every external route (per Gao–Rexford export rules of each
   /// neighbor) into the fabric and converges.  Call once after construction.
+  /// Requires a materialized Internet (prefixes() populated); streamed
+  /// worlds use feed_prefix_batch() + finish_streamed_feed() instead.
   void feed_routes();
+
+  /// Streaming counterpart of feed_routes(): announces one origin's batch
+  /// (a topo::Internet::PrefixBatch worth of prefixes) over every
+  /// attachment whose export policy admits it, converging the fabric every
+  /// `VnsConfig::stream_flush_prefixes` prefixes so the pending-update
+  /// queue stays bounded.  After the last batch, call
+  /// finish_streamed_feed().  The converged state is identical to
+  /// feed_routes() on the materialized world — the feed is announce-only,
+  /// so intermediate convergence checkpoints do not change the fixpoint.
+  void feed_prefix_batch(topo::AsIndex origin, std::span<const topo::PrefixInfo> batch);
+
+  /// Completes a streamed feed: originates the anycast service prefix at
+  /// every PoP, converges, and warms the reachability cache — exactly what
+  /// feed_routes() does after its announcement sweep.
+  void finish_streamed_feed();
 
   /// Turns the geo-based cold-potato policy on/off (route-refresh + converge).
   /// The network starts with it off — the §4.2 "before" state.
@@ -346,6 +371,12 @@ class VnsNetwork {
   /// feed_routes() uses it for all attachments; session/PoP restoration uses
   /// it to replay a restored neighbor's table.
   void feed_attachment_routes(std::span<const Attachment* const> selected);
+  /// Announcement core shared by the materialized and streamed feeds: one
+  /// routes_to(origin) sweep, then every admissible (attachment, prefix)
+  /// pair is announced with a single interned attribute node per
+  /// attachment.
+  void feed_origin_routes(topo::AsIndex origin, std::span<const net::Ipv4Prefix> prefixes,
+                          std::span<const Attachment* const> selected);
   /// Replays one neighbor's announcements (after restore_session).
   void feed_session(bgp::NeighborId session);
   /// Fills reach_cache_ for every attachment so const queries never write.
@@ -436,6 +467,8 @@ class VnsNetwork {
   /// with the known-prefix tail its FIB has not seen — a prefix can become
   /// known without ever entering a given viewpoint's Loc-RIB.
   std::vector<net::Ipv4Prefix> known_log_;
+  /// Prefixes announced via feed_prefix_batch since the last convergence.
+  std::size_t streamed_since_flush_ = 0;
 
   std::vector<bool> pop_down_;
   /// links_ indices a fail_pop took down, for exact restoration.

@@ -86,10 +86,26 @@ WorkbenchConfig WorkbenchConfig::full_scale(std::uint64_t seed) {
   return config;
 }
 
+WorkbenchConfig WorkbenchConfig::xl_scale(std::uint64_t seed) {
+  WorkbenchConfig config;
+  // ~30k ASes / ~1M prefixes: the million-route tier.  A materialized
+  // PrefixInfo table alone would be hundreds of MB, so this preset streams
+  // generation through GeoIP construction and the VNS feed by default.
+  config.internet = topo::InternetConfig::preset(topo::InternetScale::kXL, seed);
+  config.vns.seed = seed ^ 0x5eed;
+  scale_capacities(config.vns, 100.0);
+  config.stream_generation = true;
+  return config;
+}
+
 Workbench::Workbench(const WorkbenchConfig& config)
     : config_(config),
-      internet_(topo::Internet::generate(config.internet)),
-      geoip_(internet_.build_geoip(config.geoip_model, config.geoip_seed)),
+      internet_(config.stream_generation
+                    ? topo::Internet::generate_topology(config.internet)
+                    : topo::Internet::generate(config.internet)),
+      geoip_(config.stream_generation
+                 ? geo::GeoIpDatabase{}
+                 : internet_.build_geoip(config.geoip_model, config.geoip_seed)),
       vns_(std::make_unique<core::VnsNetwork>(internet_, geoip_, config.vns)) {
   delay_ = config.vns.delay;
 }
@@ -102,7 +118,24 @@ std::unique_ptr<Workbench> Workbench::build(const WorkbenchConfig& config) {
   // Same knob as the campaigns; convergence results are bit-identical for
   // any value, so this is purely a build-time throughput lever.
   bench->vns_->fabric().set_threads(config.threads);
-  if (config.feed_routes) bench->vns_->feed_routes();
+  // Likewise for FIB compilation: sharded across threads, byte-identical
+  // output for any count.
+  net::FlatFib::set_compile_threads(config.threads);
+  if (config.stream_generation) {
+    // Streamed pipeline: each origin's batch flows topology -> GeoIP ->
+    // announcements without the full table ever existing.  One RNG across
+    // all batches makes the GeoIP database byte-identical to build_geoip()
+    // on a materialized world.
+    util::Rng geoip_rng{config.geoip_seed};
+    bench->internet_.stream_prefixes([&](const topo::Internet::PrefixBatch& batch) {
+      topo::Internet::append_geoip_records(bench->geoip_, batch.prefixes,
+                                           config.geoip_model, geoip_rng);
+      if (config.feed_routes) bench->vns_->feed_prefix_batch(batch.origin, batch.prefixes);
+    });
+    if (config.feed_routes) bench->vns_->finish_streamed_feed();
+  } else if (config.feed_routes) {
+    bench->vns_->feed_routes();
+  }
   return bench;
 }
 

@@ -28,6 +28,14 @@ struct WorkbenchConfig {
   geo::GeoIpErrorModel geoip_model;
   std::uint64_t geoip_seed = 4242;
   bool feed_routes = true;
+  /// Stream the world in instead of materializing it: the Internet is built
+  /// with generate_topology() only, and build() pumps stream_prefixes()
+  /// batches through GeoIP construction and (when feed_routes) the VNS
+  /// streamed feed.  The full PrefixInfo table never exists in memory —
+  /// internet().prefixes() stays empty (use prefix_count()).  Converged
+  /// routing state is identical to the materialized build (enforced by the
+  /// StreamWorld equivalence tests).  xl_scale() turns this on by default.
+  bool stream_generation = false;
   /// Model the documented behaviour behind the §5.2.2 London anomaly: the
   /// US-centred Tier-1 carries Europe-to-Europe traffic across its home
   /// backbone (over the Atlantic and back) instead of handing it off locally.
@@ -44,6 +52,9 @@ struct WorkbenchConfig {
   [[nodiscard]] static WorkbenchConfig paper_scale(std::uint64_t seed = 1);
   /// The 10k-AS / 100k+-prefix full-table world (InternetScale::kFull).
   [[nodiscard]] static WorkbenchConfig full_scale(std::uint64_t seed = 1);
+  /// The ~30k-AS / 1M+-prefix world (InternetScale::kXL), streamed: the
+  /// million-route table is generated batch-by-batch and never materialized.
+  [[nodiscard]] static WorkbenchConfig xl_scale(std::uint64_t seed = 1);
 
   /// Preset for a named tier; the scale knob behind bench `--scale`.
   [[nodiscard]] static WorkbenchConfig at_scale(topo::InternetScale scale,
@@ -51,6 +62,7 @@ struct WorkbenchConfig {
     switch (scale) {
       case topo::InternetScale::kSmall: return small(seed);
       case topo::InternetScale::kFull: return full_scale(seed);
+      case topo::InternetScale::kXL: return xl_scale(seed);
       case topo::InternetScale::kPaper: break;
     }
     return paper_scale(seed);

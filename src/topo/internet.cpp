@@ -83,6 +83,14 @@ std::optional<AsIndex> Internet::index_of(net::Asn asn) const noexcept {
   return it->second;
 }
 
+std::optional<InternetScale> scale_from_string(std::string_view name) noexcept {
+  if (name == "small") return InternetScale::kSmall;
+  if (name == "paper") return InternetScale::kPaper;
+  if (name == "full") return InternetScale::kFull;
+  if (name == "xl") return InternetScale::kXL;
+  return std::nullopt;
+}
+
 InternetConfig InternetConfig::preset(InternetScale scale, std::uint64_t seed) {
   InternetConfig config;
   config.seed = seed;
@@ -115,20 +123,50 @@ InternetConfig InternetConfig::preset(InternetScale scale, std::uint64_t seed) {
       config.ec_prefixes_min = 2;
       config.ec_prefixes_max = 6;
       break;
+    case InternetScale::kXL:
+      // ~30k ASes originating ~1.03M prefixes — real-Internet-table scale
+      // (ROADMAP item 2's end state).  The /16 + /20 + /24 pools cover only
+      // ~172k blocks, so most of the volume comes from the nested-/24 tier
+      // carved inside already-allocated /16 space: the table is dominated
+      // by more-specifics exactly like a production full table.  Worlds
+      // this size are meant to be *streamed* (Internet::stream_prefixes),
+      // not materialized.  Expected volume (uniform-mean origination):
+      //   20·45 + 3000·60 + 9000·80 + 18000·7 ≈ 1 026 900.
+      config.ltp_count = 20;
+      config.stp_count = 3000;
+      config.cahp_count = 9000;
+      config.ec_count = 18000;
+      config.ltp_prefixes_min = 30;
+      config.ltp_prefixes_max = 60;
+      config.stp_prefixes_min = 40;
+      config.stp_prefixes_max = 80;
+      config.cahp_prefixes_min = 50;
+      config.cahp_prefixes_max = 110;
+      config.ec_prefixes_min = 4;
+      config.ec_prefixes_max = 10;
+      break;
   }
   return config;
 }
 
 Internet Internet::generate(const InternetConfig& config) {
+  Internet internet = generate_topology(config);
+  internet.materialize_prefixes();
+  return internet;
+}
+
+Internet Internet::generate_topology(const InternetConfig& config) {
   Internet internet;
   internet.config_ = config;
   auto& ases = internet.ases_;
-  auto& prefixes = internet.prefixes_;
 
   util::Rng master{config.seed};
   util::Rng place_rng = master.fork("placement");
   util::Rng edge_rng = master.fork("edges");
-  util::Rng prefix_rng = master.fork("prefixes");
+  // Forked here — in the same master order as always — but consumed later
+  // by generate_prefixes, so materialized and streamed worlds draw the
+  // exact same origination stream.
+  internet.prefix_rng_ = master.fork("prefixes");
 
   const std::size_t total = config.ltp_count + config.stp_count + config.cahp_count +
                             config.ec_count;
@@ -305,35 +343,6 @@ Internet Internet::generate(const InternetConfig& config) {
     }
   }
 
-  // --- Prefix origination. --------------------------------------------------
-  // Distinct prefixes from a sequential pool cascade: first /16s (byte-
-  // identical to the historical allocator for every pre-`full` world), then
-  // /20s, then /24s once the /16 space runs out at full-table scale.  The
-  // mixed lengths make the big worlds exercise the FlatFib spill tables the
-  // way a real full table does; uniqueness and LPM-compatibility are what
-  // the experiments actually depend on.
-  std::uint32_t next_block = 11;  // /16 pool: 11.0.0.0/16 upward
-  std::uint32_t s20 = 0;          // /20 pool: 1.0.0.0/20 .. 10.255.240.0/20
-  std::uint32_t s24 = 0;          // /24 pool: 0.0.0.0/24 .. 0.255.255.0/24
-  auto allocate_prefix = [&]() {
-    if (next_block <= 0xffffu) {
-      const net::Ipv4Prefix prefix{net::Ipv4Address{next_block << 16}, 16};
-      ++next_block;
-      if ((next_block >> 8) == 127) next_block = 128 << 8;  // skip loopback /8
-      return prefix;
-    }
-    constexpr std::uint32_t kSlash20Count = 10u * 256u * 16u;  // 1.0.0.0..10.255.240.0
-    if (s20 < kSlash20Count) {
-      const net::Ipv4Prefix prefix{net::Ipv4Address{(1u << 24) + (s20 << 12)}, 20};
-      ++s20;
-      return prefix;
-    }
-    assert(s24 < (1u << 16) && "prefix pool exhausted");
-    const net::Ipv4Prefix prefix{net::Ipv4Address{s24 << 8}, 24};
-    ++s24;
-    return prefix;
-  };
-
   // Pick the "acquired ISP": an AP-region CAHP homed in India, whose block
   // keeps stale Canadian GeoIP records (the paper's TATA example).
   AsIndex stale_as = kNoAs;
@@ -358,8 +367,15 @@ Internet Internet::generate(const InternetConfig& config) {
       }
     }
   }
-  const geo::GeoPoint stale_registered = geo::city("Toronto").location;
+  internet.stale_as_ = stale_as;
 
+  for (AsIndex i = 0; i < internet.ases_.size(); ++i) {
+    internet.asn_index_.emplace(internet.ases_[i].asn, i);
+  }
+  return internet;
+}
+
+void Internet::materialize_prefixes() {
   // Reserve the uniform-mean origination volume up front: at full-table
   // scale the vector holds 100k+ PrefixInfo records and reallocation
   // doubling would transiently hold ~2x that (the generation path is meant
@@ -367,31 +383,105 @@ Internet Internet::generate(const InternetConfig& config) {
   const auto mean_count = [](int lo, int hi) {
     return static_cast<std::size_t>((lo + hi) / 2 + 1);
   };
-  prefixes.reserve(config.ltp_count * mean_count(config.ltp_prefixes_min, config.ltp_prefixes_max) +
-                   config.stp_count * mean_count(config.stp_prefixes_min, config.stp_prefixes_max) +
-                   config.cahp_count * mean_count(config.cahp_prefixes_min, config.cahp_prefixes_max) +
-                   config.ec_count * mean_count(config.ec_prefixes_min, config.ec_prefixes_max) +
-                   static_cast<std::size_t>(config.stale_block_prefixes));
+  prefixes_.reserve(
+      config_.ltp_count * mean_count(config_.ltp_prefixes_min, config_.ltp_prefixes_max) +
+      config_.stp_count * mean_count(config_.stp_prefixes_min, config_.stp_prefixes_max) +
+      config_.cahp_count * mean_count(config_.cahp_prefixes_min, config_.cahp_prefixes_max) +
+      config_.ec_count * mean_count(config_.ec_prefixes_min, config_.ec_prefixes_max) +
+      static_cast<std::size_t>(config_.stale_block_prefixes));
+  generate_prefixes([this](AsIndex, std::size_t, std::vector<PrefixInfo>& batch) {
+    for (auto& info : batch) prefixes_.push_back(std::move(info));
+  });
+}
 
-  for (AsIndex index = 0; index < ases.size(); ++index) {
-    auto& node = ases[index];
+void Internet::stream_prefixes(const PrefixSink& sink) {
+  generate_prefixes([&sink](AsIndex origin, std::size_t first_id,
+                            std::vector<PrefixInfo>& batch) {
+    sink(PrefixBatch{origin, first_id, std::span<const PrefixInfo>{batch}});
+  });
+}
+
+void Internet::generate_prefixes(
+    const std::function<void(AsIndex, std::size_t, std::vector<PrefixInfo>&)>& consume) {
+  assert(!prefixes_generated_ && "prefixes already generated for this world");
+  prefixes_generated_ = true;
+
+  // Re-derive the placement city lists (deterministic, RNG-free).
+  std::vector<std::vector<geo::City>> region_cities(geo::kWorldRegionCount);
+  for (int r = 0; r < geo::kWorldRegionCount; ++r) {
+    region_cities[static_cast<std::size_t>(r)] =
+        placement_cities(static_cast<geo::WorldRegion>(r));
+  }
+
+  // Distinct prefixes from a sequential pool cascade: first /16s (byte-
+  // identical to the historical allocator for every pre-`full` world), then
+  // /20s, then /24s, then — at kXL scale — /24 more-specifics carved inside
+  // the already-allocated /16 space.  The mixed lengths and nesting make
+  // the big worlds exercise the FlatFib spill tables the way a real full
+  // table does; uniqueness and LPM-compatibility are what the experiments
+  // actually depend on.
+  std::uint32_t next_block = 11;  // /16 pool: block 11 upward
+  std::uint32_t s20 = 0;          // /20 pool: 1.0.0.0/20 .. 10.255.240.0/20
+  std::uint32_t s24 = 0;          // /24 pool: 0.0.0.0/24 .. 0.255.255.0/24
+  std::uint32_t nested_block = 11u << 8;  // nested-/24 pool: inside 11.0.0.0/16 up
+  std::uint32_t nested_z = 1;             // third octet; 0 skipped so the /16's
+                                          // first_host keeps resolving to the /16
+  auto allocate_prefix = [&]() {
+    if (next_block <= 0xffffu) {
+      const net::Ipv4Prefix prefix{net::Ipv4Address{next_block << 16}, 16};
+      ++next_block;
+      if ((next_block >> 8) == 127) next_block = 128 << 8;  // skip loopback /8
+      return prefix;
+    }
+    constexpr std::uint32_t kSlash20Count = 10u * 256u * 16u;  // 1.0.0.0..10.255.240.0
+    if (s20 < kSlash20Count) {
+      const net::Ipv4Prefix prefix{net::Ipv4Address{(1u << 24) + (s20 << 12)}, 20};
+      ++s20;
+      return prefix;
+    }
+    if (s24 < (1u << 16)) {
+      const net::Ipv4Prefix prefix{net::Ipv4Address{s24 << 8}, 24};
+      ++s24;
+      return prefix;
+    }
+    // Nested tier: x.y.z.0/24 with z >= 1 inside the /16 blocks handed out
+    // above — more-specifics of live /16s, never colliding with the 0.x.y.0
+    // /24 pool or the 1..10.x /20 pool, and never covering a /16 probe host.
+    assert(nested_block <= 0xffffu && "prefix pool exhausted");
+    const net::Ipv4Prefix prefix{net::Ipv4Address{(nested_block << 16) | (nested_z << 8)}, 24};
+    if (++nested_z == 256) {
+      nested_z = 1;
+      ++nested_block;
+      if ((nested_block >> 8) == 127) nested_block = 128u << 8;  // skip loopback /8
+    }
+    return prefix;
+  };
+
+  const geo::GeoPoint stale_registered = geo::city("Toronto").location;
+
+  std::vector<PrefixInfo> batch;
+  for (AsIndex index = 0; index < ases_.size(); ++index) {
+    auto& node = ases_[index];
     int count = 0;
     switch (node.type) {
       case AsType::kLTP:
-        count = static_cast<int>(prefix_rng.uniform_int(config.ltp_prefixes_min, config.ltp_prefixes_max));
+        count = static_cast<int>(prefix_rng_.uniform_int(config_.ltp_prefixes_min, config_.ltp_prefixes_max));
         break;
       case AsType::kSTP:
-        count = static_cast<int>(prefix_rng.uniform_int(config.stp_prefixes_min, config.stp_prefixes_max));
+        count = static_cast<int>(prefix_rng_.uniform_int(config_.stp_prefixes_min, config_.stp_prefixes_max));
         break;
       case AsType::kCAHP:
-        count = static_cast<int>(prefix_rng.uniform_int(config.cahp_prefixes_min, config.cahp_prefixes_max));
+        count = static_cast<int>(prefix_rng_.uniform_int(config_.cahp_prefixes_min, config_.cahp_prefixes_max));
         break;
       case AsType::kEC:
-        count = static_cast<int>(prefix_rng.uniform_int(config.ec_prefixes_min, config.ec_prefixes_max));
+        count = static_cast<int>(prefix_rng_.uniform_int(config_.ec_prefixes_min, config_.ec_prefixes_max));
         break;
     }
-    if (index == stale_as) count = std::max(count, config.stale_block_prefixes);
+    if (index == stale_as_) count = std::max(count, config_.stale_block_prefixes);
 
+    const std::size_t first_id = prefix_count_;
+    batch.clear();
+    batch.reserve(static_cast<std::size_t>(count));
     for (int k = 0; k < count; ++k) {
       PrefixInfo info;
       info.prefix = allocate_prefix();
@@ -400,38 +490,35 @@ Internet Internet::generate(const InternetConfig& config) {
 
       // Hosts scatter around one of the AS's PoP cities (heavier around home).
       const geo::City& anchor =
-          (k == 0 || prefix_rng.bernoulli(0.6)) ? node.home
-              : node.pops[static_cast<std::size_t>(prefix_rng.uniform_int(
+          (k == 0 || prefix_rng_.bernoulli(0.6)) ? node.home
+              : node.pops[static_cast<std::size_t>(prefix_rng_.uniform_int(
                     0, static_cast<std::int64_t>(node.pops.size()) - 1))];
-      const double scatter_km = prefix_rng.exponential(35.0);
-      info.location = geo::destination_point(anchor.location, prefix_rng.uniform(0.0, 360.0),
+      const double scatter_km = prefix_rng_.exponential(35.0);
+      info.location = geo::destination_point(anchor.location, prefix_rng_.uniform(0.0, 360.0),
                                              std::min(scatter_km, 400.0));
       info.registered_location = info.location;
 
-      if (index == stale_as && k < config.stale_block_prefixes) {
+      if (index == stale_as_ && k < config_.stale_block_prefixes) {
         info.stale_geoip = true;
         info.registered_location = stale_registered;
-      } else if (prefix_rng.bernoulli(config.geo_spread_fraction)) {
+      } else if (prefix_rng_.bernoulli(config_.geo_spread_fraction)) {
         // Geo-spread block: the registry sees the home region, but the live
         // hosts sit in a different region entirely.
         info.geo_spread = true;
         const auto far_region = static_cast<geo::WorldRegion>(
-            (static_cast<int>(node.region) + 3 + static_cast<int>(prefix_rng.uniform_int(0, 2))) %
+            (static_cast<int>(node.region) + 3 + static_cast<int>(prefix_rng_.uniform_int(0, 2))) %
             geo::kWorldRegionCount);
         const auto& far_cities = region_cities[static_cast<std::size_t>(far_region)];
         info.registered_location = info.location;
-        info.location = sample_city(far_cities, prefix_rng).location;
+        info.location = sample_city(far_cities, prefix_rng_).location;
       }
 
-      node.prefix_ids.push_back(prefixes.size());
-      prefixes.push_back(std::move(info));
+      node.prefix_ids.push_back(prefix_count_);
+      ++prefix_count_;
+      batch.push_back(std::move(info));
     }
+    consume(index, first_id, batch);
   }
-
-  for (AsIndex i = 0; i < internet.ases_.size(); ++i) {
-    internet.asn_index_.emplace(internet.ases_[i].asn, i);
-  }
-  return internet;
 }
 
 RouteTable Internet::routes_to(AsIndex dest) const {
@@ -516,7 +603,14 @@ geo::GeoIpDatabase Internet::build_geoip(const geo::GeoIpErrorModel& model,
                                          std::uint64_t seed) const {
   geo::GeoIpDatabase db;
   util::Rng rng{seed};
-  for (const auto& info : prefixes_) {
+  append_geoip_records(db, prefixes_, model, rng);
+  return db;
+}
+
+void Internet::append_geoip_records(geo::GeoIpDatabase& db,
+                                    std::span<const PrefixInfo> batch,
+                                    const geo::GeoIpErrorModel& model, util::Rng& rng) {
+  for (const auto& info : batch) {
     if (info.stale_geoip) {
       db.add_with_report(info.prefix, info.location, info.registered_location,
                         geo::GeoIpErrorClass::kStaleRecord);
@@ -529,7 +623,6 @@ geo::GeoIpDatabase Internet::build_geoip(const geo::GeoIpErrorModel& model,
       db.add(info.prefix, info.location, info.country, model, rng);
     }
   }
-  return db;
 }
 
 }  // namespace vns::topo

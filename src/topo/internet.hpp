@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -27,17 +29,23 @@ enum class PathClass : std::uint8_t { kCustomer = 0, kPeer = 1, kProvider = 2, k
 
 /// World size tiers (see InternetConfig::preset): kSmall for smoke tests,
 /// kPaper for the default paper-experiment world, kFull for the 10k-AS /
-/// 100k+-prefix full-table scale target (ROADMAP item 2).
-enum class InternetScale : std::uint8_t { kSmall, kPaper, kFull };
+/// 100k+-prefix full-table scale, kXL for the ~30k-AS / 1M+-prefix
+/// streamed million-route world (ROADMAP item 2).
+enum class InternetScale : std::uint8_t { kSmall, kPaper, kFull, kXL };
 
 [[nodiscard]] constexpr const char* to_string(InternetScale scale) noexcept {
   switch (scale) {
     case InternetScale::kSmall: return "small";
     case InternetScale::kPaper: return "paper";
     case InternetScale::kFull: return "full";
+    case InternetScale::kXL: return "xl";
   }
   return "unknown";
 }
+
+/// Parses a scale-tier name ("small" | "paper" | "full" | "xl"); nullopt on
+/// anything else.  The single source of truth for every --scale flag.
+[[nodiscard]] std::optional<InternetScale> scale_from_string(std::string_view name) noexcept;
 
 /// Generation parameters.  Defaults build a ~2.5k-AS Internet that runs all
 /// paper experiments in seconds; counts scale linearly.
@@ -104,7 +112,43 @@ class RouteTable {
 class Internet {
  public:
   /// Deterministically generates a topology from the config seed.
+  /// Equivalent to generate_topology() followed by materialize_prefixes().
   [[nodiscard]] static Internet generate(const InternetConfig& config);
+
+  /// Generates only the AS-level topology (nodes, edges, stale-AS fixup);
+  /// prefixes()/prefix() stay empty until materialize_prefixes() or
+  /// stream_prefixes() runs.  This is the streamed-generation entry point:
+  /// at kXL scale the PrefixInfo table alone is hundreds of MB, and
+  /// streaming hands each origin's batch to the consumer without ever
+  /// holding the full table here.
+  [[nodiscard]] static Internet generate_topology(const InternetConfig& config);
+
+  /// One streamed origination batch: all prefixes of one origin AS.
+  /// `first_id` is the id of batch.prefixes[0] (ids are dense and identical
+  /// to the materialized world's prefix ids); the span is only valid for
+  /// the duration of the sink call.
+  struct PrefixBatch {
+    AsIndex origin = kNoAs;
+    std::size_t first_id = 0;
+    std::span<const PrefixInfo> prefixes;
+  };
+  using PrefixSink = std::function<void(const PrefixBatch&)>;
+
+  /// Fills prefixes() exactly as generate() would have.  Callable once,
+  /// on a generate_topology() result.
+  void materialize_prefixes();
+
+  /// Streams the same origination, batch per origin AS, through `sink`
+  /// instead of materializing it: draw-for-draw the same RNG consumption,
+  /// so the emitted PrefixInfo sequence is byte-identical to the
+  /// materialized one (enforced by the StreamWorld equivalence tests).
+  /// prefix_ids on the AS nodes and prefix_count() are still recorded;
+  /// prefixes() stays empty.  Callable once.
+  void stream_prefixes(const PrefixSink& sink);
+
+  /// Total originated prefixes — valid in both materialized and streamed
+  /// worlds (prefixes().size() is zero in the latter).
+  [[nodiscard]] std::size_t prefix_count() const noexcept { return prefix_count_; }
 
   [[nodiscard]] std::span<const AsNode> ases() const noexcept { return ases_; }
   [[nodiscard]] const AsNode& as_at(AsIndex index) const { return ases_.at(index); }
@@ -132,14 +176,35 @@ class Internet {
   [[nodiscard]] geo::GeoIpDatabase build_geoip(const geo::GeoIpErrorModel& model,
                                                std::uint64_t seed) const;
 
+  /// Pushes one prefix batch into a GeoIP database, applying the same
+  /// stale/geo-spread/error-model logic as build_geoip.  Feeding every
+  /// batch of stream_prefixes() through one `util::Rng{seed}` yields a
+  /// database byte-identical to build_geoip(model, seed) on the
+  /// materialized world.
+  static void append_geoip_records(geo::GeoIpDatabase& db,
+                                   std::span<const PrefixInfo> batch,
+                                   const geo::GeoIpErrorModel& model, util::Rng& rng);
+
   /// The config this Internet was generated from.
   [[nodiscard]] const InternetConfig& config() const noexcept { return config_; }
 
  private:
+  /// Shared origination engine: draws every prefix of every AS in order,
+  /// handing each origin's batch (with its first dense id) to `consume`.
+  /// Records prefix_ids on the AS nodes and prefix_count_.
+  void generate_prefixes(
+      const std::function<void(AsIndex, std::size_t, std::vector<PrefixInfo>&)>& consume);
+
   InternetConfig config_;
   std::vector<AsNode> ases_;
   std::vector<PrefixInfo> prefixes_;
   std::unordered_map<net::Asn, AsIndex> asn_index_;
+  /// Origination stream state, captured by generate_topology so the
+  /// prefix draws happen identically whether materialized or streamed.
+  util::Rng prefix_rng_{0};
+  AsIndex stale_as_ = kNoAs;
+  std::size_t prefix_count_ = 0;
+  bool prefixes_generated_ = false;
 };
 
 }  // namespace vns::topo

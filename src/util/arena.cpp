@@ -1,0 +1,62 @@
+#include "util/arena.hpp"
+
+#include <bit>
+#include <cstring>
+#include <new>
+
+namespace vns::util {
+
+std::size_t Arena::class_index(std::size_t bytes) noexcept {
+  if (bytes <= class_bytes(0)) return 0;
+  const auto rounded = std::bit_ceil(bytes);
+  const auto log2 = static_cast<std::size_t>(std::countr_zero(rounded));
+  if (log2 > kMaxClassLog2) return kClassCount;
+  return log2 - kMinClassLog2;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  assert(align <= kAlign && "Arena serves at most 16-byte alignment");
+  (void)align;
+  ++stats_.allocations;
+  const std::size_t cls = class_index(bytes);
+  if (cls >= kClassCount) {
+    stats_.large_bytes += bytes;
+    stats_.live_bytes += bytes;
+    return ::operator new(bytes, std::align_val_t{kAlign});
+  }
+  const std::size_t block = class_bytes(cls);
+  stats_.live_bytes += block;
+  if (void* head = freelists_[cls]) {
+    std::memcpy(&freelists_[cls], head, sizeof(void*));
+    ++stats_.freelist_reuses;
+    return head;
+  }
+  if (chunks_.empty() || chunks_.back().used + block > chunks_.back().size) {
+    const std::size_t size = kChunkBytes;  // block ≤ 4 KiB always fits
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size, 0});
+    ++stats_.chunks;
+    stats_.reserved_bytes += size;
+  }
+  Chunk& chunk = chunks_.back();
+  void* p = chunk.data.get() + chunk.used;
+  chunk.used += block;  // classes are ≥16 B powers of two: alignment holds
+  return p;
+}
+
+void Arena::deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+  assert(align <= kAlign);
+  (void)align;
+  if (p == nullptr) return;
+  const std::size_t cls = class_index(bytes);
+  if (cls >= kClassCount) {
+    stats_.large_bytes -= bytes;
+    stats_.live_bytes -= bytes;
+    ::operator delete(p, std::align_val_t{kAlign});
+    return;
+  }
+  stats_.live_bytes -= class_bytes(cls);
+  std::memcpy(p, &freelists_[cls], sizeof(void*));
+  freelists_[cls] = p;
+}
+
+}  // namespace vns::util

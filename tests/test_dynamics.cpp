@@ -74,7 +74,8 @@ struct FabricState {
 FabricState capture(const Fabric& fabric) {
   FabricState state;
   for (RouterId r = 0; r < fabric.router_count(); ++r) {
-    state.loc_ribs.push_back(fabric.router(r).loc_rib());
+    const auto& rib = fabric.router(r).loc_rib();
+    state.loc_ribs.emplace_back(rib.begin(), rib.end());
   }
   for (NeighborId n = 0; n < fabric.neighbor_count(); ++n) {
     state.exports.push_back(fabric.exported_to(n));

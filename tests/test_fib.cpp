@@ -107,6 +107,53 @@ TEST(Fib, LookupMatchesTrieLongestMatchOnRandomTable) {
   }
 }
 
+TEST(Fib, ParallelCompileBitIdenticalAcrossThreads) {
+  // The sharded compile path must be a pure speed knob: for every thread
+  // count the compiled arrays are byte-identical to the serial build
+  // (layout_digest folds root slots, spill tables, leaves and the exact
+  // table).  20k mixed-length leaves clear the parallel threshold and cover
+  // root-wide leaves (len <= 16, replicated across shards with clipped
+  // fills) as well as deep spills.
+  util::Rng rng{0x9A11E7ULL};
+  net::PrefixTrie<std::uint32_t> trie;
+  std::uint32_t next_value = 0;
+  while (trie.size() < 20'000) {
+    const auto length = static_cast<std::uint8_t>(rng.uniform_int(4, 32));
+    const auto bits = static_cast<std::uint32_t>(rng());
+    trie.insert(Ipv4Prefix{Ipv4Address{bits}, length}, next_value++);
+  }
+  const auto project = [](const Ipv4Prefix&, const std::uint32_t& value) { return value; };
+
+  const int saved = FlatFib::compile_threads();
+  FlatFib::set_compile_threads(1);
+  const FlatFib reference = FlatFib::compile_from(trie, project);
+  const auto ref_digest = reference.layout_digest();
+
+  for (const int threads : {2, 4, 8}) {
+    FlatFib::set_compile_threads(threads);
+    const FlatFib fib = FlatFib::compile_from(trie, project);
+    ASSERT_EQ(fib.entry_count(), reference.entry_count()) << "threads=" << threads;
+    EXPECT_EQ(fib.layout_digest(), ref_digest) << "threads=" << threads;
+  }
+  FlatFib::set_compile_threads(saved);
+
+  // The digest pins layout; a lookup sweep against the trie pins meaning.
+  for (int i = 0; i < 50'000; ++i) {
+    std::uint32_t probe = static_cast<std::uint32_t>(rng());
+    if (i % 2 == 1) probe ^= (1u << (i % 32));
+    const Ipv4Address address{probe};
+    const auto* leaf = reference.lookup(address);
+    const auto match = trie.longest_match(address);
+    if (!match.has_value()) {
+      ASSERT_EQ(leaf, nullptr) << address.to_string();
+      continue;
+    }
+    ASSERT_NE(leaf, nullptr) << address.to_string();
+    EXPECT_EQ(leaf->prefix, match->first) << address.to_string();
+    EXPECT_EQ(leaf->value, *match->second) << address.to_string();
+  }
+}
+
 TEST(Fib, MetricsTrackLiveFootprintAndSurviveMoves) {
   net::PrefixTrie<std::uint32_t> trie;
   ASSERT_TRUE(trie.insert(Ipv4Prefix::parse("198.51.100.0/24").value(), 1));

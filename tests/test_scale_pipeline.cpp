@@ -1,0 +1,172 @@
+// Tests for the million-prefix scale pipeline (ROADMAP item 2): streamed
+// world generation must be draw-for-draw identical to materialized
+// generation — same PrefixInfo sequence, same GeoIP database, same converged
+// control-plane state through the streamed VNS feed — and the arena-backed
+// router RIBs must recycle memory across route churn instead of growing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "bgp/fabric.hpp"
+#include "core/vns_network.hpp"
+#include "geo/geoip.hpp"
+#include "measure/workbench.hpp"
+#include "topo/internet.hpp"
+#include "util/rng.hpp"
+
+namespace vns {
+namespace {
+
+/// Sorted, fully materialized control-plane state of a VNS fabric: every
+/// router's Loc-RIB and every neighbor's export sink, rendered to text.
+std::string dump_vns_state(const bgp::Fabric& fabric) {
+  std::ostringstream out;
+  for (bgp::RouterId r = 0; r < fabric.router_count(); ++r) {
+    out << "router " << r << "\n";
+    std::map<net::Ipv4Prefix, std::string> rows;
+    for (const auto& [prefix, route] : fabric.router(r).loc_rib()) {
+      rows[prefix] = route.to_string();
+    }
+    for (const auto& [prefix, row] : rows) {
+      out << "  " << prefix.to_string() << " " << row << "\n";
+    }
+  }
+  for (bgp::NeighborId n = 0; n < fabric.neighbor_count(); ++n) {
+    out << "neighbor " << n << "\n";
+    std::map<net::Ipv4Prefix, std::string> rows;
+    for (const auto& [prefix, route] : fabric.exported_to(n)) {
+      rows[prefix] = route.to_string();
+    }
+    for (const auto& [prefix, row] : rows) {
+      out << "  " << prefix.to_string() << " " << row << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// Streams a topology generated from `config` and checks the emitted batch
+/// sequence reproduces the materialized world exactly: same dense ids, same
+/// PrefixInfo fields, same per-AS prefix_ids, and a GeoIP database built
+/// batch-by-batch that answers identically to build_geoip().
+void expect_streamed_matches_materialized(const topo::InternetConfig& config) {
+  const auto materialized = topo::Internet::generate(config);
+  auto streamed = topo::Internet::generate_topology(config);
+  EXPECT_TRUE(streamed.prefixes().empty());
+
+  const geo::GeoIpErrorModel model;
+  const std::uint64_t geoip_seed = 4242;
+  geo::GeoIpDatabase streamed_db;
+  util::Rng geoip_rng{geoip_seed};
+
+  std::vector<topo::PrefixInfo> collected;
+  collected.reserve(materialized.prefix_count());
+  streamed.stream_prefixes([&](const topo::Internet::PrefixBatch& batch) {
+    ASSERT_FALSE(batch.prefixes.empty());
+    EXPECT_EQ(batch.first_id, collected.size());
+    topo::Internet::append_geoip_records(streamed_db, batch.prefixes, model, geoip_rng);
+    for (const auto& info : batch.prefixes) {
+      EXPECT_EQ(info.origin, batch.origin);
+      collected.push_back(info);
+    }
+  });
+
+  // Streamed worlds record counts and per-AS ids without the table.
+  EXPECT_TRUE(streamed.prefixes().empty());
+  EXPECT_EQ(streamed.prefix_count(), materialized.prefix_count());
+  ASSERT_EQ(collected.size(), materialized.prefixes().size());
+  for (std::size_t id = 0; id < collected.size(); ++id) {
+    const auto& got = collected[id];
+    const auto& want = materialized.prefix(id);
+    ASSERT_EQ(got.prefix, want.prefix) << "prefix id " << id;
+    EXPECT_EQ(got.origin, want.origin) << "prefix id " << id;
+    EXPECT_EQ(got.location, want.location) << "prefix id " << id;
+    EXPECT_EQ(got.registered_location, want.registered_location) << "prefix id " << id;
+    EXPECT_EQ(got.country, want.country) << "prefix id " << id;
+    EXPECT_EQ(got.geo_spread, want.geo_spread) << "prefix id " << id;
+    EXPECT_EQ(got.stale_geoip, want.stale_geoip) << "prefix id " << id;
+  }
+  ASSERT_EQ(streamed.as_count(), materialized.as_count());
+  for (topo::AsIndex as = 0; as < streamed.as_count(); ++as) {
+    EXPECT_EQ(streamed.as_at(as).prefix_ids, materialized.as_at(as).prefix_ids)
+        << "AS index " << as;
+  }
+
+  // One RNG across all batches makes the streamed GeoIP database answer
+  // exactly like build_geoip over the materialized table.
+  const auto reference_db = materialized.build_geoip(model, geoip_seed);
+  for (const auto& info : materialized.prefixes()) {
+    EXPECT_EQ(streamed_db.lookup(info.prefix), reference_db.lookup(info.prefix))
+        << info.prefix.to_string();
+  }
+}
+
+TEST(StreamWorld, StreamedGenerationMatchesMaterializedAtSmall) {
+  expect_streamed_matches_materialized(
+      topo::InternetConfig::preset(topo::InternetScale::kSmall, 11));
+}
+
+TEST(StreamWorld, StreamedGenerationMatchesMaterializedAtPaper) {
+  expect_streamed_matches_materialized(
+      topo::InternetConfig::preset(topo::InternetScale::kPaper, 7));
+}
+
+TEST(StreamWorld, StreamedWorkbenchConvergesToMaterializedState) {
+  // End-to-end: the streamed pipeline (topology -> GeoIP batches -> streamed
+  // feed with convergence checkpoints) must land on the same converged
+  // fabric state as the materialized build.  A tiny flush threshold forces
+  // many intermediate convergence runs, pinning that checkpoints commute.
+  auto materialized_config = measure::WorkbenchConfig::small(3);
+  auto streamed_config = materialized_config;
+  streamed_config.stream_generation = true;
+  streamed_config.vns.stream_flush_prefixes = 100;
+
+  const auto materialized = measure::Workbench::build(materialized_config);
+  const auto streamed = measure::Workbench::build(streamed_config);
+
+  EXPECT_EQ(streamed->internet().prefix_count(), materialized->internet().prefix_count());
+  EXPECT_TRUE(streamed->internet().prefixes().empty());
+  const auto known_m = materialized->vns().known_prefix_log();
+  const auto known_s = streamed->vns().known_prefix_log();
+  ASSERT_EQ(known_s.size(), known_m.size());
+  for (std::size_t i = 0; i < known_m.size(); ++i) EXPECT_EQ(known_s[i], known_m[i]);
+
+  EXPECT_EQ(dump_vns_state(streamed->vns().fabric()),
+            dump_vns_state(materialized->vns().fabric()));
+
+  // Geo-routing recomputes LOCAL_PREF from GeoIP lookups of every prefix at
+  // every egress — equality after the flip pins the streamed database too.
+  materialized->vns().set_geo_routing(true);
+  streamed->vns().set_geo_routing(true);
+  EXPECT_EQ(dump_vns_state(streamed->vns().fabric()),
+            dump_vns_state(materialized->vns().fabric()));
+}
+
+TEST(Arena, RouterRibChurnReusesArenaMemory) {
+  // Route churn (session fail/restore cycles) must be served from the
+  // arena freelists once warmed: the fabric-wide reservation stays flat
+  // instead of growing with every withdraw/re-announce storm.
+  auto world = measure::Workbench::build(measure::WorkbenchConfig::small(5));
+  auto& vns = world->vns();
+  const auto churn = [&vns] {
+    for (core::PopId pop = 0; pop < vns.pops().size(); ++pop) {
+      ASSERT_TRUE(vns.fail_upstream(pop, 0));
+      ASSERT_TRUE(vns.restore_upstream(pop, 0));
+    }
+  };
+  churn();  // warm-up: first cycle may still deepen adj-RIB-out maps
+  const auto warmed = vns.fabric().rib_arena_stats();
+  ASSERT_GT(warmed.reserved_bytes, 0u);
+  for (int round = 0; round < 3; ++round) churn();
+  const auto after = vns.fabric().rib_arena_stats();
+  EXPECT_EQ(after.reserved_bytes, warmed.reserved_bytes)
+      << "steady-state churn grew the arena reservation";
+  EXPECT_EQ(after.chunks, warmed.chunks);
+  EXPECT_GT(after.freelist_reuses, warmed.freelist_reuses)
+      << "churn did not recycle freed route nodes";
+}
+
+}  // namespace
+}  // namespace vns

@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -273,6 +278,92 @@ TEST(Table, CsvOutput) {
 TEST(Format, DoubleAndPercent) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_percent(0.432, 1), "43.2%");
+}
+
+TEST(Arena, BumpAllocationAdvancesWithinOneChunk) {
+  Arena arena;
+  void* a = arena.allocate(64, 8);
+  void* b = arena.allocate(64, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.chunks, 1u);
+  EXPECT_EQ(stats.allocations, 2u);
+  EXPECT_EQ(stats.live_bytes, 128u);
+  EXPECT_EQ(stats.freelist_reuses, 0u);
+  // Writes must not overlap.
+  std::memset(a, 0xaa, 64);
+  std::memset(b, 0xbb, 64);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[63], 0xaa);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[0], 0xbb);
+}
+
+TEST(Arena, FreelistRecyclesSameSizeClass) {
+  Arena arena;
+  void* a = arena.allocate(48, 8);  // 64-byte class
+  arena.deallocate(a, 48, 8);
+  void* b = arena.allocate(64, 8);  // same class: must reuse the block
+  EXPECT_EQ(a, b);
+  const auto stats = arena.stats();
+  EXPECT_EQ(stats.freelist_reuses, 1u);
+  EXPECT_EQ(stats.live_bytes, 64u);
+  arena.deallocate(b, 64, 8);
+  EXPECT_EQ(arena.stats().live_bytes, 0u);
+}
+
+TEST(Arena, ChurnDoesNotGrowReservation) {
+  Arena arena;
+  std::vector<void*> blocks;
+  // Warm up: one full population, then release everything.
+  for (int i = 0; i < 10000; ++i) blocks.push_back(arena.allocate(96, 8));
+  for (void* p : blocks) arena.deallocate(p, 96, 8);
+  blocks.clear();
+  const auto warmed = arena.stats();
+  // Steady-state churn at the same population must be served entirely from
+  // the freelists: no new chunks, no new reservation.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10000; ++i) blocks.push_back(arena.allocate(96, 8));
+    for (void* p : blocks) arena.deallocate(p, 96, 8);
+    blocks.clear();
+  }
+  const auto after = arena.stats();
+  EXPECT_EQ(after.chunks, warmed.chunks);
+  EXPECT_EQ(after.reserved_bytes, warmed.reserved_bytes);
+  EXPECT_GT(after.freelist_reuses, warmed.freelist_reuses);
+  EXPECT_EQ(after.live_bytes, 0u);
+}
+
+TEST(Arena, OversizedAllocationsRoundTrip) {
+  Arena arena;
+  const std::size_t big = 64 * 1024;  // past the largest freelist class
+  void* p = arena.allocate(big, 16);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5c, big);
+  auto stats = arena.stats();
+  EXPECT_EQ(stats.large_bytes, big);
+  EXPECT_EQ(stats.live_bytes, big);
+  arena.deallocate(p, big, 16);
+  stats = arena.stats();
+  EXPECT_EQ(stats.live_bytes, 0u);
+}
+
+TEST(Arena, BacksAnUnorderedMapThroughRehashAndErase) {
+  Arena arena;
+  using Alloc = ArenaAllocator<std::pair<const int, int>>;
+  std::unordered_map<int, int, std::hash<int>, std::equal_to<int>, Alloc> map{Alloc{arena}};
+  for (int i = 0; i < 5000; ++i) map[i] = i * 3;
+  for (int i = 0; i < 5000; i += 2) map.erase(i);
+  for (int i = 5000; i < 7000; ++i) map[i] = i * 3;
+  EXPECT_EQ(map.size(), 2500u + 2000u);
+  EXPECT_EQ(map.at(4999), 4999 * 3);
+  EXPECT_EQ(map.at(6000), 6000 * 3);
+  EXPECT_GT(arena.stats().freelist_reuses, 0u);
+  map.clear();
+  // Node memory is back on the freelists; the arena stays reserved for the
+  // owner's next population (live_bytes excludes the bucket array, which
+  // unordered_map only releases on destruction).
+  EXPECT_GT(arena.stats().reserved_bytes, 0u);
 }
 
 }  // namespace

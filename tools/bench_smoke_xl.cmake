@@ -1,0 +1,55 @@
+# CTest driver for the gated bench_smoke_xl target (invoked via `cmake -P`).
+#
+# Runs the million-prefix pipeline bench end-to-end at the xl tier —
+# streamed generation of 1M+ prefixes across ~30k ASes, GeoIP construction,
+# the streamed route feed with convergence checkpoints, and viewpoint FIB
+# compilation — then validates the BENCH json it wrote (including the
+# rss_per_route and fib.full_build_seconds/patch_seconds fields) with
+# `JSON_CHECK --bench`.  The bench itself enforces the streaming memory
+# guarantee (peak RSS <= 1.2x steady + slack) and exits non-zero on breach.
+#
+# Minutes of wall-clock and tens of GB of RAM: only registered when the
+# VNS_BIG_TESTS CMake option is ON.
+#
+# Expected -D inputs: BENCH_DIR, JSON_CHECK, WORK_DIR.
+
+foreach(var BENCH_DIR JSON_CHECK WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke_xl.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(binary "${BENCH_DIR}/bench_xl_pipeline")
+if(NOT EXISTS "${binary}")
+  message(FATAL_ERROR "bench_smoke_xl: missing binary ${binary}")
+endif()
+
+set(json_artifact "${WORK_DIR}/BENCH_xl_pipeline.json")
+file(REMOVE "${json_artifact}")
+
+message(STATUS "bench_smoke_xl: bench_xl_pipeline --scale xl --json --seed 7")
+execute_process(
+  COMMAND "${binary}" --scale xl --json --seed 7
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_out)
+message(STATUS "${run_out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke_xl: bench_xl_pipeline exited ${rc}")
+endif()
+
+if(NOT EXISTS "${json_artifact}")
+  message(FATAL_ERROR "bench_smoke_xl: bench did not write ${json_artifact}")
+endif()
+execute_process(
+  COMMAND "${JSON_CHECK}" --bench "${json_artifact}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_out)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke_xl: invalid artifact ${json_artifact}\n${check_out}")
+endif()
+message(STATUS "bench_smoke_xl: passed")

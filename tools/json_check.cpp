@@ -208,6 +208,10 @@ constexpr std::string_view kBenchMemoryKeys[] = {
     // compiles vs. incremental RIB-delta patches since PR 7.
     "fib", "entries", "spill_tables", "bytes", "rebuilds", "full_rebuilds",
     "patches", "slots_touched", "build_seconds",
+    // build_seconds decomposition (PR 10): wall-clock spent in full
+    // DIR-16-8-8 compiles vs. incremental patches, so regressions in either
+    // path are visible separately.
+    "full_build_seconds", "patch_seconds",
     // Sharded convergence engine stats (the "convergence" object).
     "convergence", "runs", "messages", "batches", "messages_per_sec",
     "shard_limit", "shard_occupancy_mean", "shard_occupancy_max",

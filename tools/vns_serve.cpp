@@ -51,7 +51,7 @@ struct ServeArgs {
 };
 
 void usage(std::ostream& out) {
-  out << "usage: vns_serve [--scale small|paper|full] [--seed N] [--threads N]\n"
+  out << "usage: vns_serve [--scale small|paper|full|xl] [--seed N] [--threads N]\n"
          "                 [--duration S] [--qps Q] [--batches N] [--events N]\n"
          "                 [--heartbeat N] [--record FILE] [--replay FILE]\n"
          "                 [--dump-state FILE]\n";
@@ -65,15 +65,12 @@ std::optional<ServeArgs> parse(int argc, char** argv) {
     if (arg == "--scale") {
       const char* tier = next();
       if (tier == nullptr) return std::nullopt;
-      if (std::strcmp(tier, "small") == 0) {
-        args.scale = topo::InternetScale::kSmall;
-      } else if (std::strcmp(tier, "paper") == 0) {
-        args.scale = topo::InternetScale::kPaper;
-      } else if (std::strcmp(tier, "full") == 0) {
-        args.scale = topo::InternetScale::kFull;
-      } else {
+      const auto parsed = topo::scale_from_string(tier);
+      if (!parsed) {
+        std::cerr << "unknown --scale '" << tier << "' (valid: small|paper|full|xl)\n";
         return std::nullopt;
       }
+      args.scale = *parsed;
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
